@@ -1,0 +1,26 @@
+# Convenience targets for the ConfigValidator reproduction.
+
+.PHONY: install test bench fuzz lint examples results all
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+fuzz:
+	pytest tests/test_fuzz_robustness.py
+
+lint:
+	python -m repro lint
+
+examples:
+	for f in examples/*.py; do echo "== $$f =="; python $$f > /dev/null || exit 1; done
+
+results: bench
+	cat benchmarks/results/*.txt
+
+all: install test bench

@@ -1,0 +1,139 @@
+"""Ablation A3 -- composite rules across entities (paper Listing 1).
+
+Measures what a cross-entity composite costs on top of per-entity rules:
+expression parsing (cached), context construction, and cross-frame value
+lookup for the paper's 3-entity expression.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fs import VirtualFilesystem
+from repro.crawler import Crawler, HostEntity
+from repro.cvl import Manifest
+from repro.cvl.composite_expr import DictContext, evaluate_composite, parse_composite
+from repro.engine import ConfigValidator
+
+from conftest import emit
+
+PAPER_EXPR = (
+    'mysql.ssl-ca.CONFIGPATH=[mysqld].VALUE == "/etc/mysql/cacert.pem" '
+    "&& sysctl.net.ipv4.ip_forward && nginx.listen"
+)
+
+RULES = {
+    "mysql.yaml": (
+        "config_name: ssl-ca\nconfig_path: ['mysqld']\n"
+        "file_context: ['my.cnf']\nnon_preferred_value: ['']\n"
+        "---\n"
+        "composite_rule_name: paper_listing1\n"
+        f"composite_rule: {PAPER_EXPR}\n"
+    ),
+    "sysctl.yaml": (
+        "config_name: net.ipv4.ip_forward\nfile_context: ['sysctl.conf']\n"
+        "preferred_value: ['0']\npreferred_value_match: exact,all\n"
+    ),
+    "nginx.yaml": (
+        "config_name: listen\nconfig_path: ['http/server', 'server']\n"
+        "file_context: ['nginx.conf']\n"
+    ),
+}
+
+MANIFEST = """
+mysql: {config_search_paths: [/etc/mysql], cvl_file: mysql.yaml}
+sysctl: {config_search_paths: [/etc/sysctl.conf], cvl_file: sysctl.yaml}
+nginx: {config_search_paths: [/etc/nginx], cvl_file: nginx.yaml}
+"""
+
+
+def _three_entities():
+    mysql_fs = VirtualFilesystem()
+    mysql_fs.write_file(
+        "/etc/mysql/my.cnf", "[mysqld]\nssl-ca = /etc/mysql/cacert.pem\n"
+    )
+    sysctl_fs = VirtualFilesystem()
+    sysctl_fs.write_file("/etc/sysctl.conf", "net.ipv4.ip_forward = 0\n")
+    nginx_fs = VirtualFilesystem()
+    nginx_fs.write_file(
+        "/etc/nginx/nginx.conf", "http { server { listen 443 ssl; } }"
+    )
+    return [
+        HostEntity("db", mysql_fs),
+        HostEntity("sys", sysctl_fs),
+        HostEntity("web", nginx_fs),
+    ]
+
+
+def _validator() -> ConfigValidator:
+    validator = ConfigValidator(resolver=RULES.__getitem__)
+    validator.add_manifest_text(MANIFEST)
+    return validator
+
+
+@pytest.mark.benchmark(group="composite")
+def test_expression_parse(benchmark):
+    parse_composite.cache_clear()
+
+    def parse():
+        parse_composite.cache_clear()
+        return parse_composite(PAPER_EXPR)
+
+    assert benchmark(parse) is not None
+
+
+@pytest.mark.benchmark(group="composite")
+def test_expression_evaluate_only(benchmark):
+    context = DictContext(
+        verdicts={("sysctl", "net.ipv4.ip_forward"): True},
+        values={
+            ("mysql", "mysqld", "ssl-ca"): "/etc/mysql/cacert.pem",
+            ("nginx", "", "listen"): "443 ssl",
+        },
+    )
+    result = benchmark(evaluate_composite, PAPER_EXPR, context)
+    assert result.passed
+
+
+@pytest.mark.benchmark(group="composite")
+def test_group_run_with_composite(benchmark):
+    validator = _validator()
+    frames = Crawler().crawl_many(_three_entities(), features=("files",))
+    report = benchmark(validator.validate_frames, frames)
+    assert report.compliant
+
+
+@pytest.mark.benchmark(group="composite")
+def test_group_run_without_composite(benchmark):
+    validator = _validator()
+    frames = Crawler().crawl_many(_three_entities(), features=("files",))
+    report = benchmark(
+        lambda: validator.validate_frames(frames, include_composites=False)
+    )
+    assert report.compliant
+
+
+def test_composite_overhead_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1)
+    import time
+
+    validator = _validator()
+    frames = Crawler().crawl_many(_three_entities(), features=("files",))
+
+    def timed(include):
+        started = time.perf_counter()
+        for _ in range(20):
+            validator.validate_frames(frames, include_composites=include)
+        return (time.perf_counter() - started) / 20
+
+    with_composite = timed(True)
+    without = timed(False)
+    lines = [
+        "Composite-rule ablation (paper Listing 1, 3 entities)",
+        f"group run without composite: {without * 1e3:8.2f} ms",
+        f"group run with composite:    {with_composite * 1e3:8.2f} ms",
+        f"composite overhead:          {(with_composite - without) * 1e3:8.2f} ms "
+        f"({(with_composite / without - 1):.0%})",
+    ]
+    emit("composite", "\n".join(lines))
+    assert with_composite < without * 3

@@ -1,0 +1,67 @@
+"""Experiment E3 -- paper Listing 6: encoding effort per rule.
+
+Paper (the "Disable SSH Root Login" rule):
+
+    XCCDF/OVAL       45 lines
+    ConfigValidator  10 lines
+    Chef Inspec       6 lines (expected) / 7 lines (observed)
+
+The report regenerates those per-format sizes for the root-login rule and
+the mean over all 40 common rules; the benchmark component times the
+XCCDF/OVAL document generation (the mechanical cost of the verbose
+format).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.common_rules import TABLE2_RULES
+from repro.baselines.loc import encoding_report, mean_sizes
+from repro.baselines.xccdf import generate_oval, generate_xccdf
+
+from conftest import emit
+
+
+@pytest.mark.benchmark(group="listing6")
+def test_generate_xccdf_documents(benchmark):
+    def generate():
+        return generate_xccdf(list(TABLE2_RULES)), generate_oval(list(TABLE2_RULES))
+
+    xccdf_text, oval_text = benchmark(generate)
+    assert "textfilecontent54_object" in oval_text
+    assert xccdf_text.count("<Rule ") == 40
+
+
+@pytest.mark.benchmark(group="listing6")
+def test_encoding_report_generation(benchmark):
+    report = benchmark(encoding_report, list(TABLE2_RULES))
+    assert len(report) == 40
+
+
+def test_listing6_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1)
+    report = encoding_report(list(TABLE2_RULES))
+    root_login = next(e for e in report if e.rule_id == "cis-5.2.8")
+    means = mean_sizes(report)
+
+    lines = [
+        "Listing 6 -- rule encoding size (non-blank lines per rule)",
+        f"{'Format':<22}{'paper':>7}{'root-login':>12}{'mean(40)':>10}",
+        f"{'XCCDF/OVAL':<22}{'45':>7}{root_login.xccdf_oval:>12}"
+        f"{means['xccdf_oval']:>10.1f}",
+        f"{'ConfigValidator CVL':<22}{'10':>7}{root_login.cvl:>12}"
+        f"{means['cvl']:>10.1f}",
+        f"{'Inspec (expected)':<22}{'6':>7}{root_login.inspec_dsl:>12}"
+        f"{means['inspec_dsl']:>10.1f}",
+        f"{'Inspec (observed)':<22}{'7':>7}{root_login.inspec_bash:>12}"
+        f"{means['inspec_bash']:>10.1f}",
+        f"{'ad-hoc script':<22}{'-':>7}{root_login.script:>12}"
+        f"{means['script']:>10.1f}",
+    ]
+    emit("listing6", "\n".join(lines))
+
+    # Paper's qualitative claims:
+    assert root_login.xccdf_oval > 2.5 * root_login.cvl
+    assert root_login.inspec_dsl < root_login.cvl
+    assert 8 <= root_login.cvl <= 14   # paper: 10

@@ -1,0 +1,87 @@
+"""Ablation A2 -- lens parsing cost per format (paper Section 3.3/6).
+
+The paper observes a tradeoff: "It might be trivial to parse a more
+descriptive but seemingly tedious configuration style, as in sysctl.conf,
+as compared to a more modular style as in apache2.conf".  The sweep
+parses same-order-of-magnitude documents under each lens and reports
+bytes/second and tree sizes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.augtree.lenses import (
+    ApacheLens,
+    IniLens,
+    NginxLens,
+    SshdLens,
+    SysctlLens,
+)
+from repro.workloads.rulegen import generate_nginx_config, generate_sysctl_config
+
+from conftest import emit
+
+
+def _apache_config(sections: int) -> str:
+    blocks = []
+    for index in range(sections):
+        blocks.append(
+            f"<Directory /srv/site{index}/>\n"
+            f"    Options -Indexes\n"
+            f"    AllowOverride None\n"
+            f"</Directory>"
+        )
+    return "ServerTokens Prod\nTraceEnable Off\n" + "\n".join(blocks) + "\n"
+
+
+def _sshd_config(lines: int) -> str:
+    return "\n".join(f"AcceptEnv LC_{index:04d}" for index in range(lines)) + "\n"
+
+
+def _ini_config(sections: int) -> str:
+    parts = []
+    for index in range(sections):
+        parts.append(f"[section{index}]\nkey{index} = value{index}\nflag{index}\n")
+    return "".join(parts)
+
+
+_WORKLOADS = {
+    "sysctl": (SysctlLens(), generate_sysctl_config(800)),
+    "sshd": (SshdLens(), _sshd_config(800)),
+    "ini": (IniLens(), _ini_config(300)),
+    "nginx": (NginxLens(), generate_nginx_config(120)),
+    "apache": (ApacheLens(), _apache_config(200)),
+}
+
+
+@pytest.mark.parametrize("fmt", sorted(_WORKLOADS))
+@pytest.mark.benchmark(group="parsing")
+def test_lens_parse(benchmark, fmt):
+    lens, text = _WORKLOADS[fmt]
+    tree = benchmark(lens.parse, text)
+    assert tree.size() > 100
+
+
+def test_parsing_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1)
+    lines = [
+        "Lens parsing ablation (descriptive vs modular styles)",
+        f"{'lens':<8}{'bytes':>8}{'nodes':>7}{'MB/s':>8}{'us/node':>9}",
+    ]
+    for fmt in ("sysctl", "sshd", "ini", "nginx", "apache"):
+        lens, text = _WORKLOADS[fmt]
+        tree = lens.parse(text)
+        started = time.perf_counter()
+        rounds = 20
+        for _ in range(rounds):
+            lens.parse(text)
+        elapsed = (time.perf_counter() - started) / rounds
+        lines.append(
+            f"{fmt:<8}{len(text):>8}{tree.size():>7}"
+            f"{len(text) / elapsed / 1e6:>8.1f}"
+            f"{elapsed * 1e6 / tree.size():>9.2f}"
+        )
+    emit("parsing", "\n".join(lines))

@@ -1,0 +1,133 @@
+"""Experiment E5 -- paper Figure 1: per-stage cost of the pipeline.
+
+Figure 1 is the architecture (Config Extractor -> Data Normalizer ->
+Rule Engine -> Output Processing); this ablation measures where the time
+goes for one full-stack host validation, confirming the design point that
+normalization (lens parsing) is the heavy stage and is therefore cached
+per run.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.crawler import Crawler
+from repro.engine import render_json, render_text
+from repro.engine.normalizer import Normalizer
+from repro.rules import load_builtin_validator
+from repro.workloads import ubuntu_host_entity
+
+from conftest import emit
+
+
+def _entity():
+    return ubuntu_host_entity(
+        "stage-host", hardening=0.6, seed=5, with_nginx=True, with_mysql=True,
+        with_apache=True, with_hadoop=True,
+    )
+
+
+@pytest.mark.benchmark(group="pipeline")
+def test_stage_extract(benchmark):
+    crawler = Crawler()
+    entity = _entity()
+    frame = benchmark(crawler.crawl, entity)
+    assert frame.runtime
+
+
+@pytest.mark.benchmark(group="pipeline")
+def test_stage_normalize(benchmark):
+    frame = Crawler().crawl(_entity())
+    validator = load_builtin_validator()
+    search_paths = [
+        path
+        for manifest in validator.manifests()
+        for path in manifest.config_search_paths
+    ]
+
+    def normalize():
+        normalizer = Normalizer()
+        trees = 0
+        for top in search_paths:
+            for path in frame.files.files_under(top):
+                if normalizer.try_tree(frame, path) is not None:
+                    trees += 1
+        return trees
+
+    assert benchmark(normalize) > 5
+
+
+@pytest.mark.benchmark(group="pipeline")
+def test_stage_validate(benchmark):
+    validator = load_builtin_validator()
+    frame = Crawler().crawl(_entity())
+    report = benchmark(validator.validate_frame, frame)
+    assert len(report) > 50
+
+
+@pytest.mark.benchmark(group="pipeline")
+def test_stage_output(benchmark):
+    validator = load_builtin_validator()
+    report = validator.validate_frame(Crawler().crawl(_entity()))
+
+    def render():
+        return render_text(report, verbose=True), render_json(report)
+
+    text, payload = benchmark(render)
+    assert "ConfigValidator report" in text and payload
+
+
+def test_pipeline_breakdown_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1)
+    crawler = Crawler()
+    entity = _entity()
+
+    t0 = time.perf_counter()
+    frame = crawler.crawl(entity)
+    t_extract = time.perf_counter() - t0
+
+    validator = load_builtin_validator()
+    validator.rule_count()  # force pack loading outside the timed region
+    t0 = time.perf_counter()
+    report = validator.validate_frame(frame)
+    t_validate = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    render_text(report, verbose=True)
+    render_json(report)
+    t_output = time.perf_counter() - t0
+
+    total = t_extract + t_validate + t_output
+    lines = [
+        "Pipeline stage breakdown (Fig. 1 stages, one full-stack host)",
+        f"{'stage':<28}{'time [ms]':>10}{'share':>8}",
+        f"{'extract (crawler)':<28}{t_extract * 1e3:>10.2f}"
+        f"{t_extract / total:>8.1%}",
+        f"{'normalize + validate':<28}{t_validate * 1e3:>10.2f}"
+        f"{t_validate / total:>8.1%}",
+        f"{'output processing':<28}{t_output * 1e3:>10.2f}"
+        f"{t_output / total:>8.1%}",
+    ]
+    emit("pipeline_stages", "\n".join(lines))
+    assert t_validate > t_output  # rule engine dominates rendering
+
+
+@pytest.mark.benchmark(group="pipeline")
+def test_stage_frame_serialize(benchmark):
+    """Cost of shipping a frame off-box (the decoupled pipeline)."""
+    from repro.crawler.serialize import dump_frame
+
+    frame = Crawler().crawl(_entity())
+    blob = benchmark(dump_frame, frame)
+    assert len(blob) > 1_000
+
+
+@pytest.mark.benchmark(group="pipeline")
+def test_stage_frame_deserialize(benchmark):
+    from repro.crawler.serialize import dump_frame, load_frame
+
+    blob = dump_frame(Crawler().crawl(_entity()))
+    frame = benchmark(load_frame, blob)
+    assert frame.exists("/etc/ssh/sshd_config")

@@ -1,0 +1,145 @@
+"""Ablation A1 -- rule-count scaling of the declarative engine.
+
+DESIGN.md calls out the design choice of caching normalized trees per
+run: rule evaluation should scale linearly in the number of rules with a
+flat parsing cost, not reparse per rule.  The sweep validates that shape.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.fs import VirtualFilesystem
+from repro.crawler import Crawler, HostEntity
+from repro.cvl import Manifest
+from repro.engine import ConfigValidator
+from repro.workloads import generate_keyvalue_config, generate_tree_rules
+
+from conftest import emit
+
+_CONFIG = generate_keyvalue_config(600, misconfig_rate=0.2, seed=1)
+
+
+def _frame():
+    fs = VirtualFilesystem()
+    fs.write_file("/etc/synthetic/synthetic.conf", _CONFIG)
+    return Crawler().crawl(HostEntity("scaling-host", fs), features=("files",))
+
+
+def _validator(rule_count: int) -> ConfigValidator:
+    validator = ConfigValidator()
+    validator.add_ruleset(
+        Manifest(
+            entity="synthetic",
+            cvl_file="<generated>",
+            config_search_paths=["/etc/synthetic"],
+        ),
+        generate_tree_rules(rule_count),
+    )
+    return validator
+
+
+@pytest.mark.parametrize("rule_count", [10, 50, 200, 500])
+@pytest.mark.benchmark(group="scaling-rules")
+def test_scaling_rule_count(benchmark, rule_count):
+    validator = _validator(rule_count)
+    frame = _frame()
+    report = benchmark(validator.validate_frame, frame)
+    assert len(report) == rule_count
+
+
+def test_scaling_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1)
+    frame = _frame()
+    lines = [
+        "Rule-count scaling (one 600-key file, cached normalization)",
+        f"{'rules':>6}{'time [ms]':>12}{'ms/rule':>10}",
+    ]
+    timings = {}
+    for rule_count in (10, 50, 200, 500):
+        validator = _validator(rule_count)
+        validator.validate_frame(frame)  # warm the parse-free path check
+        started = time.perf_counter()
+        for _ in range(3):
+            validator.validate_frame(frame)
+        elapsed = (time.perf_counter() - started) / 3
+        timings[rule_count] = elapsed
+        lines.append(
+            f"{rule_count:>6}{elapsed * 1e3:>12.2f}"
+            f"{elapsed * 1e3 / rule_count:>10.3f}"
+        )
+    emit("scaling_rules", "\n".join(lines))
+
+    # Sub-linear-per-rule at the low end (flat parse cost amortized),
+    # roughly linear overall: 50x rules must cost far less than 200x time.
+    assert timings[500] < timings[10] * 150
+
+
+# ---- A4: normalization-cache ablation -------------------------------------
+
+
+def _evaluate_rules(frame, rules, *, shared_normalizer: bool):
+    """Evaluate tree rules with one shared Normalizer or a fresh one per
+    rule (modelling an engine that re-parses the file for every rule)."""
+    from repro.cvl import Manifest
+    from repro.engine.evaluators import evaluate_tree
+    from repro.engine.normalizer import Normalizer
+
+    manifest = Manifest(
+        entity="synthetic",
+        cvl_file="<generated>",
+        config_search_paths=["/etc/synthetic"],
+    )
+    normalizer = Normalizer()
+    results = []
+    for rule in rules:
+        if not shared_normalizer:
+            normalizer = Normalizer()
+        results.append(evaluate_tree(rule, frame, manifest, normalizer))
+    return results
+
+
+@pytest.mark.benchmark(group="normalizer-cache")
+def test_cached_normalization(benchmark):
+    frame = _frame()
+    rules = list(generate_tree_rules(200))
+    results = benchmark(_evaluate_rules, frame, rules, shared_normalizer=True)
+    assert len(results) == 200
+
+
+@pytest.mark.benchmark(group="normalizer-cache")
+def test_uncached_normalization(benchmark):
+    frame = _frame()
+    rules = list(generate_tree_rules(200))
+    results = benchmark.pedantic(
+        _evaluate_rules,
+        args=(frame, rules),
+        kwargs={"shared_normalizer": False},
+        rounds=5,
+    )
+    assert len(results) == 200
+
+
+def test_cache_ablation_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1)
+    frame = _frame()
+    rules = list(generate_tree_rules(200))
+
+    def timed(shared):
+        started = time.perf_counter()
+        for _ in range(3):
+            _evaluate_rules(frame, rules, shared_normalizer=shared)
+        return (time.perf_counter() - started) / 3
+
+    warm = timed(True)
+    cold = timed(False)
+    lines = [
+        "Normalization-cache ablation (200 rules, one 600-key file)",
+        f"shared normalizer (cached):   {warm * 1e3:8.2f} ms",
+        f"per-rule normalizer (uncached): {cold * 1e3:6.2f} ms",
+        f"speedup from caching:         {cold / warm:8.1f}x",
+    ]
+    emit("normalizer_cache", "\n".join(lines))
+    assert cold > 5 * warm  # caching must matter at this rule count

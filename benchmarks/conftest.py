@@ -1,0 +1,39 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every experiment writes its human-readable table to
+``benchmarks/results/<name>.txt`` *and* prints it (visible with ``-s``),
+so paper-vs-measured comparisons in EXPERIMENTS.md can be regenerated
+with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.crawler import Crawler
+from repro.workloads import ubuntu_host_entity
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Write a result table to disk and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}")
+
+
+@pytest.fixture(scope="session")
+def hardened_frame():
+    entity = ubuntu_host_entity(
+        "bench-host", hardening=1.0, with_nginx=True, with_mysql=True
+    )
+    return Crawler().crawl(entity)
+
+
+@pytest.fixture(scope="session")
+def partially_hardened_frame():
+    entity = ubuntu_host_entity("bench-host-mixed", hardening=0.6, seed=7)
+    return Crawler().crawl(entity)

@@ -1,0 +1,101 @@
+"""Writing your own CVL rules, and layering deployment overrides.
+
+Run::
+
+    python examples/custom_rules_inheritance.py
+
+Demonstrates the full CVL authoring workflow the paper describes (§3.2):
+
+1. an application team ships a baseline rule file for its service;
+2. a deployment team *inherits* that file, overriding one rule's accepted
+   value (their load balancer still needs TLSv1.0) and disabling another;
+3. both rule sets run against the same entity, showing how the override
+   changes the verdicts without copying the baseline.
+"""
+
+from repro import ConfigValidator, HostEntity, render_text
+from repro.fs import VirtualFilesystem
+
+BASELINE = """\
+# Baseline shipped by the application developers.
+config_name: ssl_protocols
+config_path: ["http/server", "server"]
+file_context: ["nginx.conf"]
+preferred_value: ["TLSv1.2", "TLSv1.3"]
+preferred_value_match: substr,any
+non_preferred_value: ["SSLv2", "SSLv3", "TLSv1 "]
+non_preferred_value_match: substr,any
+not_matched_preferred_value_description: "Legacy TLS protocol enabled."
+matched_description: "Modern TLS only."
+tags: ["#security", "#ssl"]
+---
+config_name: server_tokens
+config_path: ["http", ""]
+file_context: ["nginx.conf"]
+preferred_value: ["off"]
+preferred_value_match: exact,all
+not_present_description: "server_tokens not set; version is disclosed."
+matched_description: "Version disclosure off."
+tags: ["#security"]
+---
+config_name: autoindex
+config_path: ["http/server", "server"]
+file_context: ["nginx.conf"]
+preferred_value: ["off"]
+preferred_value_match: exact,all
+not_present_pass: true
+not_present_description: "autoindex defaults to off."
+matched_description: "Directory listings off."
+tags: ["#security"]
+"""
+
+DEPLOYMENT_OVERRIDE = """\
+# Deployment-specific layer: starts from the baseline, tweaks two rules.
+parent_cvl_file: baseline.yaml
+disabled_rules: ["autoindex"]        # this team serves static indexes on purpose
+rules:
+  - config_name: ssl_protocols
+    # Their legacy load balancer still speaks TLSv1; accept it for now.
+    non_preferred_value: ["SSLv2", "SSLv3"]
+"""
+
+NGINX_CONF = """\
+http {
+    server_tokens off;
+    server {
+        listen 443 ssl;
+        ssl_protocols TLSv1 TLSv1.2;
+        autoindex on;
+    }
+}
+"""
+
+
+def build_validator(rule_file: str) -> ConfigValidator:
+    documents = {"baseline.yaml": BASELINE, "site.yaml": DEPLOYMENT_OVERRIDE}
+    validator = ConfigValidator(resolver=documents.__getitem__)
+    validator.add_manifest_text(
+        f"nginx: {{config_search_paths: [/etc/nginx], cvl_file: {rule_file}}}"
+    )
+    return validator
+
+
+def main() -> None:
+    fs = VirtualFilesystem()
+    fs.write_file("/etc/nginx/nginx.conf", NGINX_CONF)
+    entity = HostEntity("edge-proxy", fs)
+
+    print("=== Validating with the developers' baseline ===")
+    report = build_validator("baseline.yaml").validate_entity(entity)
+    print(render_text(report, verbose=True))
+
+    print("\n=== Validating with the deployment override layered on top ===")
+    report = build_validator("site.yaml").validate_entity(entity)
+    print(render_text(report, verbose=True))
+
+    print("\nNote how the override accepted TLSv1 and disabled the "
+          "autoindex rule\nwithout copying or editing the baseline file.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Fleet audit: scan Docker images and running containers at scale.
+
+Run::
+
+    python examples/docker_fleet_audit.py [--images N] [--rate R]
+
+Reproduces the paper's production scenario ("validating on the order of
+tens of thousands of containers and images daily"): builds a simulated
+registry + container fleet with a seeded misconfiguration rate, validates
+every image and container, and prints a per-entity summary plus the top
+findings -- the same shape as IBM Vulnerability Advisor's reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import time
+
+from repro import ContainerEntity, DockerImageEntity, load_builtin_validator
+from repro.workloads import FleetSpec, build_fleet
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--images", type=int, default=15)
+    parser.add_argument("--containers-per-image", type=int, default=4)
+    parser.add_argument("--rate", type=float, default=0.35,
+                        help="misconfiguration rate (0..1)")
+    parser.add_argument("--seed", type=int, default=2017)
+    args = parser.parse_args()
+
+    _daemon, images, containers = build_fleet(
+        FleetSpec(
+            images=args.images,
+            containers_per_image=args.containers_per_image,
+            misconfig_rate=args.rate,
+            seed=args.seed,
+        )
+    )
+    entities = [DockerImageEntity(image) for image in images]
+    entities += [ContainerEntity(container) for container in containers]
+    print(f"Fleet: {len(images)} images, {len(containers)} containers "
+          f"(misconfig rate {args.rate:.0%})\n")
+
+    validator = load_builtin_validator()
+    started = time.perf_counter()
+    report = validator.validate_entities(entities)
+    elapsed = time.perf_counter() - started
+
+    counts = report.counts()
+    rate = len(entities) / elapsed
+    print(f"Validated {len(entities)} entities "
+          f"({counts['total']} checks) in {elapsed:.2f}s "
+          f"-> {rate:,.0f} entities/s "
+          f"(~{rate * 86_400:,.0f}/day)\n")
+
+    findings = collections.Counter(
+        result.rule.name for result in report.failed()
+    )
+    print("Top findings across the fleet:")
+    for rule_name, count in findings.most_common(10):
+        print(f"  {count:4d}x {rule_name}")
+
+    # Which entities are worst?
+    per_target = collections.Counter(
+        result.target for result in report.failed()
+    )
+    print("\nWorst entities:")
+    for target, count in per_target.most_common(5):
+        print(f"  {count:3d} findings  {target}")
+
+
+if __name__ == "__main__":
+    main()

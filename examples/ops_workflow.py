@@ -1,0 +1,67 @@
+"""Operations workflow: snapshot -> validate elsewhere -> track drift.
+
+Run::
+
+    python examples/ops_workflow.py
+
+Shows the frame-based operating model the paper credits for production
+deployability ("its ability to work against system configuration frames
+allows it to validate systems without requiring any local installation or
+remote access"):
+
+1. a collector snapshots a host into a portable JSON frame;
+2. a central validator -- a different process, potentially a different
+   machine -- validates the frame without touching the host;
+3. the next day's snapshot is validated and *diffed*: operators see only
+   what regressed, not 170 rows of mostly-unchanged results;
+4. the team also scaffolds a golden-config profile for their app so future
+   config edits are caught even when no CIS rule covers them.
+"""
+
+from repro import Crawler, load_builtin_validator, ubuntu_host_entity
+from repro.authoring import render_rules_yaml, scaffold_rules
+from repro.crawler.serialize import dump_frame, load_frame
+from repro.engine.drift import diff_reports, render_drift
+from repro.workloads.hosts import nginx_conf
+
+
+def main() -> None:
+    crawler = Crawler()
+    validator = load_builtin_validator()
+
+    # Day 1: snapshot a healthy host and ship the frame off-box.
+    day1 = crawler.crawl(
+        ubuntu_host_entity("prod-web-7", hardening=1.0, with_nginx=True)
+    )
+    frame_blob = dump_frame(day1, indent=2)
+    print(f"Day 1: captured frame ({len(frame_blob):,} bytes of JSON)")
+
+    # Central validation -- only the JSON travels.
+    report_day1 = validator.validate_frame(load_frame(frame_blob))
+    print(f"Day 1 verdicts: {report_day1.counts()}\n")
+
+    # Day 2: someone 'temporarily' relaxed sshd and sysctl settings.
+    day2 = crawler.crawl(
+        ubuntu_host_entity(
+            "prod-web-7", hardening=0.7, seed=99, with_nginx=True
+        )
+    )
+    report_day2 = validator.validate_frame(day2)
+    print(f"Day 2 verdicts: {report_day2.counts()}\n")
+
+    drift = diff_reports(report_day1, report_day2)
+    print(render_drift(drift))
+
+    # Golden-config profile for the team's own application config.
+    rules = scaffold_rules(
+        nginx_conf(hardened=True), "/etc/nginx/nginx.conf", max_rules=5
+    )
+    print(
+        f"\nScaffolded a golden-config profile "
+        f"({len(rules)} rules); first rule:\n"
+    )
+    print(render_rules_yaml(rules[:1]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""ConfigValidator / CVL -- a reproduction of "Usable Declarative
+Configuration Specification and Validation for Applications, Systems,
+and Cloud" (Baset, Suneja, Bila, Tuncer, Isci -- Middleware Industry '17).
+
+Quick start::
+
+    from repro import load_builtin_validator, ubuntu_host_entity
+
+    validator = load_builtin_validator()
+    report = validator.validate_entity(ubuntu_host_entity("demo"))
+    print(report.counts())
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.cvl`      -- the Configuration Validation Language
+* :mod:`repro.engine`   -- rule engine + output processing
+* :mod:`repro.augtree`  -- config-tree normalization (Augeas substitute)
+* :mod:`repro.schema`   -- schema-pattern tables + query language
+* :mod:`repro.crawler`  -- config extraction, entities, Docker/cloud sims
+* :mod:`repro.fs`       -- filesystem substrate (virtual / overlay / real)
+* :mod:`repro.rules`    -- shipped rule packs (paper Table 1 targets)
+* :mod:`repro.baselines`-- XCCDF/OVAL, Inspec, and script baselines
+* :mod:`repro.workloads`-- deterministic workload generators
+"""
+
+from repro.cvl import (
+    CompositeRule,
+    Manifest,
+    MatchSpec,
+    PathRule,
+    Rule,
+    RuleSet,
+    SchemaRule,
+    ScriptRule,
+    TreeRule,
+    load_manifests,
+    load_rules,
+)
+from repro.engine import (
+    ConfigValidator,
+    Outcome,
+    RuleResult,
+    ValidationReport,
+    Verdict,
+    render_json,
+    render_text,
+)
+from repro.crawler import (
+    CloudEntity,
+    ConfigFrame,
+    ContainerEntity,
+    Crawler,
+    DockerImageEntity,
+    Entity,
+    HostEntity,
+)
+from repro.rules import load_builtin_validator
+from repro.workloads import build_fleet, build_cloud_project, ubuntu_host_entity
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CloudEntity",
+    "CompositeRule",
+    "ConfigFrame",
+    "ConfigValidator",
+    "ContainerEntity",
+    "Crawler",
+    "DockerImageEntity",
+    "Entity",
+    "HostEntity",
+    "Manifest",
+    "MatchSpec",
+    "Outcome",
+    "PathRule",
+    "Rule",
+    "RuleResult",
+    "RuleSet",
+    "SchemaRule",
+    "ScriptRule",
+    "TreeRule",
+    "ValidationReport",
+    "Verdict",
+    "__version__",
+    "build_cloud_project",
+    "build_fleet",
+    "load_builtin_validator",
+    "load_manifests",
+    "load_rules",
+    "render_json",
+    "render_text",
+    "ubuntu_host_entity",
+]

@@ -1,0 +1,38 @@
+"""Config-tree normalization substrate (the Augeas substitute).
+
+The paper's Data Normalizer converts raw configuration files into a *tree*
+structure using the Augeas lens library.  This package reproduces that
+role in pure Python:
+
+* :class:`ConfigNode` / :class:`ConfigTree` -- an ordered, labeled tree in
+  which labels may repeat (exactly Augeas's data model: ``server`` may
+  appear twice under ``http``).
+* :mod:`repro.augtree.path` -- a path-expression language for addressing
+  nodes (``http/server/listen``, wildcards, numeric indexes, value
+  predicates), the counterpart of Augeas path expressions that CVL's
+  ``config_path`` keyword resolves against.
+* :mod:`repro.augtree.lenses` -- per-format parsers ("lenses") for the
+  formats the paper's targets need: nginx, apache, mysql (ini), sshd,
+  sysctl, modprobe, fstab-as-tree, hadoop XML, java properties, json,
+  yaml, and a configurable generic key-value lens.
+"""
+
+from repro.augtree.tree import ConfigNode, ConfigTree
+from repro.augtree.path import PathExpression, parse_path
+from repro.augtree.lenses import (
+    Lens,
+    LensRegistry,
+    default_registry,
+    lens_for_file,
+)
+
+__all__ = [
+    "ConfigNode",
+    "ConfigTree",
+    "Lens",
+    "LensRegistry",
+    "PathExpression",
+    "default_registry",
+    "lens_for_file",
+    "parse_path",
+]

@@ -1,0 +1,71 @@
+"""Format lenses and the default registry.
+
+Lens selection mirrors Augeas: each lens declares filename patterns it
+auto-applies to, and manifests can force a lens by name.  Specific lenses
+are registered before generic ones so ``sshd_config`` hits the sshd lens
+rather than the catch-all key-value lens.
+"""
+
+from repro.augtree.lenses.base import Lens, LensRegistry
+from repro.augtree.lenses.hadoop import HadoopLens
+from repro.augtree.lenses.apache import ApacheLens
+from repro.augtree.lenses.ini import IniLens
+from repro.augtree.lenses.json_lens import JsonLens
+from repro.augtree.lenses.keyvalue import KeyValueLens
+from repro.augtree.lenses.modprobe import ModprobeLens
+from repro.augtree.lenses.nginx import NginxLens
+from repro.augtree.lenses.properties import PropertiesLens
+from repro.augtree.lenses.sshd import SshdLens
+from repro.augtree.lenses.sysctl import SysctlLens
+from repro.augtree.lenses.xml_lens import XmlLens
+from repro.augtree.lenses.yaml_lens import YamlLens
+
+
+def default_registry() -> LensRegistry:
+    """Build the registry with every built-in lens, most specific first."""
+    registry = LensRegistry()
+    for lens in (
+        SshdLens(),
+        SysctlLens(),
+        ModprobeLens(),
+        HadoopLens(),
+        NginxLens(),
+        ApacheLens(),
+        IniLens(),
+        PropertiesLens(),
+        XmlLens(),
+        JsonLens(),
+        YamlLens(),
+        KeyValueLens(),
+    ):
+        registry.register(lens)
+    return registry
+
+
+_DEFAULT = default_registry()
+
+
+def lens_for_file(path: str, registry: LensRegistry | None = None) -> Lens | None:
+    """The lens that auto-applies to ``path`` (module-level default registry
+    unless one is supplied)."""
+    return (registry or _DEFAULT).for_file(path)
+
+
+__all__ = [
+    "ApacheLens",
+    "HadoopLens",
+    "IniLens",
+    "JsonLens",
+    "KeyValueLens",
+    "Lens",
+    "LensRegistry",
+    "ModprobeLens",
+    "NginxLens",
+    "PropertiesLens",
+    "SshdLens",
+    "SysctlLens",
+    "XmlLens",
+    "YamlLens",
+    "default_registry",
+    "lens_for_file",
+]

@@ -1,0 +1,48 @@
+"""Lens for Hadoop ``*-site.xml`` configuration.
+
+Hadoop wraps every setting in ``<property><name>N</name><value>V</value>
+</property>``.  Rather than forcing rules through child-value predicates,
+this lens flattens each property into a direct ``N = V`` node (plus a
+``final`` child when the property is marked final), so rules read exactly
+like the flat formats::
+
+    config_name: dfs.permissions.enabled
+    config_path: [""]
+
+Non-property XML content falls back to the generic XML mapping.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.augtree.lenses.xml_lens import XmlLens
+from repro.augtree.tree import ConfigNode, ConfigTree
+
+
+class HadoopLens(XmlLens):
+    name = "hadoop"
+    file_patterns = ("*-site.xml", "*/hadoop/*.xml")
+
+    def parse(self, text: str, source: str = "<memory>") -> ConfigTree:
+        try:
+            element = ET.fromstring(text)
+        except ET.ParseError as exc:
+            raise self.error(f"invalid XML: {exc}") from exc
+        if element.tag != "configuration":
+            # Not a Hadoop site file after all; generic XML shape.
+            return super().parse(text, source)
+        root = ConfigNode("(root)")
+        for child in element:
+            if child.tag != "property":
+                self._convert(child, root)
+                continue
+            name = (child.findtext("name") or "").strip()
+            value = (child.findtext("value") or "").strip()
+            if not name:
+                raise self.error("<property> without a <name>")
+            node = root.add(name, value)
+            final = (child.findtext("final") or "").strip()
+            if final:
+                node.add("final", final)
+        return ConfigTree(root, source=source, lens=self.name)

@@ -1,0 +1,55 @@
+"""Lens for INI-style configuration (MySQL my.cnf, .ini files).
+
+Tree shape::
+
+    [mysqld]                 ->  mysqld
+    ssl-ca = /etc/ca.pem     ->    ssl-ca = "/etc/ca.pem"
+    skip-networking          ->    skip-networking  (value None; bare flag)
+
+Keys that appear before any section header become children of an implicit
+``(global)`` section, preserving the distinction between scoped and
+unscoped settings.  ``!include``/``!includedir`` directives are preserved
+as ``!include`` nodes so rules can assert on them.
+"""
+
+from __future__ import annotations
+
+from repro.augtree.lenses.base import Lens
+from repro.augtree.lenses.util import logical_lines, strip_inline_comment
+from repro.augtree.tree import ConfigNode, ConfigTree
+
+
+class IniLens(Lens):
+    name = "ini"
+    file_patterns = ("*.ini", "*.cnf", "my.cnf", "*/mysql/*.cnf")
+
+    def parse(self, text: str, source: str = "<memory>") -> ConfigTree:
+        root = ConfigNode("(root)")
+        section = None
+        for number, line in logical_lines(text, comment_chars="#;", join_backslash=True):
+            line = strip_inline_comment(line, "#").strip()
+            if not line:
+                continue
+            if line.startswith("[") :
+                if not line.endswith("]") or len(line) < 3:
+                    raise self.error(f"malformed section header {line!r}", number)
+                section = root.add(line[1:-1].strip())
+                continue
+            if line.startswith("!"):
+                directive, _sep, argument = line.partition(" ")
+                root.add(directive, argument.strip() or None)
+                continue
+            if section is None:
+                section = root.add("(global)")
+            key, sep, value = line.partition("=")
+            key = key.strip()
+            if not key:
+                raise self.error(f"missing key in {line!r}", number)
+            if sep:
+                value = value.strip()
+                if len(value) >= 2 and value[0] in "'\"" and value[-1] == value[0]:
+                    value = value[1:-1]
+                section.add(key, value if value else None)
+            else:
+                section.add(key, None)  # bare flag like skip-networking
+        return ConfigTree(root, source=source, lens=self.name)

@@ -1,0 +1,29 @@
+"""Lens for JSON configuration (Docker daemon.json, app configs)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.augtree.lenses.base import Lens
+from repro.augtree.lenses.util import scalar_to_tree
+from repro.augtree.tree import ConfigNode, ConfigTree
+
+
+class JsonLens(Lens):
+    name = "json"
+    file_patterns = ("*.json", "daemon.json")
+
+    def parse(self, text: str, source: str = "<memory>") -> ConfigTree:
+        if not text.strip():
+            return ConfigTree(ConfigNode("(root)"), source=source, lens=self.name)
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise self.error(f"invalid JSON: {exc.msg}", exc.lineno) from exc
+        root = ConfigNode("(root)")
+        if isinstance(data, dict):
+            for key, value in data.items():
+                scalar_to_tree(str(key), value, root)
+        else:
+            scalar_to_tree("(document)", data, root)
+        return ConfigTree(root, source=source, lens=self.name)

@@ -1,0 +1,81 @@
+"""Generic key-value lens: the catch-all for flat ``key <sep> value`` files.
+
+This is the configurable fallback used when no format-specific lens
+matches; it also backs the simplest real formats (``/etc/default/*``,
+``environment`` files).  Sections are not supported -- use the ini lens
+for sectioned files.
+"""
+
+from __future__ import annotations
+
+from repro.augtree.lenses.base import Lens
+from repro.augtree.lenses.util import logical_lines, strip_inline_comment
+from repro.augtree.tree import ConfigNode, ConfigTree
+
+
+class KeyValueLens(Lens):
+    """Parse flat ``key = value`` (or ``key value``, ``key: value``) files.
+
+    ``separators`` are tried in order on each line; if none occurs, the
+    whole line becomes a key with no value (a bare flag).
+    """
+
+    name = "keyvalue"
+    file_patterns = ("*.conf", "*.cfg")
+
+    def __init__(
+        self,
+        name: str | None = None,
+        *,
+        separators: tuple[str, ...] = ("=", ":", " "),
+        comment_chars: str = "#;",
+        strip_quotes: bool = True,
+        file_patterns: tuple[str, ...] | None = None,
+    ):
+        if name is not None:
+            self.name = name
+        if file_patterns is not None:
+            self.file_patterns = file_patterns
+        self._separators = separators
+        self._comment_chars = comment_chars
+        self._strip_quotes = strip_quotes
+
+    def parse(self, text: str, source: str = "<memory>") -> ConfigTree:
+        root = ConfigNode("(root)")
+        for _number, line in logical_lines(
+            text, comment_chars=self._comment_chars, join_backslash=True
+        ):
+            line = strip_inline_comment(line, self._comment_chars).strip()
+            if not line:
+                continue
+            key, value = self._split(line)
+            root.add(key, value)
+        return ConfigTree(root, source=source, lens=self.name)
+
+    def _split(self, line: str) -> tuple[str, str | None]:
+        # Prefer the earliest explicit separator ('=', ':'); bare whitespace
+        # only separates when no explicit separator appears at all ("Key
+        # value" style), so "A = valA" keys on '=' despite the space first.
+        best: tuple[int, str] | None = None
+        for separator in self._separators:
+            if separator.isspace():
+                continue
+            index = line.find(separator)
+            if index > 0 and (best is None or index < best[0]):
+                best = (index, separator)
+        if best is None:
+            for separator in self._separators:
+                if not separator.isspace():
+                    continue
+                index = line.find(separator)
+                if index > 0:
+                    best = (index, separator)
+                    break
+        if best is None:
+            return line, None
+        index, separator = best
+        key = line[:index].strip()
+        value = line[index + len(separator):].strip()
+        if self._strip_quotes and len(value) >= 2 and value[0] in "'\"" and value[-1] == value[0]:
+            value = value[1:-1]
+        return key, value if value else None

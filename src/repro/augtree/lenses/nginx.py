@@ -1,0 +1,146 @@
+"""Lens for nginx configuration.
+
+nginx.conf is a directive language::
+
+    worker_processes auto;            # simple directive
+    http {                            # block directive
+        server {
+            listen 443 ssl;
+            ssl_protocols TLSv1.2 TLSv1.3;
+        }
+    }
+
+Tree shape: each directive becomes a node labeled with the directive name;
+simple directives carry their arguments (space-joined) as the node value;
+block directives carry their block arguments (e.g. ``location /api``) as
+value and their body as children.  Repeated blocks (two ``server``s) become
+repeated sibling labels, addressable as ``server[1]`` / ``server[2]``.
+"""
+
+from __future__ import annotations
+
+from repro.augtree.lenses.base import Lens
+from repro.augtree.tree import ConfigNode, ConfigTree
+
+_PUNCT = "{};"
+
+
+class NginxLens(Lens):
+    name = "nginx"
+    file_patterns = (
+        "nginx.conf",
+        "*/nginx/*.conf",
+        "*/sites-enabled/*",
+        "*/sites-available/*",
+        "*/conf.d/*.conf",
+    )
+
+    def parse(self, text: str, source: str = "<memory>") -> ConfigTree:
+        tokens = list(self._tokenize(text))
+        root = ConfigNode("(root)")
+        index = self._parse_block(tokens, 0, root, top_level=True)
+        if index != len(tokens):
+            line = tokens[index][1]
+            raise self.error(f"unexpected {tokens[index][0]!r}", line)
+        return ConfigTree(root, source=source, lens=self.name)
+
+    # ---- tokenizer ---------------------------------------------------------
+
+    def _tokenize(self, text: str):
+        """Yield ``(token, line)`` pairs; strings keep their content only."""
+        line = 1
+        i = 0
+        word: list[str] = []
+        word_line = 1
+
+        def flush():
+            nonlocal word
+            if word:
+                yield "".join(word), word_line
+                word = []
+
+        while i < len(text):
+            char = text[i]
+            if char == "\n":
+                yield from flush()
+                line += 1
+                i += 1
+            elif char in " \t\r":
+                yield from flush()
+                i += 1
+            elif char == "#":
+                yield from flush()
+                while i < len(text) and text[i] != "\n":
+                    i += 1
+            elif char in "'\"":
+                yield from flush()
+                quote = char
+                i += 1
+                start_line = line
+                buffer: list[str] = []
+                while i < len(text) and text[i] != quote:
+                    if text[i] == "\\" and i + 1 < len(text):
+                        buffer.append(text[i + 1])
+                        i += 2
+                        continue
+                    if text[i] == "\n":
+                        line += 1
+                    buffer.append(text[i])
+                    i += 1
+                if i >= len(text):
+                    raise self.error("unterminated string", start_line)
+                i += 1
+                yield "".join(buffer), start_line
+            elif char in _PUNCT:
+                yield from flush()
+                yield char, line
+                i += 1
+            else:
+                if not word:
+                    word_line = line
+                word.append(char)
+                i += 1
+        yield from flush()
+
+    # ---- recursive-descent parser ------------------------------------------
+
+    def _parse_block(
+        self,
+        tokens: list[tuple[str, int]],
+        index: int,
+        parent: ConfigNode,
+        *,
+        top_level: bool,
+    ) -> int:
+        """Parse directives until ``}`` (or EOF at top level); return the
+        index just past the closing brace (or EOF)."""
+        while index < len(tokens):
+            token, line = tokens[index]
+            if token == "}":
+                if top_level:
+                    raise self.error("unmatched '}'", line)
+                return index + 1
+            if token in "{;":
+                raise self.error(f"unexpected {token!r}", line)
+            # Collect the directive name and its arguments.
+            name = token
+            index += 1
+            args: list[str] = []
+            while index < len(tokens) and tokens[index][0] not in _PUNCT:
+                args.append(tokens[index][0])
+                index += 1
+            if index >= len(tokens):
+                raise self.error(f"directive {name!r} missing ';' or '{{'", line)
+            terminator, term_line = tokens[index]
+            value = " ".join(args) if args else None
+            if terminator == ";":
+                parent.add(name, value)
+                index += 1
+            elif terminator == "{":
+                node = parent.add(name, value)
+                index = self._parse_block(tokens, index + 1, node, top_level=False)
+            else:
+                raise self.error(f"unexpected '}}' after {name!r}", term_line)
+        if not top_level:
+            raise self.error("unexpected end of file inside a block")
+        return index

@@ -1,0 +1,51 @@
+"""Lens for Java .properties files (Hadoop log4j, Kafka, ...).
+
+Supports ``key=value``, ``key:value``, ``key value``, backslash line
+continuation, and ``\\u``-style escapes being left verbatim (rules match
+on the raw text form administrators write).
+"""
+
+from __future__ import annotations
+
+from repro.augtree.lenses.base import Lens
+from repro.augtree.lenses.util import logical_lines
+from repro.augtree.tree import ConfigNode, ConfigTree
+
+
+class PropertiesLens(Lens):
+    name = "properties"
+    file_patterns = ("*.properties",)
+
+    def parse(self, text: str, source: str = "<memory>") -> ConfigTree:
+        root = ConfigNode("(root)")
+        for _number, line in logical_lines(
+            text, comment_chars="#!", join_backslash=True
+        ):
+            line = line.strip()
+            key, value = self._split(line)
+            root.add(key, value)
+        return ConfigTree(root, source=source, lens=self.name)
+
+    @staticmethod
+    def _split(line: str) -> tuple[str, str | None]:
+        key_chars: list[str] = []
+        i = 0
+        while i < len(line):
+            char = line[i]
+            if char == "\\" and i + 1 < len(line):
+                key_chars.append(line[i + 1])
+                i += 2
+                continue
+            if char in "=: \t":
+                break
+            key_chars.append(char)
+            i += 1
+        # Skip whitespace, then at most one '=' or ':', then whitespace.
+        while i < len(line) and line[i] in " \t":
+            i += 1
+        if i < len(line) and line[i] in "=:":
+            i += 1
+        while i < len(line) and line[i] in " \t":
+            i += 1
+        value = line[i:]
+        return "".join(key_chars), value if value else None

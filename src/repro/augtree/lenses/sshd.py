@@ -1,0 +1,49 @@
+"""Lens for OpenSSH server/client configuration (sshd_config, ssh_config).
+
+Format: ``Keyword argument ...`` per line, optionally ``Keyword=argument``.
+``Match`` blocks nest: every directive after a ``Match`` line until the
+next ``Match`` (or EOF) becomes a child of that ``Match`` node, mirroring
+how sshd scopes conditional settings.
+
+Keyword case is preserved as written; sshd itself is case-insensitive, so
+the rule engine compares directive *names* case-insensitively for this
+lens's trees via the normal substring/exact matchers on values and the
+engine's name lookup, which uses the written form.  Rules in the shipped
+packs use the canonical CamelCase spelling (``PermitRootLogin``), the same
+spelling the CIS benchmark uses.
+"""
+
+from __future__ import annotations
+
+from repro.augtree.lenses.base import Lens
+from repro.augtree.lenses.util import logical_lines
+from repro.augtree.tree import ConfigNode, ConfigTree
+
+
+class SshdLens(Lens):
+    name = "sshd"
+    file_patterns = ("sshd_config", "ssh_config", "*/ssh/sshd_config")
+
+    def parse(self, text: str, source: str = "<memory>") -> ConfigTree:
+        root = ConfigNode("(root)")
+        scope = root
+        for number, line in logical_lines(text, comment_chars="#"):
+            line = line.strip()
+            keyword, argument = self._split(line, number)
+            if keyword.lower() == "match":
+                scope = root.add("Match", argument)
+                continue
+            scope.add(keyword, argument)
+        return ConfigTree(root, source=source, lens=self.name)
+
+    def _split(self, line: str, number: int) -> tuple[str, str | None]:
+        # sshd accepts both "Key value" and "Key=value".
+        if "=" in line and (" " not in line or line.index("=") < line.index(" ")):
+            keyword, _sep, argument = line.partition("=")
+        else:
+            keyword, _sep, argument = line.partition(" ")
+        keyword = keyword.strip()
+        if not keyword:
+            raise self.error("blank keyword", number)
+        argument = argument.strip()
+        return keyword, argument if argument else None

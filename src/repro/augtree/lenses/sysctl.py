@@ -1,0 +1,33 @@
+"""Lens for sysctl.conf / sysctl.d files.
+
+Kernel parameter keys keep their dotted form as a *single* label
+(``net.ipv4.ip_forward``), matching the Augeas sysctl lens -- rules and
+composite expressions address them that way (paper Listing 1:
+``sysctl.net.ipv4.ip_forward``).
+"""
+
+from __future__ import annotations
+
+from repro.augtree.lenses.base import Lens
+from repro.augtree.lenses.util import logical_lines, strip_inline_comment
+from repro.augtree.tree import ConfigNode, ConfigTree
+
+
+class SysctlLens(Lens):
+    name = "sysctl"
+    file_patterns = ("sysctl.conf", "*/sysctl.d/*.conf", "99-sysctl.conf")
+
+    def parse(self, text: str, source: str = "<memory>") -> ConfigTree:
+        root = ConfigNode("(root)")
+        for number, line in logical_lines(text, comment_chars="#;"):
+            line = strip_inline_comment(line, "#;").strip()
+            if not line:
+                continue
+            if "=" not in line:
+                raise self.error(f"expected 'key = value', got {line!r}", number)
+            key, _sep, value = line.partition("=")
+            key = key.strip()
+            if not key:
+                raise self.error("empty sysctl key", number)
+            root.add(key, value.strip())
+        return ConfigTree(root, source=source, lens=self.name)

@@ -1,0 +1,91 @@
+"""Shared helpers for lens implementations."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.augtree.tree import ConfigNode
+
+
+def logical_lines(
+    text: str,
+    *,
+    comment_chars: str = "#",
+    join_backslash: bool = False,
+) -> Iterator[tuple[int, str]]:
+    """Yield ``(line_number, content)`` for non-blank, non-comment lines.
+
+    ``line_number`` is 1-based and refers to the *first* physical line of a
+    joined logical line.  Inline comments are **not** stripped here --
+    whether ``#`` starts a comment mid-line is format-specific.
+    """
+    pending: list[str] = []
+    pending_start = 0
+    number = 0
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip("\n")
+        if join_backslash and line.endswith("\\"):
+            if not pending:
+                pending_start = number
+            pending.append(line[:-1])
+            continue
+        if pending:
+            line = "".join(pending) + line
+            start = pending_start
+            pending = []
+        else:
+            start = number
+        stripped = line.strip()
+        if not stripped or stripped[0] in comment_chars:
+            continue
+        yield start, line
+    if pending:  # trailing continuation: emit what we have
+        line = "".join(pending)
+        if line.strip() and line.strip()[0] not in comment_chars:
+            yield pending_start, line
+
+
+def strip_inline_comment(line: str, comment_chars: str = "#") -> str:
+    """Drop an unquoted trailing comment from ``line``."""
+    result: list[str] = []
+    quote: str | None = None
+    for char in line:
+        if quote:
+            result.append(char)
+            if char == quote:
+                quote = None
+            continue
+        if char in "'\"":
+            quote = char
+            result.append(char)
+            continue
+        if char in comment_chars:
+            break
+        result.append(char)
+    return "".join(result).rstrip()
+
+
+def scalar_to_tree(label: str, value: object, parent: ConfigNode) -> None:
+    """Convert a decoded JSON/YAML value into tree children under ``parent``.
+
+    Mappings become child nodes per key; sequences become repeated children
+    with the same label; scalars become string values (booleans rendered
+    lowercase like their on-disk form, None as empty value).
+    """
+    if isinstance(value, dict):
+        node = parent.add(str(label))
+        for key, item in value.items():
+            scalar_to_tree(str(key), item, node)
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            scalar_to_tree(str(label), item, parent)
+    else:
+        parent.add(str(label), _render_scalar(value))
+
+
+def _render_scalar(value: object) -> str | None:
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)

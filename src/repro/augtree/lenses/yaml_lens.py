@@ -1,0 +1,30 @@
+"""Lens for YAML configuration (cloud service configs, compose files)."""
+
+from __future__ import annotations
+
+import yaml
+
+from repro.augtree.lenses.base import Lens
+from repro.augtree.lenses.util import scalar_to_tree
+from repro.augtree.tree import ConfigNode, ConfigTree
+
+
+class YamlLens(Lens):
+    name = "yaml"
+    file_patterns = ("*.yaml", "*.yml")
+
+    def parse(self, text: str, source: str = "<memory>") -> ConfigTree:
+        try:
+            data = yaml.safe_load(text)
+        except yaml.YAMLError as exc:
+            line = getattr(getattr(exc, "problem_mark", None), "line", None)
+            raise self.error(
+                f"invalid YAML: {exc}", line + 1 if line is not None else None
+            ) from exc
+        root = ConfigNode("(root)")
+        if isinstance(data, dict):
+            for key, value in data.items():
+                scalar_to_tree(str(key), value, root)
+        elif data is not None:
+            scalar_to_tree("(document)", data, root)
+        return ConfigTree(root, source=source, lens=self.name)

@@ -1,0 +1,227 @@
+"""Path expressions over config trees (the Augeas path-expression analog).
+
+Grammar (simplified Augeas)::
+
+    path       := segment ('/' segment)*
+    segment    := name predicate*
+    name       := '*' | '**' | LABEL | '"' anything '"'
+    predicate  := '[' INT ']'                -- 1-based index among the
+                                                same-labeled children of one
+                                                parent, e.g. server[2]
+                | '[' '.' '=' string ']'     -- node value equals
+                | '[' LABEL '=' string ']'   -- a child named LABEL has the
+                                                given value
+                | '[' 'last()' ']'           -- last same-labeled child
+
+``*`` matches any single label; ``**`` matches any chain of zero or more
+labels (descendant-or-self).  Labels may contain dots (sysctl keys such as
+``net.ipv4.ip_forward`` stay a single label, as the Augeas sysctl lens
+keeps them); labels containing ``/`` or ``[`` must be double-quoted.
+
+Matching is evaluated against the *children* of the tree root: expression
+``http/server/listen`` on a parsed nginx.conf selects every ``listen``
+node inside every ``server`` inside ``http``.  The empty expression
+matches the root node itself.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.errors import PathExpressionError
+from repro.augtree.tree import ConfigNode
+
+_SEGMENT = re.compile(
+    r"""
+    (?P<name> \*\* | \* | "[^"\\]*(?:\\.[^"\\]*)*" | [^/\[\]"]+ )
+    (?P<preds> (?:\[[^\]]*\])* )
+    $""",
+    re.VERBOSE,
+)
+
+_PRED = re.compile(r"\[([^\]]*)\]")
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One ``[...]`` filter on a segment."""
+
+    kind: str  # "index" | "last" | "value" | "child"
+    label: str | None = None
+    value: str | None = None
+    index: int | None = None
+
+
+@dataclass(frozen=True)
+class Segment:
+    name: str  # label, "*", or "**"
+    predicates: tuple[Predicate, ...] = ()
+
+
+def _unquote(text: str) -> str:
+    if len(text) >= 2 and text[0] == '"' and text[-1] == '"':
+        return re.sub(r"\\(.)", r"\1", text[1:-1])
+    return text
+
+
+def _parse_predicate(raw: str, expression: str) -> Predicate:
+    raw = raw.strip()
+    if not raw:
+        raise PathExpressionError(f"{expression!r}: empty predicate []")
+    if raw == "last()":
+        return Predicate(kind="last")
+    if re.fullmatch(r"\d+", raw):
+        index = int(raw)
+        if index < 1:
+            raise PathExpressionError(f"{expression!r}: indexes are 1-based")
+        return Predicate(kind="index", index=index)
+    match = re.fullmatch(
+        r"""(?P<lhs>\.|[^=\s]+)\s*=\s*(?P<rhs>'[^']*'|"[^"]*"|\S+)""", raw
+    )
+    if not match:
+        raise PathExpressionError(f"{expression!r}: bad predicate [{raw}]")
+    rhs = match.group("rhs")
+    if rhs[0] in "'\"" and rhs[-1] == rhs[0]:
+        rhs = rhs[1:-1]
+    lhs = match.group("lhs")
+    if lhs == ".":
+        return Predicate(kind="value", value=rhs)
+    return Predicate(kind="child", label=lhs, value=rhs)
+
+
+@lru_cache(maxsize=4096)
+def parse_path(expression: str) -> "PathExpression":
+    """Parse ``expression`` into a reusable :class:`PathExpression`.
+
+    Parsed expressions are cached: the rule engine resolves the same
+    ``config_path`` for every entity it scans.
+    """
+    expression = expression.strip()
+    if not expression:
+        return PathExpression(())
+    segments: list[Segment] = []
+    for part in _split_segments(expression):
+        match = _SEGMENT.match(part)
+        if not match:
+            raise PathExpressionError(f"{expression!r}: bad segment {part!r}")
+        name = _unquote(match.group("name"))
+        predicates = tuple(
+            _parse_predicate(pred, expression)
+            for pred in _PRED.findall(match.group("preds"))
+        )
+        if name == "**" and predicates:
+            raise PathExpressionError(
+                f"{expression!r}: '**' does not take predicates"
+            )
+        segments.append(Segment(name=name, predicates=predicates))
+    return PathExpression(tuple(segments))
+
+
+def _split_segments(expression: str) -> list[str]:
+    """Split on '/' outside quotes and brackets."""
+    parts: list[str] = []
+    current: list[str] = []
+    in_quote = False
+    depth = 0
+    i = 0
+    while i < len(expression):
+        char = expression[i]
+        if char == '"' and (i == 0 or expression[i - 1] != "\\"):
+            in_quote = not in_quote
+            current.append(char)
+        elif char == "[" and not in_quote:
+            depth += 1
+            current.append(char)
+        elif char == "]" and not in_quote:
+            depth -= 1
+            if depth < 0:
+                raise PathExpressionError(f"{expression!r}: unbalanced ']'")
+            current.append(char)
+        elif char == "/" and not in_quote and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+        i += 1
+    if in_quote:
+        raise PathExpressionError(f"{expression!r}: unterminated quote")
+    if depth:
+        raise PathExpressionError(f"{expression!r}: unbalanced '['")
+    parts.append("".join(current))
+    if any(not part.strip() for part in parts):
+        raise PathExpressionError(f"{expression!r}: empty path segment")
+    return [part.strip() for part in parts]
+
+
+class PathExpression:
+    """A compiled path expression; ``match`` evaluates it against a tree."""
+
+    def __init__(self, segments: tuple[Segment, ...]):
+        self.segments = segments
+
+    def match(self, root: ConfigNode) -> list[ConfigNode]:
+        """All nodes under ``root`` selected by this expression.
+
+        Results are in document order with duplicates removed (a ``**`` can
+        reach the same node through several chains).
+        """
+        current: list[ConfigNode] = [root]
+        for segment in self.segments:
+            current = self._step(current, segment)
+            if not current:
+                return []
+        seen: set[int] = set()
+        unique: list[ConfigNode] = []
+        for node in current:
+            if id(node) not in seen:
+                seen.add(id(node))
+                unique.append(node)
+        return unique
+
+    def _step(self, nodes: list[ConfigNode], segment: Segment) -> list[ConfigNode]:
+        if segment.name == "**":
+            expanded: list[ConfigNode] = []
+            for node in nodes:
+                expanded.extend(node.walk())  # descendant-or-self
+            return expanded
+        matched: list[ConfigNode] = []
+        for parent in nodes:
+            if segment.name == "*":
+                candidates = list(parent.children)
+            else:
+                candidates = parent.children_named(segment.name)
+            matched.extend(self._apply_predicates(candidates, segment.predicates))
+        return matched
+
+    @staticmethod
+    def _apply_predicates(
+        candidates: list[ConfigNode], predicates: tuple[Predicate, ...]
+    ) -> list[ConfigNode]:
+        for predicate in predicates:
+            if predicate.kind == "index":
+                index = predicate.index or 0
+                candidates = (
+                    [candidates[index - 1]] if index <= len(candidates) else []
+                )
+            elif predicate.kind == "last":
+                candidates = [candidates[-1]] if candidates else []
+            elif predicate.kind == "value":
+                candidates = [
+                    node for node in candidates if node.value == predicate.value
+                ]
+            elif predicate.kind == "child":
+                candidates = [
+                    node
+                    for node in candidates
+                    if any(
+                        child.label == predicate.label
+                        and child.value == predicate.value
+                        for child in node.children
+                    )
+                ]
+        return candidates
+
+    def __repr__(self) -> str:
+        return f"PathExpression({'/'.join(seg.name for seg in self.segments)!r})"

@@ -1,0 +1,168 @@
+"""Ordered labeled tree -- the normalized form of a configuration file.
+
+The model follows Augeas: every node has a *label*, an optional string
+*value*, and an ordered list of children whose labels may repeat.  A parsed
+``nginx.conf`` with two ``server`` blocks yields two sibling nodes labeled
+``server``; path expressions address them as ``server[1]`` and
+``server[2]`` (1-based, as in Augeas).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+
+class ConfigNode:
+    """One node of a config tree."""
+
+    __slots__ = ("label", "value", "children", "parent")
+
+    def __init__(self, label: str, value: str | None = None):
+        self.label = label
+        self.value = value
+        self.children: list[ConfigNode] = []
+        self.parent: ConfigNode | None = None
+
+    # ---- construction ----------------------------------------------------
+
+    def add(self, label: str, value: str | None = None) -> "ConfigNode":
+        """Append a new child and return it."""
+        child = ConfigNode(label, value)
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def attach(self, node: "ConfigNode") -> "ConfigNode":
+        """Append an existing node as a child and return it."""
+        node.parent = self
+        self.children.append(node)
+        return node
+
+    # ---- navigation --------------------------------------------------------
+
+    def child(self, label: str) -> "ConfigNode | None":
+        """First child with ``label`` (or None)."""
+        for node in self.children:
+            if node.label == label:
+                return node
+        return None
+
+    def children_named(self, label: str) -> list["ConfigNode"]:
+        """All children with ``label``, in document order."""
+        return [node for node in self.children if node.label == label]
+
+    def get(self, label: str) -> str | None:
+        """Value of the first child named ``label`` (or None)."""
+        node = self.child(label)
+        return node.value if node else None
+
+    def walk(self) -> Iterator["ConfigNode"]:
+        """Yield this node and every descendant, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find_all(self, predicate: Callable[["ConfigNode"], bool]) -> list["ConfigNode"]:
+        """All descendants (including self) satisfying ``predicate``."""
+        return [node for node in self.walk() if predicate(node)]
+
+    def path(self) -> str:
+        """Slash-joined label path from the root (root label omitted)."""
+        labels: list[str] = []
+        node: ConfigNode | None = self
+        while node is not None and node.parent is not None:
+            labels.append(node.label)
+            node = node.parent
+        return "/".join(reversed(labels))
+
+    def index_among_siblings(self) -> int:
+        """1-based position among same-labeled siblings (Augeas semantics)."""
+        if self.parent is None:
+            return 1
+        same = self.parent.children_named(self.label)
+        return same.index(self) + 1
+
+    # ---- conversion / display ----------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Lossy dict form for debugging and JSON output.
+
+        Repeated labels become lists; leaves map to their value.
+        """
+        if not self.children:
+            return {self.label: self.value}
+        grouped: dict[str, object] = {}
+        for child in self.children:
+            rendered = child.to_dict()[child.label]
+            if child.label in grouped:
+                existing = grouped[child.label]
+                if isinstance(existing, list):
+                    existing.append(rendered)
+                else:
+                    grouped[child.label] = [existing, rendered]
+            else:
+                grouped[child.label] = rendered
+        return {self.label: grouped}
+
+    def render(self, indent: int = 0) -> str:
+        """Readable multi-line dump (used by the CLI's ``dump`` command)."""
+        value = f" = {self.value!r}" if self.value is not None else ""
+        lines = [f"{'  ' * indent}{self.label}{value}"]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"ConfigNode({self.label!r}, value={self.value!r}, "
+            f"children={len(self.children)})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConfigNode):
+            return NotImplemented
+        return (
+            self.label == other.label
+            and self.value == other.value
+            and self.children == other.children
+        )
+
+    def __hash__(self):  # nodes are mutable; identity hashing is correct here
+        return id(self)
+
+
+class ConfigTree:
+    """A parsed configuration file: a root node plus provenance."""
+
+    def __init__(self, root: ConfigNode | None = None, source: str = "<memory>",
+                 lens: str = "unknown"):
+        self.root = root if root is not None else ConfigNode("(root)")
+        self.source = source
+        self.lens = lens
+
+    def match(self, expression: str) -> list[ConfigNode]:
+        """All nodes matching an Augeas-style path expression."""
+        from repro.augtree.path import parse_path
+
+        return parse_path(expression).match(self.root)
+
+    def first(self, expression: str) -> ConfigNode | None:
+        """First match of ``expression`` (or None)."""
+        matches = self.match(expression)
+        return matches[0] if matches else None
+
+    def value_of(self, expression: str) -> str | None:
+        """Value of the first node matching ``expression`` (or None)."""
+        node = self.first(expression)
+        return node.value if node else None
+
+    def size(self) -> int:
+        """Number of nodes in the tree (excluding the synthetic root)."""
+        return sum(1 for _ in self.root.walk()) - 1
+
+    def render(self) -> str:
+        header = f"# {self.source} ({self.lens})"
+        return header + "\n" + self.root.render()
+
+    def __repr__(self) -> str:
+        return f"ConfigTree(source={self.source!r}, lens={self.lens!r}, nodes={self.size()})"

@@ -1,0 +1,26 @@
+"""Rule authoring tools.
+
+The paper closes with two directions this package implements:
+
+* §6: "Our hope is that one day, all applications will ship with their
+  configuration profiles possibly defined in CVL" --
+  :mod:`repro.authoring.scaffold` generates a CVL profile skeleton from an
+  application's *observed* configuration, giving developers a starting
+  point instead of a blank page.
+* §5: opensourcing "shall enable leveraging community support to increase
+  ConfigValidator's coverage" -- :mod:`repro.authoring.lint` checks
+  contributed rule packs for the mistakes maintainers would otherwise
+  catch by hand (missing output strings, untagged rules, dangling
+  composite references, unknown plugins/parsers/lenses).
+"""
+
+from repro.authoring.scaffold import scaffold_rules, render_rules_yaml
+from repro.authoring.lint import LintFinding, lint_validator, render_findings
+
+__all__ = [
+    "LintFinding",
+    "lint_validator",
+    "render_findings",
+    "render_rules_yaml",
+    "scaffold_rules",
+]

@@ -1,0 +1,166 @@
+"""Rule pack linter: catch contribution mistakes before they ship.
+
+Checks (per rule unless noted):
+
+* ``missing-output``      -- value rules without the output strings the
+  output processor needs (matched / not-matched / not-present).
+* ``missing-tags``        -- untagged rules cannot be filtered by
+  compliance standard.
+* ``no-assertion``        -- tree/schema/script rules with neither
+  preferred nor non-preferred values degrade to bare presence checks;
+  flag so that is a choice, not an accident.
+* ``duplicate-name``      -- two rules in one pack with the same name (the
+  second silently shadows the first during inheritance merges).
+* ``dangling-composite``  -- composite expressions referencing entities no
+  manifest declares.
+* ``unknown-plugin``      -- script rules naming a runtime plugin that is
+  not registered.
+* ``unknown-parser``      -- schema rules naming an unregistered parser.
+* ``unknown-lens``        -- tree rules naming an unregistered lens.
+* ``empty-search-paths``  -- manifests with no search paths and no script
+  rules run everywhere, which is rarely intended (info level).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.augtree.lenses import LensRegistry, default_registry
+from repro.crawler.plugins import PluginRegistry, default_plugin_registry
+from repro.cvl.composite_expr import referenced_entities
+from repro.cvl.model import (
+    CompositeRule,
+    Rule,
+    SchemaRule,
+    ScriptRule,
+    TreeRule,
+)
+from repro.engine.engine import ConfigValidator
+from repro.schema import SchemaParserRegistry, default_schema_registry
+
+LEVELS = ("error", "warning", "info")
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    level: str        # error | warning | info
+    entity: str
+    rule: str         # "" for manifest-level findings
+    code: str
+    message: str
+
+    def render(self) -> str:
+        where = f"{self.entity}/{self.rule}" if self.rule else self.entity
+        return f"{self.level.upper():<7} {self.code:<18} {where}: {self.message}"
+
+
+def lint_validator(
+    validator: ConfigValidator,
+    *,
+    plugins: PluginRegistry | None = None,
+    lenses: LensRegistry | None = None,
+    schemas: SchemaParserRegistry | None = None,
+) -> list[LintFinding]:
+    """Lint every pack the validator knows about."""
+    plugins = plugins or default_plugin_registry()
+    lenses = lenses or default_registry()
+    schemas = schemas or default_schema_registry()
+    known_entities = {manifest.entity for manifest in validator.manifests()}
+    findings: list[LintFinding] = []
+
+    for manifest in validator.manifests():
+        ruleset = validator.ruleset_for(manifest)
+        seen_names: set[str] = set()
+        has_script_rules = any(
+            isinstance(rule, ScriptRule) for rule in ruleset
+        )
+        if not manifest.config_search_paths and not has_script_rules:
+            findings.append(
+                LintFinding(
+                    "info", manifest.entity, "", "empty-search-paths",
+                    "manifest has no config_search_paths; the pack runs on "
+                    "every entity of its kinds",
+                )
+            )
+        for rule in ruleset:
+            findings.extend(
+                _lint_rule(
+                    rule, manifest.entity, seen_names, known_entities,
+                    plugins, lenses, schemas,
+                )
+            )
+            seen_names.add(rule.name)
+    return findings
+
+
+def _lint_rule(
+    rule: Rule,
+    entity: str,
+    seen_names: set[str],
+    known_entities: set[str],
+    plugins: PluginRegistry,
+    lenses: LensRegistry,
+    schemas: SchemaParserRegistry,
+) -> list[LintFinding]:
+    findings: list[LintFinding] = []
+
+    def add(level: str, code: str, message: str) -> None:
+        findings.append(LintFinding(level, entity, rule.name, code, message))
+
+    if rule.name in seen_names:
+        add("error", "duplicate-name",
+            "a rule with this name already exists in the pack")
+
+    if not rule.tags:
+        add("warning", "missing-tags", "rule has no tags")
+
+    asserts_values = bool(rule.preferred_value or rule.non_preferred_value)
+    if isinstance(rule, (TreeRule, SchemaRule, ScriptRule)):
+        if not asserts_values:
+            add("info", "no-assertion",
+                "no preferred/non-preferred values; this is a bare presence "
+                "check")
+        if asserts_values and not rule.not_matched_description:
+            add("warning", "missing-output",
+                "not_matched_preferred_value_description is empty")
+        if not rule.matched_description:
+            add("warning", "missing-output", "matched_description is empty")
+        if not rule.not_present_description and not rule.not_present_pass:
+            add("warning", "missing-output",
+                "absence fails this rule but not_present_description is empty")
+
+    if isinstance(rule, TreeRule) and rule.lens and rule.lens not in lenses:
+        add("error", "unknown-lens", f"lens {rule.lens!r} is not registered")
+
+    if isinstance(rule, SchemaRule) and rule.schema_parser:
+        if rule.schema_parser not in schemas:
+            add("error", "unknown-parser",
+                f"schema parser {rule.schema_parser!r} is not registered")
+
+    if isinstance(rule, ScriptRule):
+        plugin, _key = rule.plugin_and_key()
+        if plugin not in plugins:
+            add("error", "unknown-plugin",
+                f"runtime plugin {plugin!r} is not registered")
+
+    if isinstance(rule, CompositeRule):
+        for referenced in sorted(referenced_entities(rule.expression)):
+            if referenced not in known_entities:
+                add("error", "dangling-composite",
+                    f"expression references unknown entity {referenced!r}")
+
+    return findings
+
+
+def render_findings(findings: list[LintFinding]) -> str:
+    """Human-readable lint report, errors first."""
+    ordered = sorted(findings, key=lambda f: (LEVELS.index(f.level), f.entity))
+    lines = [finding.render() for finding in ordered]
+    tally = {
+        level: sum(1 for f in findings if f.level == level) for level in LEVELS
+    }
+    lines.append(
+        f"# {len(findings)} finding(s): {tally['error']} error(s), "
+        f"{tally['warning']} warning(s), {tally['info']} info"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""Generate CVL rule skeletons from an observed configuration file.
+
+The generated profile asserts the *current* values as preferred -- a
+"golden config" snapshot.  A developer then edits the skeleton: widening
+accepted values, deleting don't-care keys, tightening severities.  This is
+deliberately a starting point, not inference: the paper argues (§1) that
+inference-based approaches "have some error deltas built into them" and
+keeps ConfigValidator strictly rule-based.
+"""
+
+from __future__ import annotations
+
+import json
+import posixpath
+
+from repro.errors import ReproError
+from repro.augtree.lenses import Lens, lens_for_file
+from repro.augtree.tree import ConfigNode, ConfigTree  # noqa: F401 (ConfigNode in annotations)
+from repro.cvl.loader import build_rule
+from repro.cvl.model import TreeRule
+
+
+def scaffold_rules(
+    text: str,
+    path: str,
+    *,
+    lens: Lens | None = None,
+    max_rules: int = 100,
+    tags: list[str] | None = None,
+) -> list[TreeRule]:
+    """Build golden-config tree rules from one config file.
+
+    One rule per leaf node that carries a value; the leaf's parent chain
+    becomes ``config_path``.  Repeated sibling values collapse into one
+    rule accepting any of the observed values.
+    """
+    if lens is None:
+        lens = lens_for_file(path)
+        if lens is None:
+            raise ReproError(
+                f"no lens auto-applies to {path!r}; pass one explicitly"
+            )
+    tree = lens.parse(text, source=path)
+    observed = _collect_leaves(tree)
+    basename = posixpath.basename(path)
+
+    rules: list[TreeRule] = []
+    for (config_path, name), values in observed.items():
+        if len(rules) >= max_rules:
+            break
+        unique_values = sorted(set(values))
+        mapping = {
+            "config_name": name,
+            "config_path": [config_path],
+            "config_description": f"Golden value for {name} "
+                                  f"(generated from {basename}).",
+            "file_context": [basename],
+            "preferred_value": unique_values,
+            "preferred_value_match": "exact,any",
+            "not_present_description": f"{name} is no longer configured.",
+            "not_matched_preferred_value_description":
+                f"{name} drifted from the golden configuration.",
+            "matched_description": f"{name} matches the golden configuration.",
+            "tags": list(tags) if tags else ["#generated", "#golden-config"],
+            "severity": "informational",
+        }
+        rule = build_rule(mapping, source=f"<scaffold:{basename}>")
+        assert isinstance(rule, TreeRule)
+        rules.append(rule)
+    return rules
+
+
+def _collect_leaves(tree: ConfigTree) -> dict[tuple[str, str], list[str]]:
+    """Map (parent path, leaf label) -> observed values, document order."""
+    observed: dict[tuple[str, str], list[str]] = {}
+
+    def visit(node: ConfigNode, parents: list[str]) -> None:
+        for child in node.children:
+            if child.children:
+                visit(child, parents + [child.label])
+            elif child.value is not None and _plain_label(child.label):
+                key = ("/".join(parents), child.label)
+                observed.setdefault(key, []).append(child.value)
+
+    visit(tree.root, [])
+    return observed
+
+
+def _plain_label(label: str) -> bool:
+    """Skip synthetic/attribute labels the scaffold cannot address cleanly."""
+    return not label.startswith(("@", "(", "!"))
+
+
+def render_rules_yaml(rules: list[TreeRule]) -> str:
+    """Render scaffolded rules as a multi-document CVL file (listing style:
+    one keyword per line, flow lists)."""
+    documents: list[str] = []
+    for rule in rules:
+        lines = [
+            f"{key}: {_scalar(value)}" for key, value in rule.raw.items()
+        ]
+        documents.append("\n".join(lines))
+    return "\n---\n".join(documents) + "\n"
+
+
+def _scalar(value: object) -> str:
+    if isinstance(value, str):
+        return json.dumps(value)
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_scalar(item) for item in value) + "]"
+    return str(value)

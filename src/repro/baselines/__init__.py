@@ -1,0 +1,36 @@
+"""Baseline validation engines for the paper's comparison (Table 2).
+
+The paper times the *same 40 CIS Ubuntu system-service rules* under four
+engines.  We re-implement each engine's specification format and
+evaluation machinery in-process:
+
+* :mod:`repro.baselines.xccdf` -- an XCCDF/OVAL engine (XML benchmark
+  documents + OVAL ``textfilecontent54`` tests), standing in for
+  OpenSCAP; :class:`~repro.baselines.xccdf.engine.CisCatEngine` adds the
+  commercial-tool startup costs (JVM boot + license verification work)
+  the paper blames for CIS-CAT's outlier time.
+* :mod:`repro.baselines.inspec` -- a Chef-Inspec-style engine with both
+  the *expected* resource DSL encoding and the *observed* bash-grep
+  encoding (paper Listing 6 shows Chef Compliance's CIS rules are bash
+  one-liners under the DSL surface).
+* :mod:`repro.baselines.scripts` -- the ad-hoc shell-script approach:
+  bare greps with no spec layer at all.
+
+:mod:`repro.baselines.common_rules` holds the engine-neutral IR for the
+40 shared rules, each linked to its CVL counterpart in the shipped packs;
+:mod:`repro.baselines.loc` does the Listing 6 encoding-size accounting.
+"""
+
+from repro.baselines.common_rules import (
+    LineCheck,
+    TABLE2_RULES,
+    openscap_guide_rules,
+)
+from repro.baselines.loc import encoding_report
+
+__all__ = [
+    "LineCheck",
+    "TABLE2_RULES",
+    "encoding_report",
+    "openscap_guide_rules",
+]

@@ -1,0 +1,291 @@
+"""The engine-neutral rule IR shared by every Table 2 baseline.
+
+A :class:`LineCheck` is the lowest-common-denominator encoding of a CIS
+rule -- "a pattern must (or must not) match a line of a file" -- which is
+exactly what OVAL ``textfilecontent54`` tests, Chef Compliance's observed
+bash-grep controls, and ad-hoc scripts all reduce to.  Each entry links
+back to the CVL rule in the shipped packs (``cvl_entity``/``cvl_name``)
+so the benchmark runs the *same 40 CIS Ubuntu system-service rules* under
+all engines, as the paper does.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.crawler.frame import ConfigFrame
+
+
+@dataclass(frozen=True)
+class LineCheck:
+    """One rule in every engine's terms.
+
+    ``expect`` semantics:
+
+    * ``"present"`` -- compliant iff some line of some candidate file
+      matches ``pattern``;
+    * ``"absent"``  -- compliant iff no line matches.
+    """
+
+    rule_id: str
+    title: str
+    files: tuple[str, ...]
+    pattern: str
+    expect: str = "present"          # "present" | "absent"
+    severity: str = "medium"
+    cvl_entity: str = ""
+    cvl_name: str = ""
+    description: str = ""
+    key: str = ""            # the config key / mount point / module name
+    value_pattern: str = ""  # the compliant-value pattern (engine-neutral)
+
+    def evaluate(self, frame: ConfigFrame) -> bool:
+        """Direct evaluation (the ad-hoc-script baseline uses this)."""
+        matched = self._any_line_matches(frame)
+        return matched if self.expect == "present" else not matched
+
+    def _any_line_matches(self, frame: ConfigFrame) -> bool:
+        regex = _compile(self.pattern)
+        for path in self.files:
+            if not frame.files.is_file(path):
+                continue
+            for line in frame.read_config(path).splitlines():
+                if regex.search(line):
+                    return True
+        return False
+
+
+@lru_cache(maxsize=512)
+def _compile(pattern: str) -> re.Pattern:
+    return re.compile(pattern)
+
+
+def _sshd(rule_id: str, key: str, value_pattern: str, title: str,
+          cvl_name: str, severity: str = "medium") -> LineCheck:
+    return LineCheck(
+        rule_id=rule_id,
+        title=title,
+        files=("/etc/ssh/sshd_config",),
+        pattern=rf"(?i)^\s*{key}\s+(?:{value_pattern})\s*(?:#.*)?$",
+        expect="present",
+        severity=severity,
+        cvl_entity="sshd",
+        cvl_name=cvl_name,
+        description=title,
+        key=key,
+        value_pattern=value_pattern,
+    )
+
+
+def _sysctl(rule_id: str, key: str, value: str, title: str) -> LineCheck:
+    return LineCheck(
+        rule_id=rule_id,
+        title=title,
+        files=("/etc/sysctl.conf",),
+        pattern=rf"^\s*{re.escape(key)}\s*=\s*{re.escape(value)}\s*$",
+        expect="present",
+        cvl_entity="sysctl",
+        cvl_name=key,
+        description=title,
+        key=key,
+        value_pattern=value,
+    )
+
+
+def _audit(rule_id: str, pattern: str, title: str, cvl_name: str) -> LineCheck:
+    return LineCheck(
+        rule_id=rule_id,
+        title=title,
+        files=("/etc/audit/audit.rules",),
+        pattern=pattern,
+        expect="present",
+        cvl_entity="audit",
+        cvl_name=cvl_name,
+        description=title,
+    )
+
+
+def _fstab(rule_id: str, pattern: str, title: str, cvl_name: str,
+           mount_point: str, option: str = "") -> LineCheck:
+    return LineCheck(
+        rule_id=rule_id,
+        title=title,
+        files=("/etc/fstab",),
+        pattern=pattern,
+        expect="present",
+        cvl_entity="fstab",
+        cvl_name=cvl_name,
+        description=title,
+        key=mount_point,
+        value_pattern=option,
+    )
+
+
+def _modprobe(rule_id: str, module: str, title: str, cvl_name: str) -> LineCheck:
+    return LineCheck(
+        rule_id=rule_id,
+        title=title,
+        files=("/etc/modprobe.d/hardening.conf", "/etc/modprobe.d/CIS.conf"),
+        pattern=rf"^\s*install\s+{re.escape(module)}\s+/bin/(?:true|false)\b",
+        expect="present",
+        cvl_entity="modprobe",
+        cvl_name=f"install[.='{module}']/command",
+        description=title,
+        key=module,
+    )
+
+
+#: The 40 CIS Ubuntu system-service rules common to every Table 2 engine
+#: (15 sshd + 10 sysctl + 8 audit + 4 fstab + 3 modprobe).
+TABLE2_RULES: tuple[LineCheck, ...] = (
+    # --- sshd (CIS 5.2.x) ------------------------------------------------
+    _sshd("cis-5.2.2", "Protocol", "2", "Use SSH protocol 2", "Protocol"),
+    _sshd("cis-5.2.3", "LogLevel", "INFO|VERBOSE", "Set sshd LogLevel", "LogLevel"),
+    _sshd("cis-5.2.4", "X11Forwarding", "no", "Disable X11 forwarding", "X11Forwarding"),
+    _sshd("cis-5.2.5", "MaxAuthTries", "[1-4]", "Limit MaxAuthTries", "MaxAuthTries"),
+    _sshd("cis-5.2.6", "IgnoreRhosts", "yes", "Ignore rhosts files", "IgnoreRhosts"),
+    _sshd("cis-5.2.7", "HostbasedAuthentication", "no",
+          "Disable host-based auth", "HostbasedAuthentication"),
+    _sshd("cis-5.2.8", "PermitRootLogin", "no", "Disable SSH Root Login",
+          "PermitRootLogin", severity="high"),
+    _sshd("cis-5.2.9", "PermitEmptyPasswords", "no",
+          "Disable empty passwords", "PermitEmptyPasswords", severity="high"),
+    _sshd("cis-5.2.10", "PermitUserEnvironment", "no",
+          "Disable user environment options", "PermitUserEnvironment"),
+    _sshd("cis-5.2.13", "ClientAliveInterval",
+          r"[1-9]|[1-9][0-9]|[1-2][0-9][0-9]|300",
+          "Bound the idle timeout", "ClientAliveInterval"),
+    _sshd("cis-5.2.13b", "ClientAliveCountMax", "[0-3]",
+          "Bound client alive count", "ClientAliveCountMax"),
+    _sshd("cis-5.2.14", "LoginGraceTime", r"[1-9]|[1-5][0-9]|60",
+          "Bound the login grace time", "LoginGraceTime"),
+    _sshd("cis-5.2.16", "Banner", r"/etc/issue(?:\.net)?",
+          "Configure a warning banner", "Banner"),
+    _sshd("cis-5.2.17", "UsePAM", "yes", "Enable PAM", "UsePAM"),
+    _sshd("cis-5.2.18", "AllowTcpForwarding", "no",
+          "Disable TCP forwarding", "AllowTcpForwarding"),
+    # --- sysctl (CIS network hardening) -------------------------------------
+    _sysctl("cis-7.1.1", "net.ipv4.ip_forward", "0", "Disable IP forwarding"),
+    _sysctl("cis-7.1.2", "net.ipv4.conf.all.send_redirects", "0",
+            "Disable sending ICMP redirects"),
+    _sysctl("cis-7.2.1", "net.ipv4.conf.all.accept_source_route", "0",
+            "Reject source-routed packets"),
+    _sysctl("cis-7.2.2", "net.ipv4.conf.all.accept_redirects", "0",
+            "Reject ICMP redirects"),
+    _sysctl("cis-7.2.4", "net.ipv4.conf.all.log_martians", "1",
+            "Log martian packets"),
+    _sysctl("cis-7.2.5", "net.ipv4.icmp_echo_ignore_broadcasts", "1",
+            "Ignore broadcast echo requests"),
+    _sysctl("cis-7.2.7", "net.ipv4.conf.all.rp_filter", "1",
+            "Enable reverse path filtering"),
+    _sysctl("cis-7.2.8", "net.ipv4.tcp_syncookies", "1", "Enable SYN cookies"),
+    _sysctl("cis-4.3", "kernel.randomize_va_space", "2", "Enforce full ASLR"),
+    _sysctl("cis-4.1", "fs.suid_dumpable", "0", "Disable setuid core dumps"),
+    # --- audit (CIS 8.1.x) ----------------------------------------------------
+    _audit("cis-8.1.4", r"-S\s+adjtimex", "Audit time changes",
+           "audit_time_change_adjtimex"),
+    _audit("cis-8.1.5", r"-w\s+/etc/passwd\s", "Audit /etc/passwd",
+           "audit_identity_passwd"),
+    _audit("cis-8.1.5c", r"-w\s+/etc/shadow\s", "Audit /etc/shadow",
+           "audit_identity_shadow"),
+    _audit("cis-8.1.8", r"-w\s+/var/log/faillog\s", "Audit failed logins",
+           "audit_login_faillog"),
+    _audit("cis-8.1.10", r"-S\s+\S*chmod", "Audit permission changes",
+           "audit_perm_mod_chmod"),
+    _audit("cis-8.1.13", r"-S\s+mount", "Audit mounts", "audit_mounts"),
+    _audit("cis-8.1.15", r"-w\s+/etc/sudoers\s", "Audit sudoers changes",
+           "audit_sudoers"),
+    _audit("cis-8.1.18", r"^\s*-e\s+2\s*$", "Make audit config immutable",
+           "audit_immutable_config"),
+    # --- fstab (CIS 2.x) ---------------------------------------------------------
+    _fstab("cis-2.1", r"^\S+\s+/tmp\s+\S+", "/tmp on its own partition",
+           "check_tmp_separate_partition", "/tmp"),
+    _fstab("cis-2.2", r"^\S+\s+/tmp\s+\S+\s+\S*nodev", "/tmp mounted nodev",
+           "tmp_nodev", "/tmp", "nodev"),
+    _fstab("cis-2.3", r"^\S+\s+/tmp\s+\S+\s+\S*nosuid", "/tmp mounted nosuid",
+           "tmp_nosuid", "/tmp", "nosuid"),
+    _fstab("cis-2.5", r"^\S+\s+/var\s+\S+", "/var on its own partition",
+           "var_separate_partition", "/var"),
+    # --- modprobe (CIS 2.18+) ------------------------------------------------
+    _modprobe("cis-2.18", "cramfs", "Disable cramfs", "cramfs"),
+    _modprobe("cis-2.19", "freevxfs", "Disable freevxfs", "freevxfs"),
+    _modprobe("cis-2.25", "usb-storage", "Disable usb-storage", "usb-storage"),
+)
+
+assert len(TABLE2_RULES) == 40, len(TABLE2_RULES)
+
+
+def openscap_guide_rules() -> tuple[LineCheck, ...]:
+    """A *different* 40 rules, standing in for OpenSCAP's Ubuntu security
+    guide (the paper ran OpenSCAP "against random 40 rules from its Ubuntu
+    security guide" because it lacked CIS content).  Same shape, different
+    patterns: value-agnostic presence checks plus extra audit watches.
+    """
+    sshd_keys = [
+        "Protocol", "LogLevel", "X11Forwarding", "MaxAuthTries", "IgnoreRhosts",
+        "HostbasedAuthentication", "PermitRootLogin", "PermitEmptyPasswords",
+        "PermitUserEnvironment", "ClientAliveInterval", "ClientAliveCountMax",
+        "LoginGraceTime", "Banner", "UsePAM", "AllowTcpForwarding",
+    ]
+    sysctl_keys = [
+        "net.ipv4.ip_forward", "net.ipv4.tcp_syncookies",
+        "kernel.randomize_va_space", "fs.suid_dumpable",
+        "net.ipv4.conf.all.rp_filter",
+    ]
+    rules: list[LineCheck] = []
+    for index, key in enumerate(sshd_keys):
+        rules.append(
+            LineCheck(
+                rule_id=f"ssg-sshd-{index}",
+                title=f"(SSG) {key} is configured explicitly",
+                files=("/etc/ssh/sshd_config",),
+                pattern=rf"(?i)^\s*{key}\s+\S+",
+                expect="present",
+                description=f"{key} is configured explicitly",
+            )
+        )
+    for index, key in enumerate(sysctl_keys):
+        rules.append(
+            LineCheck(
+                rule_id=f"ssg-sysctl-{index}",
+                title=f"(SSG) {key} is pinned",
+                files=("/etc/sysctl.conf",),
+                pattern=rf"^\s*{re.escape(key)}\s*=",
+                expect="present",
+                description=f"{key} is pinned",
+            )
+        )
+    extra_watches = [
+        "/etc/group", "/etc/gshadow", "/etc/hosts", "/etc/issue",
+        "/var/log/lastlog", "/var/run/utmp", "/var/log/wtmp",
+        "/etc/localtime", "/etc/apparmor", "/var/log/sudo.log",
+    ]
+    for index, path in enumerate(extra_watches):
+        rules.append(
+            LineCheck(
+                rule_id=f"ssg-audit-{index}",
+                title=f"(SSG) Audit watch on {path}",
+                files=("/etc/audit/audit.rules",),
+                pattern=rf"-w\s+{re.escape(path)}",
+                expect="present",
+                description=f"Audit watch on {path}",
+            )
+        )
+    for index, module in enumerate(
+        ["jffs2", "hfs", "hfsplus", "squashfs", "udf", "dccp", "sctp",
+         "rds", "tipc", "freevxfs"]
+    ):
+        rules.append(
+            LineCheck(
+                rule_id=f"ssg-mod-{index}",
+                title=f"(SSG) Disable {module}",
+                files=("/etc/modprobe.d/hardening.conf",),
+                pattern=rf"^\s*(?:install|blacklist)\s+{re.escape(module)}\b",
+                expect="present",
+                description=f"Disable {module}",
+            )
+        )
+    assert len(rules) == 40, len(rules)
+    return tuple(rules)

@@ -1,0 +1,66 @@
+"""ConfigValidator as a Table 2 contestant.
+
+Builds a validator scoped to the same 40 CIS rules the baselines run:
+the shipped Ubuntu system-service packs with every other rule disabled.
+A fresh validator is constructed per ``run`` so that, like the baseline
+engines (and like CLI invocations of the real tools), a timed run
+includes specification interpretation -- YAML loading -- not just
+evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crawler.frame import ConfigFrame
+from repro.baselines.common_rules import LineCheck
+from repro.engine.engine import ConfigValidator
+from repro.engine.results import RuleResult
+from repro.rules import SYSTEM_SERVICE_TARGETS, load_builtin_validator
+
+
+def table2_validator(
+    checks: list[LineCheck] | tuple[LineCheck, ...],
+) -> ConfigValidator:
+    """A validator whose enabled rules are exactly the common set."""
+    validator = load_builtin_validator(only=SYSTEM_SERVICE_TARGETS)
+    wanted = {(check.cvl_entity, check.cvl_name) for check in checks}
+    for manifest in validator.manifests():
+        if not manifest.enabled:
+            continue
+        for rule in validator.ruleset_for(manifest).rules:
+            rule.enabled = (manifest.entity, rule.name) in wanted
+    return validator
+
+
+@dataclass
+class CvlRunResult:
+    rule_id: str
+    title: str
+    passed: bool
+
+
+class ConfigValidatorEngine:
+    """Adapter giving the CVL engine the same run() shape as baselines."""
+
+    name = "configvalidator"
+
+    def run(
+        self, checks: list[LineCheck] | tuple[LineCheck, ...], frame: ConfigFrame
+    ) -> list[CvlRunResult]:
+        validator = table2_validator(checks)
+        report = validator.validate_frame(frame)
+        by_key: dict[tuple[str, str], RuleResult] = {
+            (result.entity, result.rule.name): result for result in report
+        }
+        results: list[CvlRunResult] = []
+        for check in checks:
+            result = by_key.get((check.cvl_entity, check.cvl_name))
+            results.append(
+                CvlRunResult(
+                    rule_id=check.rule_id,
+                    title=check.title,
+                    passed=result.passed if result is not None else False,
+                )
+            )
+        return results

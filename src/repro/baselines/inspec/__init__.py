@@ -1,0 +1,32 @@
+"""Chef-Inspec-style baseline engine.
+
+Two encodings of the same rules, matching paper Listing 6:
+
+* the *expected* encoding -- resource DSL (``describe sshd_config ...
+  its('PermitRootLogin') { should match /no/ }``), built on per-resource
+  custom parsers (the paper notes Inspec "requires writing
+  application-specific custom parsers from scratch"; ours live in
+  :mod:`repro.baselines.inspec.resources` and deliberately do not reuse
+  the lens substrate);
+* the *observed* encoding -- Chef Compliance's CIS profiles, which are
+  bash one-liners under the DSL surface (``describe bash("grep ...")``),
+  executed here by the mini shell emulation in
+  :mod:`repro.baselines.inspec.bashsim`.
+"""
+
+from repro.baselines.inspec.dsl import Control, Describe, Profile
+from repro.baselines.inspec.engine import InspecEngine, controls_from_checks, render_control
+from repro.baselines.inspec.resources import RESOURCES, resolve_resource
+from repro.baselines.inspec.bashsim import run_shell
+
+__all__ = [
+    "Control",
+    "Describe",
+    "InspecEngine",
+    "Profile",
+    "RESOURCES",
+    "controls_from_checks",
+    "render_control",
+    "resolve_resource",
+    "run_shell",
+]

@@ -1,0 +1,169 @@
+"""Mini shell emulation for the observed Chef-Compliance encoding.
+
+Chef Compliance's CIS profiles shell out: ``bash("grep '^\\s*PermitRootLogin
+\\s' /etc/ssh/sshd_config | head -1")``.  There is no shell in our frames,
+so this module interprets the small command language those profiles use:
+``grep`` (with ``-E``, ``-i``, ``-c``, ``-v``), ``head -N``, ``tail -N``,
+``wc -l``, ``cut -dX -fN``, and ``echo``, connected by pipes, reading
+files from the frame instead of the filesystem.
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+
+from repro.errors import BaselineError
+from repro.crawler.frame import ConfigFrame
+
+
+def run_shell(command: str, frame: ConfigFrame) -> str:
+    """Run a pipeline against ``frame``; returns stdout (no trailing \\n).
+
+    Unknown commands raise :class:`BaselineError` -- silently returning
+    nothing would make a compliance check pass vacuously.
+    """
+    stdout = ""
+    for stage in _split_pipeline(command):
+        argv = shlex.split(stage)
+        if not argv:
+            continue
+        program, args = argv[0], argv[1:]
+        if program == "grep":
+            stdout = _grep(args, stdout, frame)
+        elif program == "head":
+            stdout = _head(args, stdout)
+        elif program == "tail":
+            stdout = _tail(args, stdout)
+        elif program == "wc":
+            stdout = _wc(args, stdout)
+        elif program == "cut":
+            stdout = _cut(args, stdout)
+        elif program == "echo":
+            stdout = " ".join(args)
+        elif program == "cat":
+            stdout = _cat(args, frame)
+        else:
+            raise BaselineError(f"bashsim: unsupported command {program!r}")
+    return stdout
+
+
+def _split_pipeline(command: str) -> list[str]:
+    """Split on unquoted ``|``."""
+    stages: list[str] = []
+    current: list[str] = []
+    quote: str | None = None
+    for char in command:
+        if quote:
+            current.append(char)
+            if char == quote:
+                quote = None
+        elif char in "'\"":
+            quote = char
+            current.append(char)
+        elif char == "|":
+            stages.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    stages.append("".join(current))
+    return [stage.strip() for stage in stages if stage.strip()]
+
+
+def _read_lines(path: str, frame: ConfigFrame) -> list[str]:
+    if not frame.files.is_file(path):
+        return []
+    return frame.read_config(path).splitlines()
+
+
+def _grep(args: list[str], stdin: str, frame: ConfigFrame) -> str:
+    flags = 0
+    invert = False
+    count = False
+    pattern: str | None = None
+    files: list[str] = []
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg == "-E" or arg == "-e":
+            if arg == "-e":
+                i += 1
+                pattern = args[i]
+        elif arg == "-i":
+            flags |= re.IGNORECASE
+        elif arg == "-v":
+            invert = True
+        elif arg == "-c":
+            count = True
+        elif arg.startswith("-"):
+            raise BaselineError(f"bashsim: unsupported grep flag {arg!r}")
+        elif pattern is None:
+            pattern = arg
+        else:
+            files.append(arg)
+        i += 1
+    if pattern is None:
+        raise BaselineError("bashsim: grep without a pattern")
+    regex = re.compile(pattern, flags)
+    lines: list[str] = []
+    if files:
+        for path in files:
+            lines.extend(_read_lines(path, frame))
+    else:
+        lines = stdin.splitlines()
+    matched = [line for line in lines if bool(regex.search(line)) != invert]
+    if count:
+        return str(len(matched))
+    return "\n".join(matched)
+
+
+def _head(args: list[str], stdin: str) -> str:
+    n = 10
+    for arg in args:
+        if arg.startswith("-n"):
+            n = int(arg[2:] or 10)
+        elif arg.startswith("-"):
+            n = int(arg[1:])
+    return "\n".join(stdin.splitlines()[:n])
+
+
+def _tail(args: list[str], stdin: str) -> str:
+    n = 10
+    for arg in args:
+        if arg.startswith("-n"):
+            n = int(arg[2:] or 10)
+        elif arg.startswith("-"):
+            n = int(arg[1:])
+    lines = stdin.splitlines()
+    return "\n".join(lines[-n:] if n else [])
+
+
+def _wc(args: list[str], stdin: str) -> str:
+    if args != ["-l"]:
+        raise BaselineError(f"bashsim: unsupported wc args {args!r}")
+    return str(len(stdin.splitlines()))
+
+
+def _cut(args: list[str], stdin: str) -> str:
+    delimiter = "\t"
+    field = 1
+    for arg in args:
+        if arg.startswith("-d"):
+            delimiter = arg[2:] or "\t"
+        elif arg.startswith("-f"):
+            field = int(arg[2:])
+        else:
+            raise BaselineError(f"bashsim: unsupported cut arg {arg!r}")
+    out = []
+    for line in stdin.splitlines():
+        parts = line.split(delimiter)
+        if len(parts) >= field:
+            out.append(parts[field - 1])
+    return "\n".join(out)
+
+
+def _cat(args: list[str], frame: ConfigFrame) -> str:
+    lines: list[str] = []
+    for path in args:
+        lines.extend(_read_lines(path, frame))
+    return "\n".join(lines)

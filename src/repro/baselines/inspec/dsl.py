@@ -1,0 +1,129 @@
+"""The control/describe/its/should DSL (Python rendering of Inspec Ruby).
+
+A :class:`Profile` holds :class:`Control` objects; each control holds
+:class:`Describe` blocks; each describe names a subject (a resource, or a
+bash command) and matchers over it.  Evaluation resolves the subject
+against a frame and applies the matchers.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import BaselineError
+from repro.crawler.frame import ConfigFrame
+from repro.baselines.inspec.bashsim import run_shell
+from repro.baselines.inspec.resources import resolve_resource
+
+#: A matcher takes the resolved subject value and judges it.
+Matcher = Callable[[object], bool]
+
+
+def should_eq(expected: object) -> Matcher:
+    return lambda value: value == expected
+
+
+def should_match(pattern: str) -> Matcher:
+    regex = re.compile(pattern)
+    return lambda value: value is not None and bool(regex.search(str(value)))
+
+
+def should_exist() -> Matcher:
+    return lambda value: bool(value)
+
+
+def should_include(member: str) -> Matcher:
+    def check(value: object) -> bool:
+        if value is None:
+            return False
+        if isinstance(value, (list, tuple, set)):
+            return member in value
+        return member in str(value)
+
+    return check
+
+
+def should_cmp_lte(limit: float) -> Matcher:
+    def check(value: object) -> bool:
+        try:
+            return value is not None and float(str(value)) <= limit
+        except ValueError:
+            return False
+
+    return check
+
+
+@dataclass
+class Describe:
+    """One describe block: a subject plus matchers.
+
+    ``subject_kind`` is ``"resource"`` (resolve ``subject`` as a resource
+    name with ``subject_args``) or ``"bash"`` (run ``subject`` through the
+    shell emulation).  ``its`` optionally projects a property;
+    ``extract`` optionally post-processes a bash stdout with a regex
+    capture (the observed Chef Compliance ``.to_s[](/.../, 1)`` idiom).
+    """
+
+    subject_kind: str
+    subject: str
+    subject_args: tuple = ()
+    its: str | None = None
+    extract: tuple[str, int] | None = None
+    matchers: list[tuple[str, Matcher]] = field(default_factory=list)
+
+    def should(self, description: str, matcher: Matcher) -> "Describe":
+        self.matchers.append((description, matcher))
+        return self
+
+    def resolve(self, frame: ConfigFrame) -> object:
+        if self.subject_kind == "bash":
+            value: object = run_shell(self.subject, frame)
+            if self.extract is not None:
+                pattern, group = self.extract
+                match = re.search(pattern, str(value))
+                value = match.group(group) if match else None
+            return value
+        if self.subject_kind == "resource":
+            resource = resolve_resource(self.subject, frame, *self.subject_args)
+            if self.its is not None:
+                return resource.its(self.its)
+            return resource
+        raise BaselineError(f"unknown describe subject kind {self.subject_kind!r}")
+
+    def evaluate(self, frame: ConfigFrame) -> bool:
+        value = self.resolve(frame)
+        return all(matcher(value) for _description, matcher in self.matchers)
+
+
+@dataclass
+class Control:
+    """One compliance control."""
+
+    control_id: str
+    title: str = ""
+    desc: str = ""
+    impact: float = 1.0
+    describes: list[Describe] = field(default_factory=list)
+
+    def describe(self, block: Describe) -> "Control":
+        self.describes.append(block)
+        return self
+
+    def evaluate(self, frame: ConfigFrame) -> bool:
+        if not self.describes:
+            raise BaselineError(f"control {self.control_id!r} has no describes")
+        return all(block.evaluate(frame) for block in self.describes)
+
+
+@dataclass
+class Profile:
+    """A set of controls (an Inspec profile)."""
+
+    name: str
+    controls: list[Control] = field(default_factory=list)
+
+    def add(self, control: Control) -> "Profile":
+        self.controls.append(control)
+        return self

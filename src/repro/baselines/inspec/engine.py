@@ -1,0 +1,207 @@
+"""Build and run Inspec profiles from the common rule IR.
+
+``style="dsl"`` produces the *expected* resource-DSL encoding;
+``style="bash"`` produces the *observed* Chef Compliance encoding
+(grep pipelines).  Profile construction happens inside ``run`` so a
+timed run includes spec interpretation, as a CLI ``inspec exec`` would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BaselineError
+from repro.crawler.frame import ConfigFrame
+from repro.baselines.common_rules import LineCheck
+from repro.baselines.inspec.dsl import (
+    Control,
+    Describe,
+    Profile,
+    should_match,
+)
+
+
+@dataclass
+class InspecResult:
+    control_id: str
+    title: str
+    passed: bool
+
+
+def _dsl_describe(check: LineCheck) -> Describe:
+    """The expected, resource-backed encoding of one check."""
+    entity = check.cvl_entity
+    if entity == "sshd":
+        return Describe(
+            subject_kind="resource",
+            subject="sshd_config",
+            its=check.key,
+            matchers=[(f"should match {check.value_pattern}",
+                       should_match(rf"^(?:{check.value_pattern})$"))],
+        )
+    if entity == "sysctl":
+        return Describe(
+            subject_kind="resource",
+            subject="kernel_parameter",
+            its=check.key,
+            matchers=[(f"should match {check.value_pattern}",
+                       should_match(rf"^(?:{check.value_pattern})$"))],
+        )
+    if entity == "audit":
+        return Describe(
+            subject_kind="resource",
+            subject="auditd_rules",
+            its="lines",
+            matchers=[
+                (
+                    f"should include a line matching {check.pattern}",
+                    _lines_match(check.pattern),
+                )
+            ],
+        )
+    if entity == "fstab":
+        return Describe(
+            subject_kind="resource",
+            subject="etc_fstab",
+            its="mount_point" if not check.value_pattern else None,
+            matchers=[(f"covers {check.key}", _fstab_matcher(check))],
+        )
+    if entity == "modprobe":
+        return Describe(
+            subject_kind="resource",
+            subject="kernel_module",
+            matchers=[
+                (f"{check.key} disabled", lambda module: module.disabled(check.key))
+            ],
+        )
+    raise BaselineError(f"no DSL encoding for entity {entity!r}")
+
+
+def _lines_match(pattern: str):
+    from repro.baselines.common_rules import _compile
+
+    regex = _compile(pattern)
+
+    def check(lines) -> bool:
+        return any(regex.search(line) for line in lines or [])
+
+    return check
+
+
+def _fstab_matcher(check: LineCheck):
+    def matcher(value) -> bool:
+        if check.value_pattern:  # resource itself (its=None): option check
+            options = value.mount_options(check.key)
+            return options is not None and check.value_pattern in options
+        return check.key in (value or [])  # mount-point list
+
+    return matcher
+
+
+def _bash_describe(check: LineCheck) -> Describe:
+    """The observed encoding: a grep pipeline, judged on its stdout."""
+    file_args = " ".join(check.files)
+    command = f"grep -E -e '{check.pattern}' {file_args} | head -1"
+    if check.expect == "present":
+        matcher = ("stdout should be non-empty", should_match(r"\S"))
+    else:
+        matcher = ("stdout should be empty", lambda value: not str(value).strip())
+    return Describe(
+        subject_kind="bash", subject=command, matchers=[matcher]
+    )
+
+
+def controls_from_checks(
+    checks: list[LineCheck] | tuple[LineCheck, ...], style: str = "dsl"
+) -> Profile:
+    """Encode the common rules as an Inspec profile."""
+    if style not in ("dsl", "bash"):
+        raise BaselineError(f"unknown inspec style {style!r}")
+    profile = Profile(name=f"cis-ubuntu-{style}")
+    for check in checks:
+        control = Control(
+            control_id=check.rule_id,
+            title=check.title,
+            desc=check.description,
+            impact=1.0 if check.severity in ("high", "critical") else 0.5,
+        )
+        if style == "dsl":
+            control.describe(_dsl_describe(check))
+        else:
+            control.describe(_bash_describe(check))
+        profile.add(control)
+    return profile
+
+
+class InspecEngine:
+    """Run the common rules under the Inspec model."""
+
+    def __init__(self, style: str = "dsl"):
+        self.style = style
+        self.name = f"inspec-{style}"
+
+    def run(
+        self, checks: list[LineCheck] | tuple[LineCheck, ...], frame: ConfigFrame
+    ) -> list[InspecResult]:
+        profile = controls_from_checks(checks, self.style)
+        return [
+            InspecResult(
+                control_id=control.control_id,
+                title=control.title,
+                passed=control.evaluate(frame),
+            )
+            for control in profile.controls
+        ]
+
+
+def render_control(check: LineCheck, style: str = "dsl") -> str:
+    """Ruby source for one control (the Listing 6 encoding accounting)."""
+    if style == "bash":
+        file_args = " ".join(check.files)
+        return (
+            f'control "{check.rule_id}_{check.title.replace(" ", "_")}" do\n'
+            f'  title "{check.title}"\n'
+            f'  desc "{check.description or check.title}."\n'
+            f"  impact 1.0\n"
+            f"  describe bash(\"grep -E -e '{check.pattern}' {file_args}"
+            f' | head -1").stdout.to_s do\n'
+            f'    it {{ should match /\\S/ }}\n'
+            f"  end\n"
+            f"end"
+        )
+    body = _dsl_body(check)
+    return (
+        f"control '{check.rule_id}' do\n"
+        f"  impact 1.0\n"
+        f"  title '{check.title}'\n"
+        f"{body}\n"
+        f"end"
+    )
+
+
+def _dsl_body(check: LineCheck) -> str:
+    entity = check.cvl_entity
+    if entity in ("sshd", "sysctl"):
+        resource = "sshd_config" if entity == "sshd" else "kernel_parameter"
+        return (
+            f"  describe {resource} do\n"
+            f"    its('{check.key}') {{ should match /{check.value_pattern}/ }}\n"
+            f"  end"
+        )
+    if entity == "audit":
+        return (
+            f"  describe auditd_rules.lines do\n"
+            f"    it {{ should include(/{check.pattern}/) }}\n"
+            f"  end"
+        )
+    if entity == "fstab":
+        return (
+            f"  describe etc_fstab.mount_options('{check.key}') do\n"
+            f"    it {{ should include '{check.value_pattern or check.key}' }}\n"
+            f"  end"
+        )
+    return (
+        f"  describe kernel_module('{check.key}') do\n"
+        f"    it {{ should be_disabled }}\n"
+        f"  end"
+    )

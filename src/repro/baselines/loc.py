@@ -1,0 +1,109 @@
+"""Encoding-effort accounting (paper Listing 6).
+
+For a common rule, count the non-blank lines of each engine's *native*
+encoding: XCCDF/OVAL XML, CVL YAML, Inspec Ruby (expected DSL and
+observed bash styles), and the raw shell script.  The paper reports 45
+lines for XCCDF/OVAL, 10 for CVL, and 6-7 for Inspec on the
+"Disable SSH Root Login" rule.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.errors import BaselineError
+from repro.baselines.common_rules import LineCheck
+from repro.baselines.inspec.engine import render_control
+from repro.baselines.scripts import render_script
+from repro.baselines.xccdf.generator import xccdf_rule_line_count
+from repro.rules import load_builtin_validator
+
+
+def _render_scalar(value: object) -> str:
+    if isinstance(value, str):
+        return json.dumps(value)
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_render_scalar(item) for item in value) + "]"
+    return str(value)
+
+
+def render_cvl(raw: dict) -> str:
+    """One keyword per line, flow-style lists -- the paper's listing shape."""
+    return "\n".join(f"{key}: {_render_scalar(value)}" for key, value in raw.items())
+
+
+@dataclass
+class EncodingSizes:
+    """Non-blank encoding lines for one rule under each format."""
+
+    rule_id: str
+    title: str
+    xccdf_oval: int
+    cvl: int
+    inspec_dsl: int
+    inspec_bash: int
+    script: int
+
+
+def _cvl_raw_for(check: LineCheck, validator) -> dict:
+    for manifest in validator.manifests():
+        if manifest.entity != check.cvl_entity:
+            continue
+        rule = validator.ruleset_for(manifest).by_name(check.cvl_name)
+        if rule is not None:
+            return rule.raw
+    raise BaselineError(
+        f"no shipped CVL rule {check.cvl_entity}/{check.cvl_name} "
+        f"for {check.rule_id}"
+    )
+
+
+def encoding_report(
+    checks: list[LineCheck] | tuple[LineCheck, ...],
+) -> list[EncodingSizes]:
+    """Per-rule encoding sizes across all formats."""
+    validator = load_builtin_validator()
+    report: list[EncodingSizes] = []
+    for check in checks:
+        raw = _cvl_raw_for(check, validator)
+        report.append(
+            EncodingSizes(
+                rule_id=check.rule_id,
+                title=check.title,
+                xccdf_oval=xccdf_rule_line_count(check),
+                cvl=len(
+                    [line for line in render_cvl(raw).splitlines() if line.strip()]
+                ),
+                inspec_dsl=len(
+                    [
+                        line
+                        for line in render_control(check, "dsl").splitlines()
+                        if line.strip()
+                    ]
+                ),
+                inspec_bash=len(
+                    [
+                        line
+                        for line in render_control(check, "bash").splitlines()
+                        if line.strip()
+                    ]
+                ),
+                script=len(render_script(check).splitlines()),
+            )
+        )
+    return report
+
+
+def mean_sizes(report: list[EncodingSizes]) -> dict[str, float]:
+    """Average lines per rule per format."""
+    count = len(report) or 1
+    return {
+        "xccdf_oval": sum(entry.xccdf_oval for entry in report) / count,
+        "cvl": sum(entry.cvl for entry in report) / count,
+        "inspec_dsl": sum(entry.inspec_dsl for entry in report) / count,
+        "inspec_bash": sum(entry.inspec_bash for entry in report) / count,
+        "script": sum(entry.script for entry in report) / count,
+    }

@@ -1,0 +1,54 @@
+"""The ad-hoc shell-script baseline.
+
+The traditional approach the paper describes (§2.2): rules "typically
+defined using scripts ... in a nutshell, these approaches search for a
+regular expression in a configuration file".  No specification layer at
+all -- each check is a grep, rendered here as a direct regex evaluation
+plus a shell rendering for the encoding-size accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crawler.frame import ConfigFrame
+from repro.baselines.common_rules import LineCheck
+
+
+@dataclass
+class ScriptResult:
+    rule_id: str
+    title: str
+    passed: bool
+
+
+class AdHocScriptEngine:
+    """Run the common rules as bare greps."""
+
+    name = "scripts"
+
+    def run(
+        self, checks: list[LineCheck] | tuple[LineCheck, ...], frame: ConfigFrame
+    ) -> list[ScriptResult]:
+        return [
+            ScriptResult(
+                rule_id=check.rule_id,
+                title=check.title,
+                passed=check.evaluate(frame),
+            )
+            for check in checks
+        ]
+
+
+def render_script(check: LineCheck) -> str:
+    """The shell one-liner a checklist script would contain."""
+    file_args = " ".join(check.files)
+    if check.expect == "present":
+        return (
+            f"grep -Eq -e '{check.pattern}' {file_args} "
+            f"|| echo 'FAIL {check.rule_id}: {check.title}'"
+        )
+    return (
+        f"! grep -Eq -e '{check.pattern}' {file_args} "
+        f"|| echo 'FAIL {check.rule_id}: {check.title}'"
+    )

@@ -1,0 +1,32 @@
+"""XCCDF/OVAL baseline: the specification format OpenSCAP and CIS-CAT use.
+
+``generator`` renders :class:`~repro.baselines.common_rules.LineCheck`
+rules into full XCCDF + OVAL XML documents (the verbose shape of paper
+Listing 6 -- ~45 lines per rule); ``parser`` reads them back into a
+benchmark model; ``engine`` evaluates the benchmark's OVAL
+``textfilecontent54`` tests against a frame.  :class:`CisCatEngine`
+additionally models the commercial tool's startup costs.
+"""
+
+from repro.baselines.xccdf.generator import generate_xccdf, generate_oval
+from repro.baselines.xccdf.parser import parse_benchmark
+from repro.baselines.xccdf.model import (
+    OvalObject,
+    OvalTest,
+    XccdfBenchmark,
+    XccdfRule,
+)
+from repro.baselines.xccdf.engine import CisCatEngine, OpenScapEngine, XccdfEngine
+
+__all__ = [
+    "CisCatEngine",
+    "OpenScapEngine",
+    "OvalObject",
+    "OvalTest",
+    "XccdfBenchmark",
+    "XccdfEngine",
+    "XccdfRule",
+    "generate_oval",
+    "generate_xccdf",
+    "parse_benchmark",
+]

@@ -1,0 +1,146 @@
+"""Render LineCheck rules as XCCDF + OVAL XML.
+
+The output mirrors the verbose structure of paper Listing 6: a
+``<select>`` entry, a ``<Rule>`` with title/description/reference/
+rationale/ident/check, an OVAL ``<definition>`` with metadata and
+criteria, a ``textfilecontent54_test`` and its ``_object``.  That is the
+encoding whose size (~45 lines per rule) the paper contrasts with CVL's
+10 and Inspec's 6-7.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape
+
+from repro.baselines.common_rules import LineCheck
+
+_NIST_REF = (
+    "http://nvlpubs.nist.gov/nistpubs/SpecialPublications/NIST.SP.800-53r4.pdf"
+)
+
+
+def _ids(check: LineCheck) -> dict[str, str]:
+    slug = check.rule_id.replace(".", "_").replace("-", "_")
+    return {
+        "rule": f"xccdf_org.ssgproject.content_rule_{slug}",
+        "definition": f"oval:ssg-{slug}:def:1",
+        "test": f"oval:ssg-test_{slug}:tst:1",
+        "object": f"oval:ssg-obj_{slug}:obj:1",
+    }
+
+
+def generate_xccdf(checks: list[LineCheck], benchmark_id: str = "ssg-ubuntu1604-xccdf") -> str:
+    """The XCCDF half: profile selections plus one <Rule> per check."""
+    lines: list[str] = [
+        '<?xml version="1.0" encoding="UTF-8"?>',
+        f'<Benchmark id="{benchmark_id}" xml:lang="en-US">',
+        '  <status date="2017-06-01">accepted</status>',
+        f'  <title xml:lang="en-US">{escape(benchmark_id)}</title>',
+        '  <version>1.0</version>',
+        '  <Profile id="xccdf_profile_cis">',
+        '    <title xml:lang="en-US">CIS Ubuntu profile</title>',
+    ]
+    for check in checks:
+        ids = _ids(check)
+        lines.append(
+            f'    <select idref="{ids["rule"]}" selected="true"/>'
+        )
+    lines.append("  </Profile>")
+    for check in checks:
+        ids = _ids(check)
+        lines.extend(
+            [
+                f'  <Rule id="{ids["rule"]}" selected="false" severity="{check.severity}">',
+                f'    <title xml:lang="en-US">{escape(check.title)}</title>',
+                f'    <description xml:lang="en-US">{escape(check.description or check.title)}.'
+                "  This rule was derived from the corresponding CIS benchmark"
+                " recommendation and is evaluated mechanically by the OVAL"
+                " check referenced below.</description>",
+                f'    <reference href="{_NIST_REF}">AC-3</reference>',
+                f'    <reference href="https://benchmarks.cisecurity.org/">{escape(check.rule_id)}</reference>',
+                '    <rationale xml:lang="en-US">Failure to constrain this'
+                " configuration item weakens the security posture of the"
+                " system as described in the referenced benchmark.</rationale>",
+                '    <ident system="https://nvd.nist.gov/cce/index.cfm">CCE-</ident>',
+                '    <check system="http://oval.mitre.org/XMLSchema/oval-definitions-5">',
+                f'      <check-content-ref name="{ids["definition"]}" href="ssg-ubuntu1604-oval.xml"/>',
+                "    </check>",
+                "  </Rule>",
+            ]
+        )
+    lines.append("</Benchmark>")
+    return "\n".join(lines) + "\n"
+
+
+def generate_oval(checks: list[LineCheck]) -> str:
+    """The OVAL half: definitions, textfilecontent54 tests, and objects."""
+    lines: list[str] = [
+        '<?xml version="1.0" encoding="UTF-8"?>',
+        '<oval_definitions xmlns:ind='
+        '"http://oval.mitre.org/XMLSchema/oval-definitions-5#independent">',
+        "  <generator>",
+        "    <product_name>repro-configvalidator</product_name>",
+        "    <schema_version>5.11</schema_version>",
+        "  </generator>",
+        "  <definitions>",
+    ]
+    for check in checks:
+        ids = _ids(check)
+        negate = "true" if check.expect == "absent" else "false"
+        lines.extend(
+            [
+                f'    <definition class="compliance" id="{ids["definition"]}" version="1">',
+                "      <metadata>",
+                f"        <title>{escape(check.title)}</title>",
+                '        <affected family="unix"><platform>Ubuntu</platform></affected>',
+                f"        <description>{escape(check.description or check.title)}</description>",
+                f'        <reference source="CIS" ref_id="{escape(check.rule_id)}"/>',
+                "      </metadata>",
+                f'      <criteria comment="{escape(check.title)}" negate="{negate}">',
+                f'        <criterion test_ref="{ids["test"]}"/>',
+                "      </criteria>",
+                "    </definition>",
+            ]
+        )
+    lines.append("  </definitions>")
+    lines.append("  <tests>")
+    for check in checks:
+        ids = _ids(check)
+        lines.extend(
+            [
+                f'    <ind:textfilecontent54_test check="all" '
+                f'check_existence="at_least_one_exists" '
+                f'comment="{escape(check.title)}" id="{ids["test"]}" version="1">',
+                f'      <ind:object object_ref="{ids["object"]}"/>',
+                "    </ind:textfilecontent54_test>",
+            ]
+        )
+    lines.append("  </tests>")
+    lines.append("  <objects>")
+    for check in checks:
+        ids = _ids(check)
+        # OVAL objects carry one filepath; extra candidates become siblings.
+        for index, filepath in enumerate(check.files):
+            suffix = "" if index == 0 else f"-alt{index}"
+            lines.extend(
+                [
+                    f'    <ind:textfilecontent54_object id="{ids["object"]}{suffix}" version="2">',
+                    f"      <ind:filepath>{escape(filepath)}</ind:filepath>",
+                    f'      <ind:pattern operation="pattern match">{escape(check.pattern)}</ind:pattern>',
+                    '      <ind:instance datatype="int">1</ind:instance>',
+                    "    </ind:textfilecontent54_object>",
+                ]
+            )
+    lines.append("  </objects>")
+    lines.append("</oval_definitions>")
+    return "\n".join(lines) + "\n"
+
+
+def xccdf_rule_line_count(check: LineCheck) -> int:
+    """Non-blank encoding lines attributable to one rule across both
+    documents (the Listing 6 accounting)."""
+    xccdf_total = len(generate_xccdf([check]).splitlines())
+    xccdf_fixed = len(generate_xccdf([]).splitlines())
+    oval_total = len(generate_oval([check]).splitlines())
+    oval_fixed = len(generate_oval([]).splitlines())
+    return (xccdf_total - xccdf_fixed) + (oval_total - oval_fixed)

@@ -1,0 +1,71 @@
+"""Object model for the XCCDF benchmark + OVAL definition pair."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class OvalObject:
+    """An ``ind:textfilecontent54_object``: where to look."""
+
+    object_id: str
+    filepath: str
+    pattern: str
+    instance: int = 1
+
+
+@dataclass
+class OvalTest:
+    """An ``ind:textfilecontent54_test``: how to judge the object.
+
+    ``check_existence`` follows OVAL: ``at_least_one_exists`` means the
+    pattern must match; ``none_exist`` means it must not.
+    """
+
+    test_id: str
+    object_ref: str
+    check: str = "all"
+    check_existence: str = "at_least_one_exists"
+    comment: str = ""
+
+
+@dataclass
+class OvalDefinition:
+    """A compliance definition: criteria over tests."""
+
+    definition_id: str
+    title: str
+    test_refs: list[str] = field(default_factory=list)
+    negate: bool = False
+    definition_class: str = "compliance"
+
+
+@dataclass
+class XccdfRule:
+    """One ``<Rule>`` of the benchmark."""
+
+    rule_id: str
+    title: str
+    description: str = ""
+    rationale: str = ""
+    severity: str = "medium"
+    references: list[str] = field(default_factory=list)
+    ident: str = ""
+    check_ref: str = ""          # OVAL definition id
+    selected: bool = True
+
+
+@dataclass
+class XccdfBenchmark:
+    """A parsed benchmark: rules plus the OVAL machinery they reference."""
+
+    benchmark_id: str
+    title: str
+    rules: list[XccdfRule] = field(default_factory=list)
+    definitions: dict[str, OvalDefinition] = field(default_factory=dict)
+    tests: dict[str, OvalTest] = field(default_factory=dict)
+    objects: dict[str, OvalObject] = field(default_factory=dict)
+
+    def selected_rules(self) -> list[XccdfRule]:
+        return [rule for rule in self.rules if rule.selected]

@@ -1,0 +1,117 @@
+"""Parse XCCDF + OVAL XML documents into the benchmark model."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.errors import XCCDFError
+from repro.baselines.xccdf.model import (
+    OvalDefinition,
+    OvalObject,
+    OvalTest,
+    XccdfBenchmark,
+    XccdfRule,
+)
+
+
+def _iter_local(root: ET.Element, localname: str):
+    """Iterate elements by local (namespace-stripped) tag name --
+    ``Element.iter`` has no wildcard-namespace support."""
+    suffix = "}" + localname
+    for element in root.iter():
+        if element.tag == localname or element.tag.endswith(suffix):
+            yield element
+
+
+def _parse_xml(text: str, what: str) -> ET.Element:
+    try:
+        return ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise XCCDFError(f"invalid {what} XML: {exc}") from exc
+
+
+def _findtext_local(element: ET.Element, localname: str) -> str:
+    for child in _iter_local(element, localname):
+        return (child.text or "").strip()
+    return ""
+
+
+def parse_benchmark(xccdf_text: str, oval_text: str) -> XccdfBenchmark:
+    """Build an evaluatable benchmark from the two documents.
+
+    Profile ``<select>`` entries switch the referenced rules on; rules
+    keep their own ``selected`` default otherwise (XCCDF semantics).
+    """
+    root = _parse_xml(xccdf_text, "XCCDF")
+    benchmark = XccdfBenchmark(
+        benchmark_id=root.get("id", "benchmark"),
+        title=(root.findtext("title") or "").strip(),
+    )
+    selected_ids = {
+        select.get("idref")
+        for profile in root.iter("Profile")
+        for select in profile.iter("select")
+        if select.get("selected", "false").lower() == "true"
+    }
+    for rule_element in root.iter("Rule"):
+        check_ref = ""
+        for check in rule_element.iter("check-content-ref"):
+            check_ref = check.get("name", "")
+        rule = XccdfRule(
+            rule_id=rule_element.get("id", ""),
+            title=(rule_element.findtext("title") or "").strip(),
+            description=(rule_element.findtext("description") or "").strip(),
+            rationale=(rule_element.findtext("rationale") or "").strip(),
+            severity=rule_element.get("severity", "medium"),
+            references=[
+                (ref.text or "").strip() for ref in rule_element.iter("reference")
+            ],
+            ident=(rule_element.findtext("ident") or "").strip(),
+            check_ref=check_ref,
+            selected=(
+                rule_element.get("id") in selected_ids
+                or rule_element.get("selected", "false").lower() == "true"
+            ),
+        )
+        if not rule.rule_id:
+            raise XCCDFError("a <Rule> is missing its id attribute")
+        benchmark.rules.append(rule)
+
+    oval_root = _parse_xml(oval_text, "OVAL")
+    for definition in _iter_local(oval_root, "definition"):
+        criteria = definition.find("criteria")
+        if criteria is None:
+            raise XCCDFError(
+                f"definition {definition.get('id')!r} has no <criteria>"
+            )
+        model = OvalDefinition(
+            definition_id=definition.get("id", ""),
+            title=(definition.findtext("metadata/title") or "").strip(),
+            negate=criteria.get("negate", "false").lower() == "true",
+            test_refs=[
+                criterion.get("test_ref", "")
+                for criterion in criteria.iter("criterion")
+            ],
+        )
+        benchmark.definitions[model.definition_id] = model
+    for test in _iter_local(oval_root, "textfilecontent54_test"):
+        object_ref = ""
+        for obj in _iter_local(test, "object"):
+            object_ref = obj.get("object_ref", "")
+        model = OvalTest(
+            test_id=test.get("id", ""),
+            object_ref=object_ref,
+            check=test.get("check", "all"),
+            check_existence=test.get("check_existence", "at_least_one_exists"),
+            comment=test.get("comment", ""),
+        )
+        benchmark.tests[model.test_id] = model
+    for obj in _iter_local(oval_root, "textfilecontent54_object"):
+        model = OvalObject(
+            object_id=obj.get("id", ""),
+            filepath=_findtext_local(obj, "filepath"),
+            pattern=_findtext_local(obj, "pattern"),
+            instance=int(_findtext_local(obj, "instance") or "1"),
+        )
+        benchmark.objects[model.object_id] = model
+    return benchmark

@@ -1,0 +1,349 @@
+"""Command-line interface.
+
+``configvalidator`` (or ``python -m repro``) drives the same pipeline the
+paper's production deployment runs:
+
+* ``validate`` -- scan a directory tree (an unpacked rootfs / chroot)
+  with the shipped rule packs, or with a custom manifest;
+* ``coverage`` -- print the Table 1-style target/rule inventory;
+* ``rules``    -- list the rules of one target, with tags;
+* ``dump``     -- parse one config file with a lens and print the tree
+  (handy when writing new rules);
+* ``demo``     -- validate a synthetic host / fleet / cloud without
+  touching the real filesystem.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+from repro.augtree.lenses import default_registry, lens_for_file
+from repro.crawler import (
+    ContainerEntity,
+    Crawler,
+    DockerImageEntity,
+    HostEntity,
+)
+from repro.engine import render_json, render_text
+from repro.fs import RealFilesystem
+from repro.rules import (
+    EXTENSION_TARGETS,
+    TABLE1_TARGETS,
+    inventory,
+    load_builtin_validator,
+)
+from repro.workloads import FleetSpec, build_cloud_project, build_fleet, ubuntu_host_entity
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    if args.rules_dir:
+        from repro.rules.repository import load_validator_from_directory
+
+        validator = load_validator_from_directory(args.rules_dir)
+        if args.targets:
+            wanted = set(args.targets.split(","))
+            for manifest in validator.manifests():
+                manifest.enabled = manifest.entity in wanted
+    else:
+        validator = load_builtin_validator(
+            only=args.targets.split(",") if args.targets else None
+        )
+    entity = HostEntity(args.name, RealFilesystem(args.root))
+    report = validator.validate_entity(
+        entity, tags=args.tags.split(",") if args.tags else None
+    )
+    if args.json:
+        print(render_json(report))
+    elif args.junit:
+        from repro.engine.report import render_junit
+
+        print(render_junit(report), end="")
+    else:
+        print(render_text(report, verbose=args.verbose,
+                          only_failures=args.only_failures))
+    if args.fail_on:
+        from repro.engine.batch import severity_rank
+
+        threshold = severity_rank(args.fail_on)
+        blocking = [
+            result
+            for result in report.failed()
+            if severity_rank(result.rule.severity) >= threshold
+        ]
+        return 1 if blocking or report.errors() else 0
+    return 0 if report.compliant else 1
+
+
+def _cmd_coverage(_args: argparse.Namespace) -> int:
+    counts = inventory()
+    print(f"{'Category':<16} {'Target':<20} Rules")
+    total = 0
+    for category, targets in TABLE1_TARGETS.items():
+        for target in targets:
+            count = counts.get(target, 0)
+            if target == "docker":
+                count += counts.get("docker_containers", 0)
+            total += count
+            print(f"{category:<16} {target:<20} {count}")
+    print(f"{'':<16} {'TOTAL':<20} {total}")
+    for target in EXTENSION_TARGETS:
+        print(f"{'Extensions':<16} {target:<20} {counts.get(target, 0)}")
+    return 0
+
+
+def _cmd_rules(args: argparse.Namespace) -> int:
+    validator = load_builtin_validator()
+    manifest = validator.manifest(args.target)
+    for rule in validator.ruleset_for(manifest):
+        state = "x" if rule.enabled else " "
+        print(f"[{state}] {rule.rule_type:<9} {rule.name:<45} {' '.join(rule.tags)}")
+    return 0
+
+
+def _cmd_dump(args: argparse.Namespace) -> int:
+    registry = default_registry()
+    if args.lens:
+        lens = registry.get(args.lens)
+    else:
+        lens = lens_for_file(args.file, registry)
+        if lens is None:
+            print(f"no lens matches {args.file!r}; use --lens", file=sys.stderr)
+            return 2
+    with open(args.file, "r", encoding="utf-8") as handle:
+        tree = lens.parse(handle.read(), source=args.file)
+    print(tree.render())
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    validator = load_builtin_validator()
+    if args.scenario == "host":
+        entity = ubuntu_host_entity(
+            "demo-host", hardening=args.hardening,
+            with_nginx=True, with_mysql=True,
+        )
+        report = validator.validate_entity(entity)
+    elif args.scenario == "fleet":
+        _daemon, images, containers = build_fleet(
+            FleetSpec(images=args.size, containers_per_image=3,
+                      misconfig_rate=1.0 - args.hardening)
+        )
+        entities = [ContainerEntity(c) for c in containers]
+        entities += [DockerImageEntity(i) for i in images]
+        report = validator.validate_entities(entities)
+    else:  # cloud
+        entity = build_cloud_project("demo", violations=args.hardening < 1.0)
+        report = validator.validate_entity(entity)
+    print(render_text(report, only_failures=args.only_failures))
+    return 0 if report.compliant else 1
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from repro.crawler.serialize import dump_frame
+
+    crawler = Crawler()
+    frame = crawler.crawl(HostEntity(args.name, RealFilesystem(args.root)))
+    blob = dump_frame(frame, indent=2)
+    if args.output == "-":
+        print(blob)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(blob)
+        print(f"wrote {len(blob):,} bytes to {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_validate_frame(args: argparse.Namespace) -> int:
+    from repro.crawler.serialize import load_frame
+
+    with open(args.frame, "r", encoding="utf-8") as handle:
+        frame = load_frame(handle.read())
+    validator = load_builtin_validator(
+        only=args.targets.split(",") if args.targets else None
+    )
+    report = validator.validate_frame(frame)
+    if args.json:
+        print(render_json(report))
+    else:
+        print(render_text(report, only_failures=args.only_failures))
+    return 0 if report.compliant else 1
+
+
+def _cmd_drift(args: argparse.Namespace) -> int:
+    from repro.crawler.serialize import load_frame
+    from repro.engine.drift import diff_reports, render_drift
+
+    validator = load_builtin_validator(
+        only=args.targets.split(",") if args.targets else None
+    )
+    reports = []
+    for frame_path in (args.baseline, args.current):
+        with open(frame_path, "r", encoding="utf-8") as handle:
+            reports.append(validator.validate_frame(load_frame(handle.read())))
+    drift = diff_reports(reports[0], reports[1])
+    print(render_drift(drift))
+    return 0 if drift.clean else 1
+
+
+def _cmd_framediff(args: argparse.Namespace) -> int:
+    from repro.crawler.serialize import load_frame
+    from repro.crawler.framediff import diff_frames, render_frame_diff
+
+    frames = []
+    for frame_path in (args.baseline, args.current):
+        with open(frame_path, "r", encoding="utf-8") as handle:
+            frames.append(load_frame(handle.read()))
+    diff = diff_frames(frames[0], frames[1])
+    print(
+        render_frame_diff(
+            diff,
+            unified_for=args.show.split(",") if args.show else None,
+            baseline=frames[0],
+            current=frames[1],
+        )
+    )
+    return 0 if diff.empty else 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.authoring import lint_validator, render_findings
+
+    validator = load_builtin_validator()
+    findings = lint_validator(validator)
+    print(render_findings(findings))
+    has_errors = any(finding.level == "error" for finding in findings)
+    return 1 if has_errors else 0
+
+
+def _cmd_scaffold(args: argparse.Namespace) -> int:
+    from repro.authoring import render_rules_yaml, scaffold_rules
+
+    registry = default_registry()
+    lens = registry.get(args.lens) if args.lens else None
+    with open(args.file, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    rules = scaffold_rules(
+        text, args.file, lens=lens, max_rules=args.max_rules
+    )
+    print(render_rules_yaml(rules), end="")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="configvalidator",
+        description="Declarative configuration validation (CVL).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    validate = subparsers.add_parser(
+        "validate", help="validate a directory tree with the shipped packs"
+    )
+    validate.add_argument("--root", default="/", help="rootfs to scan")
+    validate.add_argument("--name", default="host", help="entity name in reports")
+    validate.add_argument("--targets", default="", help="comma-separated targets")
+    validate.add_argument("--tags", default="", help="only rules with these tags")
+    validate.add_argument("--json", action="store_true")
+    validate.add_argument("--junit", action="store_true",
+                          help="emit JUnit XML for CI systems")
+    validate.add_argument("--rules-dir", default="",
+                          help="load packs from a rules repository checkout")
+    validate.add_argument("--verbose", action="store_true")
+    validate.add_argument("--only-failures", action="store_true")
+    validate.add_argument(
+        "--fail-on", default="",
+        choices=["", "informational", "low", "medium", "high", "critical"],
+        help="exit nonzero only for failures at or above this severity",
+    )
+    validate.set_defaults(func=_cmd_validate)
+
+    coverage = subparsers.add_parser("coverage", help="Table 1 inventory")
+    coverage.set_defaults(func=_cmd_coverage)
+
+    rules = subparsers.add_parser("rules", help="list a target's rules")
+    rules.add_argument("target")
+    rules.set_defaults(func=_cmd_rules)
+
+    dump = subparsers.add_parser("dump", help="parse a file and print its tree")
+    dump.add_argument("file")
+    dump.add_argument("--lens", default="", help="force a lens by name")
+    dump.set_defaults(func=_cmd_dump)
+
+    demo = subparsers.add_parser("demo", help="validate synthetic entities")
+    demo.add_argument("scenario", choices=["host", "fleet", "cloud"])
+    demo.add_argument("--hardening", type=float, default=0.5)
+    demo.add_argument("--size", type=int, default=5)
+    demo.add_argument("--only-failures", action="store_true")
+    demo.set_defaults(func=_cmd_demo)
+
+    snapshot = subparsers.add_parser(
+        "snapshot", help="capture a directory tree as a portable frame"
+    )
+    snapshot.add_argument("--root", default="/")
+    snapshot.add_argument("--name", default="host")
+    snapshot.add_argument("-o", "--output", default="-",
+                          help="frame file ('-' for stdout)")
+    snapshot.set_defaults(func=_cmd_snapshot)
+
+    validate_frame = subparsers.add_parser(
+        "validate-frame", help="validate a previously captured frame"
+    )
+    validate_frame.add_argument("frame")
+    validate_frame.add_argument("--targets", default="")
+    validate_frame.add_argument("--json", action="store_true")
+    validate_frame.add_argument("--only-failures", action="store_true")
+    validate_frame.set_defaults(func=_cmd_validate_frame)
+
+    drift = subparsers.add_parser(
+        "drift", help="compare verdicts between two captured frames"
+    )
+    drift.add_argument("baseline", help="earlier frame file")
+    drift.add_argument("current", help="later frame file")
+    drift.add_argument("--targets", default="")
+    drift.set_defaults(func=_cmd_drift)
+
+    framediff = subparsers.add_parser(
+        "framediff", help="diff two captured frames (files/packages/runtime)"
+    )
+    framediff.add_argument("baseline")
+    framediff.add_argument("current")
+    framediff.add_argument("--show", default="",
+                           help="comma-separated paths to show unified diffs for")
+    framediff.set_defaults(func=_cmd_framediff)
+
+    lint = subparsers.add_parser(
+        "lint", help="lint the shipped rule packs"
+    )
+    lint.set_defaults(func=_cmd_lint)
+
+    scaffold = subparsers.add_parser(
+        "scaffold", help="generate a golden-config CVL profile from a file"
+    )
+    scaffold.add_argument("file")
+    scaffold.add_argument("--lens", default="")
+    scaffold.add_argument("--max-rules", type=int, default=100)
+    scaffold.set_defaults(func=_cmd_scaffold)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # stdout closed early (e.g. piped into `head`); not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

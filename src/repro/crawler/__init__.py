@@ -1,0 +1,62 @@
+"""Config extraction (the Agentless System Crawler substitute).
+
+The crawler turns an *entity* -- a host, a Docker image, a running
+container, or a cloud runtime -- into a :class:`ConfigFrame`: a snapshot
+of configuration files, file metadata, installed packages, and runtime
+state.  The rule engine consumes frames only; it never touches an entity
+directly.  This mirrors the paper's "system configuration frames"
+(§2.2/§5): validation without local installation or remote access.
+
+Entities:
+
+* :class:`HostEntity` -- a machine: a filesystem view + package DB +
+  optional live kernel state.
+* :class:`DockerImageEntity` / :class:`ContainerEntity` -- backed by the
+  simulated Docker substrate in :mod:`repro.crawler.docker_sim`.
+* :class:`CloudEntity` -- backed by the simulated OpenStack-style control
+  plane in :mod:`repro.crawler.cloud_sim`.
+
+Runtime-state plugins (:mod:`repro.crawler.plugins`) extract the
+configuration that does not live in text files (paper §2.1.3): MySQL
+server variables, live sysctl state, ``docker inspect`` output, cloud
+security groups.
+"""
+
+from repro.crawler.frame import ConfigFrame
+from repro.crawler.entities import (
+    CloudEntity,
+    ContainerEntity,
+    DockerImageEntity,
+    Entity,
+    HostEntity,
+)
+from repro.crawler.crawler import Crawler
+from repro.crawler.docker_sim import Container, DockerDaemon, DockerImage, ImageBuilder
+from repro.crawler.cloud_sim import CloudControlPlane, Instance, SecurityGroup, SecurityGroupRule
+from repro.crawler.plugins import PluginRegistry, RuntimePlugin, default_plugin_registry
+from repro.crawler.serialize import dump_frame, frame_from_dict, frame_to_dict, load_frame
+
+__all__ = [
+    "CloudControlPlane",
+    "CloudEntity",
+    "ConfigFrame",
+    "Container",
+    "ContainerEntity",
+    "Crawler",
+    "DockerDaemon",
+    "DockerImage",
+    "DockerImageEntity",
+    "Entity",
+    "HostEntity",
+    "ImageBuilder",
+    "Instance",
+    "PluginRegistry",
+    "RuntimePlugin",
+    "SecurityGroup",
+    "SecurityGroupRule",
+    "default_plugin_registry",
+    "dump_frame",
+    "frame_from_dict",
+    "frame_to_dict",
+    "load_frame",
+]

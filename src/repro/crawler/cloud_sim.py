@@ -1,0 +1,197 @@
+"""Simulated cloud control plane (OpenStack-flavoured).
+
+The paper validates cloud configuration in two forms:
+
+* **service config files** on controller nodes (keystone.conf, nova.conf,
+  per OSSG guidance) -- those live on an ordinary host entity; and
+* **runtime cloud resources** queried over APIs (§2.1.3: "cloud platforms
+  typically store state about cloud resources in a central/master
+  management node, typically accessible over APIs").
+
+This module models the second: projects, instances, security groups, and
+users with roles behind a small HTTP-shaped ``get(path)`` API.  The cloud
+runtime plugin flattens the answers into key-value runtime state for
+script rules (e.g. "no security group may allow 0.0.0.0/0 on port 22").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import CloudAPIError
+
+_resource_counter = itertools.count(1)
+
+
+def _resource_id(prefix: str) -> str:
+    return f"{prefix}-{next(_resource_counter):06d}"
+
+
+@dataclass
+class SecurityGroupRule:
+    """One ingress/egress rule."""
+
+    direction: str = "ingress"          # ingress | egress
+    protocol: str = "tcp"               # tcp | udp | icmp | any
+    port_min: int = 0
+    port_max: int = 65535
+    remote_cidr: str = "0.0.0.0/0"
+
+    def covers_port(self, port: int) -> bool:
+        return self.port_min <= port <= self.port_max
+
+    @property
+    def world_open(self) -> bool:
+        return self.remote_cidr in ("0.0.0.0/0", "::/0")
+
+    def as_dict(self) -> dict:
+        return {
+            "direction": self.direction,
+            "protocol": self.protocol,
+            "port_range_min": self.port_min,
+            "port_range_max": self.port_max,
+            "remote_ip_prefix": self.remote_cidr,
+        }
+
+
+@dataclass
+class SecurityGroup:
+    name: str
+    description: str = ""
+    rules: list[SecurityGroupRule] = field(default_factory=list)
+    group_id: str = field(default_factory=lambda: _resource_id("sg"))
+
+    def add_rule(self, rule: SecurityGroupRule) -> None:
+        self.rules.append(rule)
+
+    def as_dict(self) -> dict:
+        return {
+            "id": self.group_id,
+            "name": self.name,
+            "description": self.description,
+            "security_group_rules": [rule.as_dict() for rule in self.rules],
+        }
+
+
+@dataclass
+class Instance:
+    name: str
+    image: str = "ubuntu-16.04"
+    flavor: str = "m1.small"
+    security_groups: list[str] = field(default_factory=list)
+    key_name: str = ""
+    status: str = "ACTIVE"
+    instance_id: str = field(default_factory=lambda: _resource_id("vm"))
+
+    def as_dict(self) -> dict:
+        return {
+            "id": self.instance_id,
+            "name": self.name,
+            "image": self.image,
+            "flavor": self.flavor,
+            "security_groups": [{"name": name} for name in self.security_groups],
+            "key_name": self.key_name,
+            "status": self.status,
+        }
+
+
+@dataclass
+class CloudUser:
+    name: str
+    roles: list[str] = field(default_factory=list)
+    enabled: bool = True
+    mfa_enabled: bool = False
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "roles": list(self.roles),
+            "enabled": self.enabled,
+            "mfa_enabled": self.mfa_enabled,
+        }
+
+
+@dataclass
+class Project:
+    name: str
+    instances: dict[str, Instance] = field(default_factory=dict)
+    security_groups: dict[str, SecurityGroup] = field(default_factory=dict)
+    users: dict[str, CloudUser] = field(default_factory=dict)
+
+    def add_instance(self, instance: Instance) -> Instance:
+        self.instances[instance.name] = instance
+        return instance
+
+    def add_security_group(self, group: SecurityGroup) -> SecurityGroup:
+        self.security_groups[group.name] = group
+        return group
+
+    def add_user(self, user: CloudUser) -> CloudUser:
+        self.users[user.name] = user
+        return user
+
+
+class CloudControlPlane:
+    """The master management node: owns projects and answers API queries.
+
+    ``get`` accepts REST-ish paths and returns plain dicts/lists, e.g.::
+
+        cloud.get("/projects/web/security-groups")
+        cloud.get("/projects/web/instances/frontend")
+    """
+
+    def __init__(self, region: str = "us-south"):
+        self.region = region
+        self._projects: dict[str, Project] = {}
+
+    def create_project(self, name: str) -> Project:
+        if name in self._projects:
+            raise CloudAPIError(f"project {name!r} already exists")
+        project = Project(name=name)
+        self._projects[name] = project
+        return project
+
+    def project(self, name: str) -> Project:
+        try:
+            return self._projects[name]
+        except KeyError:
+            raise CloudAPIError(f"no such project: {name}") from None
+
+    def projects(self) -> list[Project]:
+        return [self._projects[name] for name in sorted(self._projects)]
+
+    def get(self, path: str):
+        """Resolve a REST-ish path against the resource model."""
+        parts = [part for part in path.strip("/").split("/") if part]
+        if not parts:
+            return {"region": self.region, "projects": sorted(self._projects)}
+        if parts[0] != "projects":
+            raise CloudAPIError(f"unknown API root {parts[0]!r}")
+        if len(parts) == 1:
+            return [{"name": name} for name in sorted(self._projects)]
+        project = self.project(parts[1])
+        if len(parts) == 2:
+            return {
+                "name": project.name,
+                "instances": sorted(project.instances),
+                "security_groups": sorted(project.security_groups),
+                "users": sorted(project.users),
+            }
+        collection = parts[2]
+        if collection == "instances":
+            return self._collection(project.instances, parts[3:], path)
+        if collection == "security-groups":
+            return self._collection(project.security_groups, parts[3:], path)
+        if collection == "users":
+            return self._collection(project.users, parts[3:], path)
+        raise CloudAPIError(f"unknown collection {collection!r} in {path!r}")
+
+    @staticmethod
+    def _collection(resources: dict, rest: list[str], path: str):
+        if not rest:
+            return [resource.as_dict() for _name, resource in sorted(resources.items())]
+        name = rest[0]
+        if name not in resources:
+            raise CloudAPIError(f"no such resource: {path}")
+        return resources[name].as_dict()

@@ -1,0 +1,76 @@
+"""The Crawler: entity -> ConfigFrame.
+
+Feature selection mirrors the Agentless System Crawler's feature flags:
+``files`` (the filesystem view), ``packages``, ``runtime`` (plugin
+extraction), ``metadata`` (provenance).  Crawling is cheap -- filesystem
+views are shared, not copied -- so frames can be produced at fleet scale
+(the production system validates tens of thousands of frames daily).
+"""
+
+from __future__ import annotations
+
+from repro.errors import CrawlerError, PluginError
+from repro.crawler.entities import Entity
+from repro.crawler.frame import ConfigFrame
+from repro.crawler.plugins import PluginRegistry, default_plugin_registry
+
+ALL_FEATURES = ("files", "packages", "runtime", "metadata")
+
+
+class Crawler:
+    """Produces :class:`ConfigFrame` snapshots from entities."""
+
+    def __init__(self, plugins: PluginRegistry | None = None):
+        self._plugins = plugins or default_plugin_registry()
+
+    @property
+    def plugins(self) -> PluginRegistry:
+        return self._plugins
+
+    def crawl(
+        self,
+        entity: Entity,
+        features: tuple[str, ...] = ALL_FEATURES,
+        *,
+        strict_plugins: bool = False,
+    ) -> ConfigFrame:
+        """Snapshot ``entity``.
+
+        With ``strict_plugins`` a plugin failure aborts the crawl;
+        otherwise the failure is recorded in frame metadata and other
+        namespaces are still extracted (a broken MySQL extractor must not
+        block sshd validation).
+        """
+        unknown = set(features) - set(ALL_FEATURES)
+        if unknown:
+            raise CrawlerError(f"unknown crawl features: {sorted(unknown)}")
+        frame = ConfigFrame(
+            entity_name=entity.name,
+            entity_kind=entity.kind,
+            files=entity.filesystem(),
+        )
+        if "packages" in features:
+            frame.packages = entity.package_db()
+        if "metadata" in features:
+            frame.metadata["kind"] = entity.kind
+            frame.metadata["name"] = entity.name
+        if "runtime" in features:
+            for plugin in self._plugins.applicable(entity):
+                try:
+                    frame.runtime[plugin.name] = plugin.extract(entity)
+                except PluginError:
+                    raise
+                except Exception as exc:  # plugin bug: isolate, don't abort
+                    if strict_plugins:
+                        raise PluginError(
+                            f"plugin {plugin.name!r} failed on "
+                            f"{entity.kind}:{entity.name}: {exc}"
+                        ) from exc
+                    frame.metadata[f"plugin_error:{plugin.name}"] = str(exc)
+        return frame
+
+    def crawl_many(
+        self, entities: list[Entity], features: tuple[str, ...] = ALL_FEATURES
+    ) -> list[ConfigFrame]:
+        """Snapshot a fleet (document order preserved)."""
+        return [self.crawl(entity, features) for entity in entities]

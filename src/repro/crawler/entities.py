@@ -1,0 +1,143 @@
+"""Entity abstraction: the things ConfigValidator validates.
+
+An entity is anything with configuration: a host, a Docker image, a
+running container, or a cloud runtime (paper §2: "we use the word entity
+when referring to an application, host, or a cloud").  Entities expose a
+filesystem view, a package database, and a *runtime context* -- the raw
+objects runtime plugins query for non-file configuration.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.fs.packages import PackageDatabase
+from repro.fs.view import FilesystemView
+from repro.fs.vfs import VirtualFilesystem
+from repro.crawler.cloud_sim import CloudControlPlane
+from repro.crawler.docker_sim import Container, DockerImage
+
+
+class Entity(ABC):
+    """One validation target."""
+
+    #: "host" | "image" | "container" | "cloud"
+    kind: str = "abstract"
+
+    def __init__(self, name: str):
+        self.name = name
+
+    @abstractmethod
+    def filesystem(self) -> FilesystemView:
+        """The entity's file tree (may be empty for pure-API entities)."""
+
+    def package_db(self) -> PackageDatabase:
+        """Installed software; empty by default."""
+        return PackageDatabase()
+
+    def runtime_context(self) -> dict:
+        """Raw objects for runtime plugins (container handle, cloud API...)."""
+        return {}
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.kind}:{self.name}>"
+
+
+class HostEntity(Entity):
+    """A machine (VM or physical): filesystem + packages + live kernel state.
+
+    ``live_sysctl`` models ``sysctl -a`` output -- the superset of what
+    sysctl.conf pins (paper §2.1.3 notes the OS "does not always explicitly
+    expose all of its configuration").
+    """
+
+    kind = "host"
+
+    def __init__(
+        self,
+        name: str,
+        fs: FilesystemView | None = None,
+        packages: PackageDatabase | None = None,
+        live_sysctl: dict[str, str] | None = None,
+    ):
+        super().__init__(name)
+        self._fs = fs or VirtualFilesystem()
+        self._packages = packages or PackageDatabase()
+        self.live_sysctl = dict(live_sysctl or {})
+
+    def filesystem(self) -> FilesystemView:
+        return self._fs
+
+    def package_db(self) -> PackageDatabase:
+        return self._packages
+
+    def runtime_context(self) -> dict:
+        return {"host": self, "live_sysctl": self.live_sysctl}
+
+
+class DockerImageEntity(Entity):
+    """A Docker image, validated without ever running it."""
+
+    kind = "image"
+
+    def __init__(self, image: DockerImage):
+        super().__init__(image.reference)
+        self.image = image
+
+    def filesystem(self) -> FilesystemView:
+        return self.image.filesystem()
+
+    def package_db(self) -> PackageDatabase:
+        return self.image.packages
+
+    def runtime_context(self) -> dict:
+        return {"image": self.image}
+
+
+class ContainerEntity(Entity):
+    """A running container: merged image + writable-layer filesystem plus
+    the runtime options ``docker inspect`` reports."""
+
+    kind = "container"
+
+    def __init__(self, container: Container):
+        super().__init__(container.name)
+        self.container = container
+
+    def filesystem(self) -> FilesystemView:
+        return self.container.filesystem()
+
+    def package_db(self) -> PackageDatabase:
+        return self.container.image.packages
+
+    def runtime_context(self) -> dict:
+        return {"container": self.container, "image": self.container.image}
+
+
+class CloudEntity(Entity):
+    """A cloud project/runtime whose configuration lives behind an API.
+
+    ``controller_fs`` optionally carries the control-plane service config
+    files (keystone.conf etc.), so both OSSG file rules and API-state rules
+    run against the same entity.
+    """
+
+    kind = "cloud"
+
+    def __init__(
+        self,
+        name: str,
+        cloud: CloudControlPlane,
+        project: str,
+        controller_fs: FilesystemView | None = None,
+    ):
+        super().__init__(name)
+        self.cloud = cloud
+        self.project = project
+        self._fs = controller_fs or VirtualFilesystem()
+
+    def filesystem(self) -> FilesystemView:
+        return self._fs
+
+    def runtime_context(self) -> dict:
+        return {"cloud": self.cloud, "project": self.project}

@@ -1,0 +1,48 @@
+"""ConfigFrame: the snapshot the rule engine validates against."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fs.meta import FileStat
+from repro.fs.packages import PackageDatabase
+from repro.fs.view import FilesystemView
+
+
+@dataclass
+class ConfigFrame:
+    """Everything the validator knows about one entity at one point in time.
+
+    * ``files`` -- read-only view of the entity's filesystem (the source of
+      config-file and path/metadata rules).
+    * ``packages`` -- installed-software state.
+    * ``runtime`` -- namespaced key-value state extracted by plugins
+      (``runtime["mysql"]["have_ssl"]``), covering the paper's "custom
+      configuration" category.
+    * ``metadata`` -- frame provenance (entity kind, image id, labels, ...).
+    """
+
+    entity_name: str
+    entity_kind: str
+    files: FilesystemView
+    packages: PackageDatabase = field(default_factory=PackageDatabase)
+    runtime: dict[str, dict[str, str]] = field(default_factory=dict)
+    metadata: dict[str, str] = field(default_factory=dict)
+
+    def read_config(self, path: str) -> str:
+        """Text of the config file at ``path`` (raises if absent)."""
+        return self.files.read_text(path)
+
+    def stat(self, path: str) -> FileStat:
+        return self.files.stat(path)
+
+    def exists(self, path: str) -> bool:
+        return self.files.exists(path)
+
+    def runtime_value(self, namespace: str, key: str) -> str | None:
+        """One plugin-extracted runtime value (or None)."""
+        return self.runtime.get(namespace, {}).get(key)
+
+    def describe(self) -> str:
+        """One-line provenance string used in reports."""
+        return f"{self.entity_kind}:{self.entity_name}"

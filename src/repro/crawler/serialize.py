@@ -1,0 +1,152 @@
+"""Frame serialization: decouple scanning from validation.
+
+The paper's production deployment works "against system configuration
+frames ... without requiring any local installation or remote access"
+(§2.2, §5): an agentless collector snapshots an entity, and validation
+happens elsewhere, later.  This module provides that decoupling --
+:func:`frame_to_dict` / :func:`frame_from_dict` (and the JSON string
+forms) produce a self-contained document holding the file tree with
+metadata, the package database, plugin runtime state, and provenance.
+
+Deserialized frames rebuild onto a :class:`VirtualFilesystem`, so a frame
+captured from a *real* host (via :class:`~repro.fs.RealFilesystem`) can be
+validated on a machine that never saw that host.
+"""
+
+from __future__ import annotations
+
+import json
+import posixpath
+
+from repro.errors import CrawlerError
+from repro.fs.packages import Package, PackageDatabase
+from repro.fs.vfs import VirtualFilesystem
+from repro.fs.view import FilesystemView
+from repro.crawler.frame import ConfigFrame
+
+#: Format marker so old readers fail loudly on future layouts.
+FORMAT_VERSION = 1
+
+
+def _files_to_records(files: FilesystemView) -> list[dict]:
+    records: list[dict] = []
+    for dirpath, _dirs, filenames in files.walk("/"):
+        stat = files.stat(dirpath)
+        records.append(
+            {
+                "path": dirpath,
+                "kind": "directory",
+                "mode": stat.mode,
+                "uid": stat.uid,
+                "gid": stat.gid,
+                "owner": stat.owner,
+                "group": stat.group,
+            }
+        )
+        for name in filenames:
+            path = posixpath.join(dirpath, name)
+            file_stat = files.stat(path)
+            records.append(
+                {
+                    "path": path,
+                    "kind": "file",
+                    "mode": file_stat.mode,
+                    "uid": file_stat.uid,
+                    "gid": file_stat.gid,
+                    "owner": file_stat.owner,
+                    "group": file_stat.group,
+                    "mtime": file_stat.mtime,
+                    "content": files.read_text(path),
+                }
+            )
+    return records
+
+
+def frame_to_dict(frame: ConfigFrame) -> dict:
+    """A JSON-shaped snapshot of ``frame`` (files inlined as text)."""
+    return {
+        "format": FORMAT_VERSION,
+        "entity_name": frame.entity_name,
+        "entity_kind": frame.entity_kind,
+        "files": _files_to_records(frame.files),
+        "packages": [
+            {
+                "name": package.name,
+                "version": package.version,
+                "architecture": package.architecture,
+            }
+            for package in frame.packages
+        ],
+        "runtime": {
+            namespace: dict(values)
+            for namespace, values in sorted(frame.runtime.items())
+        },
+        "metadata": dict(frame.metadata),
+    }
+
+
+def frame_from_dict(document: dict) -> ConfigFrame:
+    """Rebuild a frame from :func:`frame_to_dict` output."""
+    version = document.get("format")
+    if version != FORMAT_VERSION:
+        raise CrawlerError(
+            f"unsupported frame format {version!r} (expected {FORMAT_VERSION})"
+        )
+    fs = VirtualFilesystem()
+    for record in document.get("files", []):
+        common = dict(
+            mode=int(record.get("mode", 0o644)),
+            uid=int(record.get("uid", 0)),
+            gid=int(record.get("gid", 0)),
+            owner=str(record.get("owner", "root")),
+            group=str(record.get("group", "root")),
+        )
+        if record.get("kind") == "directory":
+            if record["path"] != "/":
+                fs.mkdir(record["path"], **common)
+        else:
+            fs.write_file(
+                record["path"],
+                record.get("content", ""),
+                mtime=float(record.get("mtime", 0.0)),
+                **common,
+            )
+    packages = PackageDatabase(
+        [
+            Package(
+                name=entry["name"],
+                version=entry["version"],
+                architecture=entry.get("architecture", "amd64"),
+            )
+            for entry in document.get("packages", [])
+        ]
+    )
+    return ConfigFrame(
+        entity_name=str(document.get("entity_name", "unknown")),
+        entity_kind=str(document.get("entity_kind", "host")),
+        files=fs,
+        packages=packages,
+        runtime={
+            str(namespace): {str(k): str(v) for k, v in values.items()}
+            for namespace, values in document.get("runtime", {}).items()
+        },
+        metadata={
+            str(k): str(v) for k, v in document.get("metadata", {}).items()
+        },
+    )
+
+
+def dump_frame(frame: ConfigFrame, *, indent: int | None = None) -> str:
+    """Serialize a frame to JSON text."""
+    return json.dumps(frame_to_dict(frame), indent=indent, sort_keys=True)
+
+
+def load_frame(text: str) -> ConfigFrame:
+    """Deserialize a frame from JSON text."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CrawlerError(f"invalid frame JSON: {exc.msg}") from exc
+    if not isinstance(document, dict):
+        raise CrawlerError("frame JSON must be an object")
+    return frame_from_dict(document)

@@ -1,0 +1,73 @@
+"""Configuration Validation Language (CVL).
+
+CVL is the paper's declarative, YAML-based rule language: 46 keywords
+across five rule types (config tree, schema, path, script, composite)
+plus the entity manifest.  This package owns the language itself --
+keywords, value-match semantics, rule objects, the YAML loader with
+inheritance, manifests, and the composite-expression parser.  Rule
+*evaluation* lives in :mod:`repro.engine`.
+"""
+
+from repro.cvl.keywords import (
+    ALL_KEYWORDS,
+    COMMON_KEYWORDS,
+    COMPOSITE_KEYWORDS,
+    KEYWORDS_BY_TYPE,
+    PATH_KEYWORDS,
+    SCHEMA_KEYWORDS,
+    SCRIPT_KEYWORDS,
+    TREE_KEYWORDS,
+    allowed_keywords,
+    infer_rule_type,
+)
+from repro.cvl.match import MatchSpec, parse_match_spec
+from repro.cvl.model import (
+    CompositeRule,
+    PathRule,
+    Rule,
+    RuleSet,
+    SchemaRule,
+    ScriptRule,
+    TreeRule,
+)
+from repro.cvl.loader import build_rule, load_rules, merge_inherited
+from repro.cvl.manifest import Manifest, load_manifests
+from repro.cvl.composite_expr import (
+    CompositeResult,
+    DictContext,
+    evaluate_composite,
+    parse_composite,
+    referenced_entities,
+)
+
+__all__ = [
+    "ALL_KEYWORDS",
+    "COMMON_KEYWORDS",
+    "COMPOSITE_KEYWORDS",
+    "CompositeResult",
+    "CompositeRule",
+    "DictContext",
+    "KEYWORDS_BY_TYPE",
+    "Manifest",
+    "MatchSpec",
+    "PATH_KEYWORDS",
+    "PathRule",
+    "Rule",
+    "RuleSet",
+    "SCHEMA_KEYWORDS",
+    "SCRIPT_KEYWORDS",
+    "SchemaRule",
+    "ScriptRule",
+    "TREE_KEYWORDS",
+    "TreeRule",
+    "allowed_keywords",
+    "build_rule",
+    "evaluate_composite",
+    "infer_rule_type",
+    "load_manifests",
+    "load_rules",
+    "merge_inherited",
+    "parse_composite",
+    "parse_match_spec",
+    "referenced_entities",
+]

@@ -1,0 +1,148 @@
+"""The CVL keyword inventory.
+
+The paper states CVL has **46 keywords across all rule types and entity
+description**: 19 common keywords plus type-specific keywords -- config
+tree (9), schema (6), path (6), script (3), composite (3).  This module is
+the single source of truth for that inventory; the loader validates every
+rule document against it and rejects unknown keys (typos in rule files
+must fail loudly, not silently skip checks).
+"""
+
+from __future__ import annotations
+
+#: Keywords shared across rule types and the entity manifest (19).
+COMMON_KEYWORDS = frozenset(
+    {
+        # entity description (manifest)
+        "entity_name",            # entity the manifest block describes
+        "cvl_file",               # path of the CVL rule file for the entity
+        "parent_cvl_file",        # rule file to inherit from
+        "config_search_paths",    # where to look for the entity's config files
+        "entity_kinds",           # entity kinds the rules apply to (host, ...)
+        "enabled",                # manifest/rule on-off switch
+        # rule identity and prose
+        "rule_type",              # explicit rule type (usually inferred)
+        "severity",               # informational | low | medium | high | critical
+        "suggested_action",       # remediation hint for the output processor
+        "tags",                   # filtering labels (#cis, #hipaa, checklist ids)
+        # value matching
+        "preferred_value",        # value(s) to match
+        "non_preferred_value",    # value(s) that must not match
+        "preferred_value_match",      # "<mode>,<quant>": exact|substr|regex , any|all
+        "non_preferred_value_match",  # same format
+        # output strings
+        "matched_description",                        # success output
+        "not_matched_preferred_value_description",    # failure output
+        "not_present_description",                    # config absent output
+        "not_present_pass",       # absence is compliant (default: violation)
+        # inheritance controls
+        "disabled_rules",         # parent rules to disable, by name
+    }
+)
+
+#: Keywords specific to *config tree* rules (9).
+TREE_KEYWORDS = frozenset(
+    {
+        "config_name",            # the key to look up
+        "config_path",            # tree path alternatives to find the key under
+        "config_description",
+        "file_context",           # filename patterns the rule applies to
+        "require_other_configs",  # keys that must co-exist for the rule to apply
+        "lens",                   # force a specific lens for parsing
+        "first_match_only",       # only the first occurrence counts (sshd style)
+        "value_separator",        # split a found value into items before matching
+        "case_insensitive",       # compare values case-insensitively
+    }
+)
+
+#: Keywords specific to *schema* rules (6).
+SCHEMA_KEYWORDS = frozenset(
+    {
+        "config_schema_name",
+        "config_schema_description",
+        "query_constraints",        # e.g. "dir = ?"
+        "query_constraints_value",  # placeholder bindings
+        "query_columns",            # "*" or comma-separated projection
+        "schema_parser",            # which parser normalizes the file
+    }
+)
+
+#: Keywords specific to *path* rules (6).
+PATH_KEYWORDS = frozenset(
+    {
+        "path_name",          # the file or directory to check
+        "path_description",
+        "ownership",          # "uid:gid" or "owner:group"
+        "permission",         # exact permission bits (e.g. 644)
+        "permission_mask",    # maximum allowed bits ("no more permissive than")
+        "exists",             # True: must exist; False: must not exist
+    }
+)
+
+#: Keywords specific to *script* rules (3).
+SCRIPT_KEYWORDS = frozenset(
+    {
+        "script_name",
+        "script_description",
+        "script",             # "<plugin> <key>", e.g. "docker HostConfig.Privileged"
+    }
+)
+
+#: Keywords specific to *composite* rules (3).
+COMPOSITE_KEYWORDS = frozenset(
+    {
+        "composite_rule_name",
+        "composite_rule_description",
+        "composite_rule",     # boolean expression over per-entity evaluations
+    }
+)
+
+#: Keyword sets per rule type.
+KEYWORDS_BY_TYPE = {
+    "tree": TREE_KEYWORDS,
+    "schema": SCHEMA_KEYWORDS,
+    "path": PATH_KEYWORDS,
+    "script": SCRIPT_KEYWORDS,
+    "composite": COMPOSITE_KEYWORDS,
+}
+
+#: The keyword that identifies (and names) each rule type.
+NAME_KEYWORD_BY_TYPE = {
+    "tree": "config_name",
+    "schema": "config_schema_name",
+    "path": "path_name",
+    "script": "script_name",
+    "composite": "composite_rule_name",
+}
+
+#: Every keyword in the language.
+ALL_KEYWORDS = (
+    COMMON_KEYWORDS
+    | TREE_KEYWORDS
+    | SCHEMA_KEYWORDS
+    | PATH_KEYWORDS
+    | SCRIPT_KEYWORDS
+    | COMPOSITE_KEYWORDS
+)
+
+# The paper's count: 19 common + 9 tree + 6 schema + 6 path + 3 script
+# + 3 composite = 46.
+assert len(COMMON_KEYWORDS) == 19, len(COMMON_KEYWORDS)
+assert len(ALL_KEYWORDS) == 46, len(ALL_KEYWORDS)
+
+
+def allowed_keywords(rule_type: str) -> frozenset[str]:
+    """Keywords a rule of ``rule_type`` may use (common + type-specific)."""
+    return COMMON_KEYWORDS | KEYWORDS_BY_TYPE[rule_type]
+
+
+def infer_rule_type(keys) -> str | None:
+    """Infer the rule type from which name keyword a mapping carries."""
+    present = [
+        rule_type
+        for rule_type, name_key in NAME_KEYWORD_BY_TYPE.items()
+        if name_key in keys
+    ]
+    if len(present) == 1:
+        return present[0]
+    return None

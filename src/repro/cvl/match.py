@@ -1,0 +1,104 @@
+"""Value matching semantics (``preferred_value_match`` and friends).
+
+A match spec is written ``"<mode>,<quant>"`` (whitespace-tolerant, e.g.
+the paper's ``substr ,all``):
+
+* mode -- how one rule value compares against one found value:
+  ``exact`` (string equality), ``substr`` (rule value contained in the
+  found value), ``regex`` (rule value is a pattern searched in the found
+  value).
+* quant -- how the rule's value *list* aggregates: ``any`` (at least one
+  rule value matches) or ``all`` (every rule value matches).
+
+The paper's Listing 2 reads naturally under these semantics::
+
+    preferred_value: ["TLSv1.2", "TLSv1.3"]
+    preferred_value_match: substr,all      # both must appear in the value
+
+    non_preferred_value: ["SSLv2", "SSLv3", ...]
+    non_preferred_value_match: substr,any  # any one appearing is a finding
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.errors import CVLKeywordError
+
+MODES = ("exact", "substr", "regex")
+QUANTIFIERS = ("any", "all")
+
+
+@dataclass(frozen=True)
+class MatchSpec:
+    """Parsed ``"<mode>,<quant>"`` pair."""
+
+    mode: str = "exact"
+    quantifier: str = "any"
+
+    def matches(
+        self,
+        found_value: str,
+        rule_values: list[str],
+        *,
+        case_insensitive: bool = False,
+    ) -> bool:
+        """Evaluate this spec for one found value against the rule's list."""
+        if not rule_values:
+            return False
+        check = all if self.quantifier == "all" else any
+        return check(
+            self._one(found_value, rule_value, case_insensitive)
+            for rule_value in rule_values
+        )
+
+    def _one(self, found: str, expected: str, case_insensitive: bool) -> bool:
+        if self.mode == "regex":
+            flags = re.IGNORECASE if case_insensitive else 0
+            return _compile(expected, flags).search(found) is not None
+        if case_insensitive:
+            found = found.lower()
+            expected = expected.lower()
+        if self.mode == "exact":
+            return found == expected
+        return expected in found  # substr
+
+    def __str__(self) -> str:
+        return f"{self.mode},{self.quantifier}"
+
+
+@lru_cache(maxsize=2048)
+def _compile(pattern: str, flags: int) -> re.Pattern:
+    try:
+        return re.compile(pattern, flags)
+    except re.error as exc:
+        raise CVLKeywordError(f"bad regex {pattern!r} in match spec: {exc}") from exc
+
+
+def parse_match_spec(raw: str | None, default: MatchSpec | None = None) -> MatchSpec:
+    """Parse ``"substr ,all"``-style text into a :class:`MatchSpec`.
+
+    ``None``/empty returns ``default`` (or exact,any).
+    """
+    if raw is None or not str(raw).strip():
+        return default or MatchSpec()
+    parts = [part.strip().lower() for part in str(raw).split(",")]
+    if len(parts) == 1:
+        parts.append("any")
+    if len(parts) != 2:
+        raise CVLKeywordError(
+            f"match spec {raw!r} must be '<mode>,<quantifier>'"
+        )
+    mode, quantifier = parts
+    if mode not in MODES:
+        raise CVLKeywordError(
+            f"match mode {mode!r} not in {list(MODES)} (from {raw!r})"
+        )
+    if quantifier not in QUANTIFIERS:
+        raise CVLKeywordError(
+            f"match quantifier {quantifier!r} not in {list(QUANTIFIERS)} "
+            f"(from {raw!r})"
+        )
+    return MatchSpec(mode=mode, quantifier=quantifier)

@@ -1,0 +1,155 @@
+"""CVL rule object model.
+
+The loader turns YAML mappings into these dataclasses; the rule engine
+consumes them.  Each class mirrors one of the paper's five rule types.
+``raw`` keeps the original mapping for inheritance merging and for the
+encoding-effort accounting in the Listing 6 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CVLError
+from repro.cvl.match import MatchSpec
+
+SEVERITIES = ("informational", "low", "medium", "high", "critical")
+
+
+@dataclass
+class Rule:
+    """Fields shared by all rule types (the common-keyword group)."""
+
+    name: str
+    description: str = ""
+    tags: list[str] = field(default_factory=list)
+    severity: str = "medium"
+    enabled: bool = True
+    suggested_action: str = ""
+    preferred_value: list[str] = field(default_factory=list)
+    non_preferred_value: list[str] = field(default_factory=list)
+    preferred_match: MatchSpec = field(default_factory=MatchSpec)
+    non_preferred_match: MatchSpec = field(default_factory=MatchSpec)
+    matched_description: str = ""
+    not_matched_description: str = ""
+    not_present_description: str = ""
+    not_present_pass: bool = False
+    source: str = "<memory>"
+    raw: dict = field(default_factory=dict)
+
+    rule_type = "abstract"
+
+    def has_tag(self, tag: str) -> bool:
+        """Case-insensitive tag membership (``#`` prefix optional)."""
+        wanted = tag.lower().lstrip("#")
+        return any(t.lower().lstrip("#") == wanted for t in self.tags)
+
+
+@dataclass
+class TreeRule(Rule):
+    """Config-tree rule (paper Listing 2)."""
+
+    config_path: list[str] = field(default_factory=lambda: [""])
+    file_context: list[str] = field(default_factory=list)
+    require_other_configs: list[str] = field(default_factory=list)
+    lens: str | None = None
+    first_match_only: bool = False
+    value_separator: str | None = None
+    case_insensitive: bool = False
+
+    rule_type = "tree"
+
+
+@dataclass
+class SchemaRule(Rule):
+    """Schema rule (paper Listing 3)."""
+
+    query_constraints: str = ""
+    query_constraints_value: list[str] = field(default_factory=list)
+    query_columns: str = "*"
+    schema_parser: str | None = None
+    file_context: list[str] = field(default_factory=list)
+
+    rule_type = "schema"
+
+
+@dataclass
+class PathRule(Rule):
+    """Path/metadata rule (paper Listing 4).  ``name`` is the path."""
+
+    ownership: str | None = None
+    permission: int | None = None        # exact bits, e.g. 0o644
+    permission_mask: int | None = None   # maximum allowed bits
+    must_exist: bool | None = None       # None: exist iff any check is set
+
+    rule_type = "path"
+
+    def expects_existence(self) -> bool:
+        """Whether the path is required to exist."""
+        if self.must_exist is not None:
+            return self.must_exist
+        return True
+
+
+@dataclass
+class ScriptRule(Rule):
+    """Script rule: validates plugin-extracted runtime state.
+
+    ``script`` is ``"<plugin> <key>"`` -- the plugin namespace and the
+    flattened key within it, e.g. ``"docker HostConfig.Privileged"`` or
+    ``"mysql have_ssl"``.
+    """
+
+    script: str = ""
+
+    rule_type = "script"
+
+    def plugin_and_key(self) -> tuple[str, str]:
+        parts = self.script.split(None, 1)
+        if len(parts) != 2:
+            raise CVLError(
+                f"script rule {self.name!r}: script must be '<plugin> <key>', "
+                f"got {self.script!r}"
+            )
+        return parts[0], parts[1].strip()
+
+
+@dataclass
+class CompositeRule(Rule):
+    """Composite rule: a boolean expression over per-entity evaluations
+    (paper Listing 1)."""
+
+    expression: str = ""
+
+    rule_type = "composite"
+
+
+@dataclass
+class RuleSet:
+    """An ordered collection of rules for one entity (one CVL file)."""
+
+    entity: str
+    rules: list[Rule] = field(default_factory=list)
+    source: str = "<memory>"
+    parent_source: str | None = None
+
+    def by_name(self, name: str) -> Rule | None:
+        for rule in self.rules:
+            if rule.name == name:
+                return rule
+        return None
+
+    def enabled_rules(self) -> list[Rule]:
+        return [rule for rule in self.rules if rule.enabled]
+
+    def with_tag(self, tag: str) -> list[Rule]:
+        return [rule for rule in self.rules if rule.has_tag(tag)]
+
+    def of_type(self, rule_type: str) -> list[Rule]:
+        return [rule for rule in self.rules if rule.rule_type == rule_type]
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self):
+        return iter(self.rules)

@@ -1,0 +1,38 @@
+"""The rule engine and output processing (paper Fig. 1, right half)."""
+
+from repro.engine.engine import ConfigValidator
+from repro.engine.normalizer import Normalizer
+from repro.engine.results import (
+    Evidence,
+    Outcome,
+    RuleResult,
+    ValidationReport,
+    Verdict,
+)
+from repro.engine.drift import DriftEntry, DriftReport, diff_reports, render_drift
+from repro.engine.report import (
+    render_json,
+    render_result,
+    render_text,
+    result_to_dict,
+    summarize_by_entity,
+)
+
+__all__ = [
+    "ConfigValidator",
+    "DriftEntry",
+    "DriftReport",
+    "diff_reports",
+    "render_drift",
+    "Evidence",
+    "Normalizer",
+    "Outcome",
+    "RuleResult",
+    "ValidationReport",
+    "Verdict",
+    "render_json",
+    "render_result",
+    "render_text",
+    "result_to_dict",
+    "summarize_by_entity",
+]

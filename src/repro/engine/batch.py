@@ -1,0 +1,214 @@
+"""Fleet-scale scanning and dashboard rollups.
+
+The production deployment (paper §5) does not show operators one report
+per container -- it shows fleet dashboards: which rules fail most, which
+entities are worst, how compliance breaks down per checklist tag.
+:class:`BatchScanner` validates a fleet and produces those rollups.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.crawler.crawler import Crawler
+from repro.crawler.entities import Entity
+from repro.crawler.frame import ConfigFrame
+from repro.engine.engine import ConfigValidator
+from repro.engine.results import RuleResult, ValidationReport, Verdict
+
+_SEVERITY_ORDER = ("informational", "low", "medium", "high", "critical")
+
+
+def severity_rank(severity: str) -> int:
+    """Position of ``severity`` in the escalation order (unknown -> 0)."""
+    try:
+        return _SEVERITY_ORDER.index(severity)
+    except ValueError:
+        return 0
+
+
+@dataclass
+class RuleRollup:
+    """Fleet-wide stats for one rule."""
+
+    entity: str
+    rule_name: str
+    severity: str
+    failed: int = 0
+    passed: int = 0
+    message: str = ""
+
+    @property
+    def checked(self) -> int:
+        return self.failed + self.passed
+
+    @property
+    def failure_rate(self) -> float:
+        return self.failed / self.checked if self.checked else 0.0
+
+
+@dataclass
+class EntityRollup:
+    """Per-scanned-entity stats."""
+
+    target: str
+    failed: int = 0
+    passed: int = 0
+    worst_severity: str = "informational"
+
+    @property
+    def checked(self) -> int:
+        return self.failed + self.passed
+
+
+@dataclass
+class FleetSummary:
+    """Everything a fleet dashboard shows for one scan cycle."""
+
+    report: ValidationReport
+    entities_scanned: int
+    elapsed_s: float
+    rules: dict[tuple[str, str], RuleRollup] = field(default_factory=dict)
+    entities: dict[str, EntityRollup] = field(default_factory=dict)
+    tag_failures: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Entities per second."""
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.entities_scanned / self.elapsed_s
+
+    def top_failing_rules(self, count: int = 10) -> list[RuleRollup]:
+        return sorted(
+            self.rules.values(),
+            key=lambda r: (-r.failed, -severity_rank(r.severity), r.rule_name),
+        )[:count]
+
+    def worst_entities(self, count: int = 10) -> list[EntityRollup]:
+        return sorted(
+            self.entities.values(),
+            key=lambda e: (-e.failed, -severity_rank(e.worst_severity), e.target),
+        )[:count]
+
+    def failures_at_least(self, severity: str) -> list[RuleResult]:
+        """Failed results at or above ``severity``."""
+        threshold = severity_rank(severity)
+        return [
+            result
+            for result in self.report.failed()
+            if severity_rank(result.rule.severity) >= threshold
+        ]
+
+    def compliance_rate(self) -> float:
+        counts = self.report.counts()
+        checked = counts["compliant"] + counts["noncompliant"]
+        return counts["compliant"] / checked if checked else 1.0
+
+
+class BatchScanner:
+    """Validate fleets and build dashboard summaries."""
+
+    def __init__(self, validator: ConfigValidator, crawler: Crawler | None = None):
+        self._validator = validator
+        self._crawler = crawler or Crawler()
+
+    def scan_entities(self, entities: list[Entity], *,
+                      tags: list[str] | None = None) -> FleetSummary:
+        """Crawl + validate ``entities`` and roll the results up."""
+        started = time.perf_counter()
+        frames = self._crawler.crawl_many(entities)
+        return self._summarize(
+            self._validator.validate_frames(frames, tags=tags),
+            len(entities),
+            time.perf_counter() - started,
+        )
+
+    def scan_frames(self, frames: list[ConfigFrame], *,
+                    tags: list[str] | None = None) -> FleetSummary:
+        """Validate pre-captured frames (the decoupled pipeline)."""
+        started = time.perf_counter()
+        report = self._validator.validate_frames(frames, tags=tags)
+        return self._summarize(
+            report, len(frames), time.perf_counter() - started
+        )
+
+    def _summarize(
+        self, report: ValidationReport, entity_count: int, elapsed: float
+    ) -> FleetSummary:
+        summary = FleetSummary(
+            report=report, entities_scanned=entity_count, elapsed_s=elapsed
+        )
+        for result in report:
+            if result.verdict not in (Verdict.COMPLIANT, Verdict.NONCOMPLIANT):
+                continue
+            key = (result.entity, result.rule.name)
+            rollup = summary.rules.get(key)
+            if rollup is None:
+                rollup = RuleRollup(
+                    entity=result.entity,
+                    rule_name=result.rule.name,
+                    severity=result.rule.severity,
+                )
+                summary.rules[key] = rollup
+            entity_rollup = summary.entities.get(result.target)
+            if entity_rollup is None:
+                entity_rollup = EntityRollup(target=result.target)
+                summary.entities[result.target] = entity_rollup
+            if result.verdict is Verdict.COMPLIANT:
+                rollup.passed += 1
+                entity_rollup.passed += 1
+            else:
+                rollup.failed += 1
+                rollup.message = result.message
+                entity_rollup.failed += 1
+                if severity_rank(result.rule.severity) > severity_rank(
+                    entity_rollup.worst_severity
+                ):
+                    entity_rollup.worst_severity = result.rule.severity
+                for tag in result.rule.tags:
+                    summary.tag_failures[tag] = (
+                        summary.tag_failures.get(tag, 0) + 1
+                    )
+        return summary
+
+
+def render_fleet_summary(summary: FleetSummary, *, top: int = 10) -> str:
+    """Dashboard text: compliance rate, top rules, worst entities, tags."""
+    counts = summary.report.counts()
+    lines = [
+        f"# fleet scan: {summary.entities_scanned} entities, "
+        f"{counts['total']} checks in {summary.elapsed_s:.2f}s "
+        f"({summary.throughput:,.0f} entities/s)",
+        f"# compliance: {summary.compliance_rate():.1%} "
+        f"({counts['compliant']} pass / {counts['noncompliant']} fail / "
+        f"{counts['not_applicable']} n/a / {counts['error']} error)",
+        "",
+        "top failing rules:",
+    ]
+    for rollup in summary.top_failing_rules(top):
+        if not rollup.failed:
+            continue
+        lines.append(
+            f"  {rollup.failed:4d}/{rollup.checked:<4d} "
+            f"[{rollup.severity:<8s}] {rollup.entity}/{rollup.rule_name}"
+        )
+    lines.append("")
+    lines.append("worst entities:")
+    for entity_rollup in summary.worst_entities(top):
+        if not entity_rollup.failed:
+            continue
+        lines.append(
+            f"  {entity_rollup.failed:4d} findings "
+            f"(worst: {entity_rollup.worst_severity})  {entity_rollup.target}"
+        )
+    if summary.tag_failures:
+        lines.append("")
+        lines.append("failures by tag:")
+        ranked = sorted(
+            summary.tag_failures.items(), key=lambda item: -item[1]
+        )
+        for tag, count in ranked[:top]:
+            lines.append(f"  {count:4d}  {tag}")
+    return "\n".join(lines)

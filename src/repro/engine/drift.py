@@ -1,0 +1,119 @@
+"""Drift analysis: compare two validation reports.
+
+Production usage (paper §5) scans entities continuously; what operators
+act on is the *delta* -- which checks regressed since the last scan, or
+how a running container diverges from the image it was started from.
+:func:`diff_reports` aligns two reports by (entity, rule) and buckets the
+changes; :func:`render_drift` prints the operator-facing summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.results import RuleResult, ValidationReport, Verdict
+
+
+@dataclass
+class DriftEntry:
+    """One (entity, rule) whose verdict changed between runs."""
+
+    entity: str
+    rule_name: str
+    before: Verdict | None   # None: rule absent in the earlier report
+    after: Verdict | None    # None: rule absent in the later report
+    message: str = ""
+
+    @property
+    def regressed(self) -> bool:
+        return (
+            self.after is Verdict.NONCOMPLIANT
+            and self.before is not Verdict.NONCOMPLIANT
+        )
+
+    @property
+    def fixed(self) -> bool:
+        return (
+            self.before is Verdict.NONCOMPLIANT
+            and self.after is Verdict.COMPLIANT
+        )
+
+
+@dataclass
+class DriftReport:
+    """All verdict changes between two runs."""
+
+    baseline: str
+    current: str
+    entries: list[DriftEntry] = field(default_factory=list)
+
+    def regressions(self) -> list[DriftEntry]:
+        return [entry for entry in self.entries if entry.regressed]
+
+    def fixes(self) -> list[DriftEntry]:
+        return [entry for entry in self.entries if entry.fixed]
+
+    def appeared(self) -> list[DriftEntry]:
+        return [entry for entry in self.entries if entry.before is None]
+
+    def disappeared(self) -> list[DriftEntry]:
+        return [entry for entry in self.entries if entry.after is None]
+
+    @property
+    def clean(self) -> bool:
+        return not self.regressions()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def _index(report: ValidationReport) -> dict[tuple[str, str], RuleResult]:
+    return {(result.entity, result.rule.name): result for result in report}
+
+
+def diff_reports(
+    baseline: ValidationReport, current: ValidationReport
+) -> DriftReport:
+    """Changes from ``baseline`` to ``current`` (aligned by entity+rule)."""
+    before_index = _index(baseline)
+    after_index = _index(current)
+    drift = DriftReport(baseline=baseline.target, current=current.target)
+    for key in sorted(set(before_index) | set(after_index)):
+        before = before_index.get(key)
+        after = after_index.get(key)
+        before_verdict = before.verdict if before else None
+        after_verdict = after.verdict if after else None
+        if before_verdict == after_verdict:
+            continue
+        drift.entries.append(
+            DriftEntry(
+                entity=key[0],
+                rule_name=key[1],
+                before=before_verdict,
+                after=after_verdict,
+                message=(after.message if after else (before.message if before else "")),
+            )
+        )
+    return drift
+
+
+def render_drift(drift: DriftReport) -> str:
+    """Operator-facing drift summary."""
+    lines = [
+        f"# drift: {drift.baseline}  ->  {drift.current}",
+        f"# {len(drift)} change(s): {len(drift.regressions())} regressed, "
+        f"{len(drift.fixes())} fixed, {len(drift.appeared())} new, "
+        f"{len(drift.disappeared())} gone",
+    ]
+    for label, entries in (
+        ("REGRESSED", drift.regressions()),
+        ("FIXED", drift.fixes()),
+    ):
+        for entry in entries:
+            before = entry.before.value if entry.before else "absent"
+            after = entry.after.value if entry.after else "absent"
+            lines.append(
+                f"[{label}] {entry.entity}: {entry.rule_name} "
+                f"({before} -> {after}) -- {entry.message}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,384 @@
+"""The ConfigValidator engine: manifests + CVL rules applied to frames.
+
+Pipeline per the paper's Figure 1: the *Config Extractor* (crawler)
+produced a frame; the engine drives the *Data Normalizer* (lenses /
+schema parsers) and the *Rule Engine* (per-type evaluators, composite
+conjunction/disjunction across entities), and hands results to *Output
+Processing* (:mod:`repro.engine.report`).
+
+The same engine instance validates hosts, images, containers, and cloud
+frames; entities differ only in what their frames contain.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.errors import EngineError, EntityNotFound
+from repro.augtree.lenses import LensRegistry
+from repro.crawler.crawler import Crawler
+from repro.crawler.entities import Entity
+from repro.crawler.frame import ConfigFrame
+from repro.cvl.composite_expr import evaluate_composite, referenced_entities
+from repro.cvl.loader import load_rules
+from repro.cvl.manifest import Manifest, load_manifests
+from repro.cvl.model import (
+    CompositeRule,
+    PathRule,
+    Rule,
+    RuleSet,
+    SchemaRule,
+    ScriptRule,
+    TreeRule,
+)
+from repro.engine.evaluators import (
+    evaluate_path,
+    evaluate_schema,
+    evaluate_script,
+    evaluate_tree,
+)
+from repro.engine.normalizer import Normalizer
+from repro.engine.results import (
+    Evidence,
+    Outcome,
+    RuleResult,
+    ValidationReport,
+    Verdict,
+)
+from repro.schema import SchemaParserRegistry
+
+#: Resolves a cvl_file reference to YAML text.
+Resolver = Callable[[str], str]
+
+
+class _RunContext:
+    """Composite-expression context for one validation run."""
+
+    def __init__(self, validator: "ConfigValidator", normalizer: Normalizer):
+        self._validator = validator
+        self._normalizer = normalizer
+        #: (component, rule name) -> bool | None
+        self.verdicts: dict[tuple[str, str], bool | None] = {}
+        #: component -> list of (frame, manifest) pairs it was evaluated on
+        self.placements: dict[str, list[tuple[ConfigFrame, Manifest]]] = {}
+
+    def record(self, manifest: Manifest, frame: ConfigFrame,
+               results: list[RuleResult]) -> None:
+        self.placements.setdefault(manifest.entity, []).append((frame, manifest))
+        for result in results:
+            if result.verdict is Verdict.COMPLIANT:
+                verdict: bool | None = True
+            elif result.verdict is Verdict.NONCOMPLIANT:
+                verdict = False
+            else:
+                verdict = None
+            key = (result.entity, result.rule.name)
+            # Cross-frame merge: a composite term holds if the per-entity
+            # rule is COMPLIANT on *some* entity of the group (the paper's
+            # Listing 1 reads "is ip_forward disabled [on the host that
+            # carries sysctl]", not "on every frame in the run").
+            existing = self.verdicts.get(key)
+            if existing is True:
+                continue
+            if verdict is True or existing is None:
+                self.verdicts[key] = verdict
+
+    # -- CompositeContext protocol ------------------------------------------
+
+    def rule_verdict(self, entity: str, config: str) -> bool | None:
+        return self.verdicts.get((entity, config))
+
+    def lookup_value(
+        self, entity: str, config: str, config_path: str | None
+    ) -> str | None:
+        for frame, manifest in self.placements.get(entity, []):
+            value = self._lookup_in(frame, manifest, config, config_path)
+            if value is not None:
+                return value
+        return None
+
+    def _lookup_in(
+        self,
+        frame: ConfigFrame,
+        manifest: Manifest,
+        config: str,
+        config_path: str | None,
+    ) -> str | None:
+        expression = f"{config_path}/{config}" if config_path else f"**/{config}"
+        files = self._normalizer.candidate_files(
+            frame, manifest.config_search_paths, []
+        )
+        for path in files:
+            tree = self._normalizer.try_tree(frame, path, manifest.lens)
+            if tree is None:
+                continue
+            node = tree.first(expression)
+            if node is not None:
+                return node.value if node.value is not None else ""
+        # Fall back to plugin runtime state under the component's namespace
+        # (lets composites reference live state, e.g. sysctl values).
+        namespace = frame.runtime.get(manifest.entity)
+        if namespace is not None:
+            return namespace.get(config)
+        return None
+
+
+class ConfigValidator:
+    """Applies CVL rule packs to configuration frames."""
+
+    def __init__(
+        self,
+        *,
+        resolver: Resolver | None = None,
+        lenses: LensRegistry | None = None,
+        schemas: SchemaParserRegistry | None = None,
+        crawler: Crawler | None = None,
+    ):
+        self._resolver = resolver
+        self._lenses = lenses
+        self._schemas = schemas
+        self._crawler = crawler or Crawler()
+        self._manifests: dict[str, Manifest] = {}
+        self._rulesets: dict[str, RuleSet] = {}
+
+    # ---- configuration ----------------------------------------------------
+
+    def add_manifest(self, manifest: Manifest) -> None:
+        self._manifests[manifest.entity] = manifest
+
+    def add_manifest_text(self, text: str, source: str = "<memory>") -> list[Manifest]:
+        manifests = load_manifests(text, source)
+        for manifest in manifests:
+            self.add_manifest(manifest)
+        return manifests
+
+    def add_ruleset(self, manifest: Manifest, ruleset: RuleSet) -> None:
+        """Attach an already-built ruleset (bypasses the resolver)."""
+        self.add_manifest(manifest)
+        self._rulesets[manifest.entity] = ruleset
+
+    def manifests(self) -> list[Manifest]:
+        return [self._manifests[name] for name in sorted(self._manifests)]
+
+    def manifest(self, entity: str) -> Manifest:
+        try:
+            return self._manifests[entity]
+        except KeyError:
+            raise EntityNotFound(f"no manifest for entity {entity!r}") from None
+
+    def ruleset_for(self, manifest: Manifest) -> RuleSet:
+        """Load (and cache) the rule set behind a manifest."""
+        cached = self._rulesets.get(manifest.entity)
+        if cached is not None:
+            return cached
+        if self._resolver is None:
+            raise EngineError(
+                f"manifest {manifest.entity!r} references {manifest.cvl_file!r} "
+                f"but the validator has no resolver"
+            )
+        text = self._resolver(manifest.cvl_file)
+        ruleset = load_rules(
+            text,
+            source=manifest.cvl_file,
+            entity=manifest.entity,
+            resolver=self._resolver,
+        )
+        if manifest.parent_cvl_file and ruleset.parent_source is None:
+            from repro.cvl.loader import merge_inherited
+
+            parent_text = self._resolver(manifest.parent_cvl_file)
+            parent = load_rules(
+                parent_text,
+                source=manifest.parent_cvl_file,
+                entity=manifest.entity,
+                resolver=self._resolver,
+            )
+            ruleset = merge_inherited(parent, ruleset)
+        self._rulesets[manifest.entity] = ruleset
+        return ruleset
+
+    def rule_count(self) -> int:
+        """Total enabled rules across all manifests."""
+        return sum(
+            len(self.ruleset_for(manifest).enabled_rules())
+            for manifest in self.manifests()
+            if manifest.enabled
+        )
+
+    # ---- validation -----------------------------------------------------
+
+    def validate_frame(
+        self,
+        frame: ConfigFrame,
+        *,
+        tags: list[str] | None = None,
+        include_composites: bool = True,
+    ) -> ValidationReport:
+        """Validate one frame against every enabled manifest."""
+        return self.validate_frames([frame], tags=tags,
+                                    include_composites=include_composites)
+
+    def validate_frames(
+        self,
+        frames: list[ConfigFrame],
+        *,
+        tags: list[str] | None = None,
+        include_composites: bool = True,
+    ) -> ValidationReport:
+        """Validate a group of frames together.
+
+        Per-entity rules run against every frame; composite rules run once
+        over the merged cross-frame context (this is how a rule can span a
+        MySQL container, a host's sysctl, and an nginx container).
+        """
+        normalizer = Normalizer(self._lenses, self._schemas)
+        context = _RunContext(self, normalizer)
+        target = ",".join(frame.describe() for frame in frames)
+        report = ValidationReport(target=target)
+
+        # Composite rules are cross-entity: they belong to the run, not to
+        # any one frame, so gather them up front from every enabled pack.
+        composites: list[tuple[Manifest, CompositeRule]] = []
+        for manifest in self.manifests():
+            if not manifest.enabled:
+                continue
+            for rule in self.ruleset_for(manifest).enabled_rules():
+                if isinstance(rule, CompositeRule):
+                    if tags and not any(rule.has_tag(tag) for tag in tags):
+                        continue
+                    composites.append((manifest, rule))
+
+        for frame in frames:
+            for manifest in self.manifests():
+                if not manifest.enabled:
+                    continue
+                if not manifest.applies_to_kind(frame.entity_kind):
+                    continue
+                ruleset = self.ruleset_for(manifest)
+                if not self._component_present(frame, manifest, ruleset, normalizer):
+                    continue  # the component is not installed on this entity
+                frame_results: list[RuleResult] = []
+                for rule in ruleset.enabled_rules():
+                    if isinstance(rule, CompositeRule):
+                        continue
+                    if tags and not any(rule.has_tag(tag) for tag in tags):
+                        continue
+                    started = time.perf_counter()
+                    result = self._evaluate(rule, frame, manifest, normalizer)
+                    result.duration_s = time.perf_counter() - started
+                    frame_results.append(result)
+                context.record(manifest, frame, frame_results)
+                report.extend(frame_results)
+
+        if include_composites:
+            for manifest, rule in composites:
+                report.add(self._evaluate_composite(rule, manifest, context, target))
+        return report
+
+    def validate_entity(
+        self, entity: Entity, *, tags: list[str] | None = None
+    ) -> ValidationReport:
+        """Crawl ``entity`` and validate the resulting frame."""
+        frame = self._crawler.crawl(entity)
+        return self.validate_frame(frame, tags=tags)
+
+    def validate_entities(
+        self, entities: list[Entity], *, tags: list[str] | None = None
+    ) -> ValidationReport:
+        """Crawl and validate a group of entities together (composites see
+        the whole group)."""
+        frames = self._crawler.crawl_many(entities)
+        return self.validate_frames(frames, tags=tags)
+
+    # ---- internals ---------------------------------------------------------
+
+    @staticmethod
+    def _component_present(
+        frame: ConfigFrame,
+        manifest: Manifest,
+        ruleset: RuleSet,
+        normalizer: Normalizer,
+    ) -> bool:
+        """A component's rules only run where the component exists: some
+        file under its search paths, or runtime state the pack's script
+        rules consume.  (The production system scopes packs the same way
+        -- an nginx pack must not flood a MySQL container with "not
+        present" findings.)"""
+        if manifest.entity in frame.runtime:
+            return True
+        if not manifest.config_search_paths:
+            return True  # nothing to scope by; run everywhere
+        if normalizer.files_in_search_paths(frame, manifest.config_search_paths):
+            return True
+        for rule in ruleset.enabled_rules():
+            if isinstance(rule, ScriptRule):
+                plugin, _key = rule.plugin_and_key()
+                if plugin in frame.runtime:
+                    return True
+        return False
+
+    def _evaluate(
+        self,
+        rule: Rule,
+        frame: ConfigFrame,
+        manifest: Manifest,
+        normalizer: Normalizer,
+    ) -> RuleResult:
+        if isinstance(rule, TreeRule):
+            return evaluate_tree(rule, frame, manifest, normalizer)
+        if isinstance(rule, SchemaRule):
+            return evaluate_schema(rule, frame, manifest, normalizer)
+        if isinstance(rule, PathRule):
+            return evaluate_path(rule, frame, manifest)
+        if isinstance(rule, ScriptRule):
+            return evaluate_script(rule, frame, manifest)
+        raise EngineError(f"no evaluator for rule type {type(rule).__name__}")
+
+    def _evaluate_composite(
+        self,
+        rule: CompositeRule,
+        manifest: Manifest,
+        context: _RunContext,
+        target: str,
+    ) -> RuleResult:
+        missing = [
+            entity
+            for entity in sorted(referenced_entities(rule.expression))
+            if entity not in context.placements
+        ]
+        if missing:
+            return RuleResult(
+                rule=rule,
+                entity=manifest.entity,
+                target=target,
+                verdict=Verdict.NOT_APPLICABLE,
+                outcome=Outcome.COMPOSITE,
+                message=(
+                    f"{rule.name}: referenced entities not in this run: "
+                    f"{', '.join(missing)}"
+                ),
+            )
+        outcome = evaluate_composite(rule.expression, context)
+        verdict = Verdict.COMPLIANT if outcome.passed else Verdict.NONCOMPLIANT
+        message = (
+            rule.matched_description
+            if outcome.passed
+            else rule.not_matched_description
+        ) or rule.description or rule.name
+        evidence = [
+            Evidence(location=term, value="true" if ok else "false")
+            for term, ok in outcome.term_results
+        ]
+        return RuleResult(
+            rule=rule,
+            entity=manifest.entity,
+            target=target,
+            verdict=verdict,
+            outcome=Outcome.COMPOSITE,
+            message=message,
+            evidence=evidence,
+            detail="; ".join(
+                f"{term} -> {ok}" for term, ok in outcome.term_results
+            ),
+        )

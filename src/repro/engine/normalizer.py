@@ -1,0 +1,133 @@
+"""The Data Normalizer: raw frame files -> config trees / schema tables.
+
+One normalizer instance serves one validation run; parsed artifacts are
+cached per (frame, file, parser) because many rules read the same file
+(every sshd rule parses sshd_config once, not forty times).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import posixpath
+
+from repro.errors import LensError, SchemaError
+from repro.augtree.lenses import LensRegistry, default_registry
+from repro.augtree.tree import ConfigTree
+from repro.crawler.frame import ConfigFrame
+from repro.schema import (
+    SchemaParserRegistry,
+    SchemaTable,
+    default_schema_registry,
+)
+
+
+class Normalizer:
+    """File discovery + parsing with per-run caching."""
+
+    def __init__(
+        self,
+        lenses: LensRegistry | None = None,
+        schemas: SchemaParserRegistry | None = None,
+    ):
+        self.lenses = lenses or default_registry()
+        self.schemas = schemas or default_schema_registry()
+        self._tree_cache: dict[tuple[int, str, str], ConfigTree] = {}
+        self._table_cache: dict[tuple[int, str, str], SchemaTable] = {}
+        self._files_cache: dict[tuple[int, tuple[str, ...]], list[str]] = {}
+
+    # ---- discovery --------------------------------------------------------
+
+    def files_in_search_paths(
+        self, frame: ConfigFrame, search_paths: list[str]
+    ) -> list[str]:
+        """Every file under the manifest's search paths (cached)."""
+        key = (id(frame), tuple(search_paths))
+        cached = self._files_cache.get(key)
+        if cached is None:
+            cached = []
+            for top in search_paths:
+                cached.extend(frame.files.files_under(top))
+            self._files_cache[key] = cached
+        return list(cached)
+
+    def candidate_files(
+        self,
+        frame: ConfigFrame,
+        search_paths: list[str],
+        file_context: list[str],
+    ) -> list[str]:
+        """Files a rule applies to.
+
+        Each ``file_context`` item is a glob when it contains wildcard
+        characters, otherwise a substring of the path (the paper's Listing
+        2 uses ``"sites -enabled"`` to mean "any file under
+        sites-enabled/").  Without a file_context every file under the
+        search paths is a candidate.
+        """
+        files = self.files_in_search_paths(frame, search_paths)
+        if not file_context:
+            return files
+        selected: list[str] = []
+        for path in files:
+            basename = posixpath.basename(path)
+            for pattern in file_context:
+                pattern = pattern.strip()
+                if any(char in pattern for char in "*?["):
+                    target = path if "/" in pattern else basename
+                    if fnmatch.fnmatch(target, pattern):
+                        selected.append(path)
+                        break
+                elif pattern in path:
+                    selected.append(path)
+                    break
+        return selected
+
+    # ---- parsing -----------------------------------------------------------
+
+    def tree_for(
+        self, frame: ConfigFrame, path: str, lens_name: str | None = None
+    ) -> ConfigTree:
+        """Parse ``path`` with the named lens (or by filename pattern,
+        falling back to the generic key-value lens)."""
+        key = (id(frame), path, lens_name or "")
+        cached = self._tree_cache.get(key)
+        if cached is not None:
+            return cached
+        if lens_name:
+            lens = self.lenses.get(lens_name)
+        else:
+            lens = self.lenses.for_file(path) or self.lenses.get("keyvalue")
+        tree = lens.parse(frame.read_config(path), source=path)
+        self._tree_cache[key] = tree
+        return tree
+
+    def table_for(
+        self, frame: ConfigFrame, path: str, parser_name: str | None = None
+    ) -> SchemaTable:
+        """Parse ``path`` with the named schema parser (or by pattern)."""
+        key = (id(frame), path, parser_name or "")
+        cached = self._table_cache.get(key)
+        if cached is not None:
+            return cached
+        if parser_name:
+            parser = self.schemas.get(parser_name)
+        else:
+            parser = self.schemas.for_file(path)
+            if parser is None:
+                raise SchemaError(
+                    f"no schema parser matches {path!r}; set schema_parser "
+                    f"in the rule or manifest"
+                )
+        table = parser.parse(frame.read_config(path), source=path)
+        self._table_cache[key] = table
+        return table
+
+    def try_tree(
+        self, frame: ConfigFrame, path: str, lens_name: str | None = None
+    ) -> ConfigTree | None:
+        """``tree_for`` that returns None on parse failure (used by
+        composite lookups that probe many files)."""
+        try:
+            return self.tree_for(frame, path, lens_name)
+        except LensError:
+            return None

@@ -1,0 +1,147 @@
+"""Output processing: validation results -> human- and machine-readable
+reports (paper Fig. 1's last stage).
+
+The text renderer combines each result's verdict with the rule's
+descriptions and suggested action, exactly as the paper describes:
+"It combines the rule engine's validation result with a rule description,
+validation output description and a possible suggestive action."
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.engine.results import RuleResult, ValidationReport, Verdict
+
+_BADGES = {
+    Verdict.COMPLIANT: "PASS",
+    Verdict.NONCOMPLIANT: "FAIL",
+    Verdict.NOT_APPLICABLE: "N/A ",
+    Verdict.ERROR: "ERR ",
+}
+
+
+def render_result(result: RuleResult, *, verbose: bool = False) -> str:
+    """One result as a single line (plus evidence lines when verbose)."""
+    badge = _BADGES[result.verdict]
+    line = f"[{badge}] {result.entity}: {result.rule.name} -- {result.message}"
+    if result.rule.tags:
+        line += f"  ({' '.join(result.rule.tags)})"
+    if not verbose:
+        return line
+    lines = [line]
+    for item in result.evidence:
+        rendered = item.render()
+        if rendered:
+            lines.append(f"        {rendered}")
+    if result.failed and result.rule.suggested_action:
+        lines.append(f"        action: {result.rule.suggested_action}")
+    return "\n".join(lines)
+
+
+def render_text(
+    report: ValidationReport,
+    *,
+    verbose: bool = False,
+    only_failures: bool = False,
+) -> str:
+    """Full text report with a summary footer."""
+    lines = [f"# ConfigValidator report for {report.target}"]
+    for result in report:
+        if only_failures and not result.failed and result.verdict is not Verdict.ERROR:
+            continue
+        lines.append(render_result(result, verbose=verbose))
+    counts = report.counts()
+    lines.append(
+        f"# {counts['total']} checks: {counts['compliant']} passed, "
+        f"{counts['noncompliant']} failed, {counts['not_applicable']} n/a, "
+        f"{counts['error']} errors"
+    )
+    return "\n".join(lines)
+
+
+def result_to_dict(result: RuleResult) -> dict:
+    return {
+        "rule": result.rule.name,
+        "rule_type": result.rule.rule_type,
+        "entity": result.entity,
+        "target": result.target,
+        "verdict": result.verdict.value,
+        "outcome": result.outcome.value,
+        "severity": result.rule.severity,
+        "message": result.message,
+        "tags": list(result.rule.tags),
+        "suggested_action": result.rule.suggested_action,
+        "evidence": [
+            {"file": e.file, "location": e.location, "value": e.value}
+            for e in result.evidence
+        ],
+    }
+
+
+def render_json(report: ValidationReport, *, indent: int | None = 2) -> str:
+    """Machine-readable report (one document per run)."""
+    return json.dumps(
+        {
+            "target": report.target,
+            "summary": report.counts(),
+            "results": [result_to_dict(result) for result in report],
+        },
+        indent=indent,
+        sort_keys=False,
+    )
+
+
+def render_junit(report: ValidationReport, *, suite_name: str = "configvalidator") -> str:
+    """JUnit-style XML so CI systems can consume validation runs.
+
+    Verdict mapping: NONCOMPLIANT -> ``<failure>``, ERROR -> ``<error>``,
+    NOT_APPLICABLE -> ``<skipped>``, COMPLIANT -> plain testcase.
+    """
+    from xml.sax.saxutils import escape, quoteattr
+
+    counts = report.counts()
+    lines = [
+        '<?xml version="1.0" encoding="UTF-8"?>',
+        f"<testsuite name={quoteattr(suite_name)} "
+        f'tests="{counts["total"]}" failures="{counts["noncompliant"]}" '
+        f'errors="{counts["error"]}" skipped="{counts["not_applicable"]}">',
+    ]
+    for result in report:
+        case_name = quoteattr(result.rule.name)
+        class_name = quoteattr(f"{result.target}.{result.entity}")
+        if result.verdict is Verdict.COMPLIANT:
+            lines.append(
+                f"  <testcase classname={class_name} name={case_name}/>"
+            )
+            continue
+        lines.append(
+            f"  <testcase classname={class_name} name={case_name}>"
+        )
+        message = escape(result.message)
+        if result.verdict is Verdict.NONCOMPLIANT:
+            body = escape(
+                "\n".join(item.render() for item in result.evidence)
+            )
+            lines.append(
+                f'    <failure message="{escape(result.message, {chr(34): "&quot;"})}"'
+                f" type={quoteattr(result.outcome.value)}>{body}</failure>"
+            )
+        elif result.verdict is Verdict.ERROR:
+            lines.append(f"    <error>{message}</error>")
+        else:
+            lines.append(f"    <skipped>{message}</skipped>")
+        lines.append("  </testcase>")
+    lines.append("</testsuite>")
+    return "\n".join(lines) + "\n"
+
+
+def summarize_by_entity(report: ValidationReport) -> dict[str, dict[str, int]]:
+    """Per-entity pass/fail tally (used by fleet-scale reporting)."""
+    tally: dict[str, dict[str, int]] = {}
+    for result in report:
+        bucket = tally.setdefault(
+            result.entity, {v.value: 0 for v in Verdict}
+        )
+        bucket[result.verdict.value] += 1
+    return tally

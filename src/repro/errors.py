@@ -1,0 +1,112 @@
+"""Exception hierarchy for the ConfigValidator reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type at the API boundary.  Subsystems raise the most
+specific subclass that applies; error messages always name the offending
+artifact (file, rule, path expression, ...) because validation runs are
+typically batch jobs whose logs are read long after the fact.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class FilesystemError(ReproError):
+    """Base class for virtual-filesystem errors."""
+
+
+class FileNotFoundInFrame(FilesystemError):
+    """A path was requested that does not exist in the (virtual) filesystem."""
+
+
+class NotADirectoryInFrame(FilesystemError):
+    """A directory operation was attempted on a non-directory node."""
+
+class IsADirectoryInFrame(FilesystemError):
+    """A file operation was attempted on a directory node."""
+
+
+class LensError(ReproError):
+    """A lens failed to parse a configuration file."""
+
+    def __init__(self, lens: str, message: str, line: int | None = None):
+        self.lens = lens
+        self.line = line
+        where = f" (line {line})" if line is not None else ""
+        super().__init__(f"lens {lens!r}: {message}{where}")
+
+
+class PathExpressionError(ReproError):
+    """A config-tree path expression could not be parsed."""
+
+
+class SchemaError(ReproError):
+    """A schema-pattern file could not be parsed into a table."""
+
+
+class QueryError(ReproError):
+    """A schema query (``query_constraints``) is malformed."""
+
+
+class CVLError(ReproError):
+    """Base class for CVL specification errors."""
+
+
+class CVLSyntaxError(CVLError):
+    """A CVL document is not valid YAML or violates CVL structure."""
+
+    def __init__(self, message: str, source: str | None = None):
+        self.source = source
+        where = f" in {source}" if source else ""
+        super().__init__(f"CVL syntax error{where}: {message}")
+
+
+class CVLKeywordError(CVLError):
+    """A CVL rule uses an unknown keyword or an invalid keyword value."""
+
+
+class ManifestError(CVLError):
+    """An entity manifest is malformed."""
+
+
+class InheritanceError(CVLError):
+    """A CVL rule file's parent chain cannot be resolved."""
+
+
+class CompositeExpressionError(CVLError):
+    """A composite rule expression failed to lex, parse, or resolve."""
+
+
+class CrawlerError(ReproError):
+    """Base class for config-extraction errors."""
+
+
+class EntityNotFound(CrawlerError):
+    """A named entity is not known to the registry/engine."""
+
+
+class PluginError(CrawlerError):
+    """A runtime-state extraction plugin failed."""
+
+
+class CloudAPIError(CrawlerError):
+    """The simulated cloud control plane rejected a request."""
+
+
+class DockerSimError(CrawlerError):
+    """The simulated Docker substrate rejected a request."""
+
+
+class EngineError(ReproError):
+    """The rule engine hit an unrecoverable condition."""
+
+
+class BaselineError(ReproError):
+    """A baseline (XCCDF/OVAL, Inspec, script) engine failed."""
+
+
+class XCCDFError(BaselineError):
+    """An XCCDF/OVAL document is malformed."""

@@ -1,0 +1,44 @@
+"""Filesystem substrate.
+
+ConfigValidator's extractor ("crawler") reads configuration files and their
+metadata from many kinds of entities: live hosts, Docker image layers,
+running containers.  All of those are presented to the rest of the library
+through one small read-only interface, :class:`FilesystemView`, with three
+implementations:
+
+* :class:`VirtualFilesystem` -- an in-memory tree with full stat metadata
+  (permissions, ownership, mtime).  Workload generators build entities on
+  top of this.
+* :class:`OverlayFilesystem` -- a union mount of several layers, used to
+  model Docker images (each layer is itself a view; upper layers shadow
+  lower ones, whiteouts delete).
+* :class:`RealFilesystem` -- a read-only adapter over the host filesystem
+  rooted at a directory, so the validator can also scan real machines.
+
+:class:`PackageDatabase` models the installed-software state (dpkg-like)
+that "system state" rules check versions against.
+"""
+
+from repro.fs.meta import FileKind, FileStat, format_mode
+from repro.fs.view import FilesystemView, normalize_path
+from repro.fs.vfs import VirtualFilesystem
+from repro.fs.overlay import OverlayFilesystem, WHITEOUT_PREFIX, flatten, whiteout_for
+from repro.fs.realfs import RealFilesystem
+from repro.fs.packages import Package, PackageDatabase, compare_versions
+
+__all__ = [
+    "FileKind",
+    "FileStat",
+    "FilesystemView",
+    "OverlayFilesystem",
+    "Package",
+    "PackageDatabase",
+    "RealFilesystem",
+    "VirtualFilesystem",
+    "WHITEOUT_PREFIX",
+    "compare_versions",
+    "flatten",
+    "format_mode",
+    "normalize_path",
+    "whiteout_for",
+]

@@ -1,0 +1,64 @@
+"""File metadata types shared by every filesystem implementation."""
+
+from __future__ import annotations
+
+import stat as statmod
+from dataclasses import dataclass
+from enum import Enum
+
+
+class FileKind(Enum):
+    """The node types the crawler distinguishes."""
+
+    FILE = "file"
+    DIRECTORY = "directory"
+    SYMLINK = "symlink"
+
+
+@dataclass(frozen=True)
+class FileStat:
+    """Metadata for one filesystem node.
+
+    ``mode`` holds only the permission bits (e.g. ``0o644``); the node type
+    lives in ``kind``.  ``uid``/``gid`` are numeric, ``owner``/``group`` the
+    symbolic names -- path rules may check either form (``ownership: "0:0"``
+    or ``ownership: "root:root"``).
+    """
+
+    kind: FileKind
+    mode: int = 0o644
+    uid: int = 0
+    gid: int = 0
+    owner: str = "root"
+    group: str = "root"
+    size: int = 0
+    mtime: float = 0.0
+
+    @property
+    def ownership(self) -> str:
+        """Numeric ``uid:gid`` string, the form CVL path rules use."""
+        return f"{self.uid}:{self.gid}"
+
+    @property
+    def ownership_names(self) -> str:
+        """Symbolic ``owner:group`` string."""
+        return f"{self.owner}:{self.group}"
+
+    @property
+    def is_dir(self) -> bool:
+        return self.kind is FileKind.DIRECTORY
+
+    @property
+    def octal_mode(self) -> str:
+        """Permission bits as a 3- or 4-digit octal string (``"644"``)."""
+        return format(self.mode, "o")
+
+
+def format_mode(stat: FileStat) -> str:
+    """Render a stat like ``ls -l`` does, e.g. ``-rw-r--r--``."""
+    type_char = {
+        FileKind.FILE: "-",
+        FileKind.DIRECTORY: "d",
+        FileKind.SYMLINK: "l",
+    }[stat.kind]
+    return type_char + statmod.filemode(stat.mode)[1:]

@@ -1,0 +1,256 @@
+"""In-memory filesystem with stat metadata.
+
+This is the storage layer for synthetic entities (hosts, image layers,
+containers).  It stores text files, directories, and symlinks keyed by
+normalized absolute path, and carries the metadata that "system state"
+configuration rules check: permission bits, numeric and symbolic ownership,
+size, and mtime.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from dataclasses import dataclass, field, replace
+
+from repro.errors import (
+    FileNotFoundInFrame,
+    FilesystemError,
+    IsADirectoryInFrame,
+    NotADirectoryInFrame,
+)
+from repro.fs.meta import FileKind, FileStat, format_mode  # noqa: F401 (re-export)
+from repro.fs.view import FilesystemView
+
+
+@dataclass
+class _Node:
+    stat: FileStat
+    content: str = ""
+    link_target: str | None = None
+    children: set[str] = field(default_factory=set)
+
+
+class VirtualFilesystem(FilesystemView):
+    """A mutable in-memory filesystem.
+
+    The write API mirrors what entity builders need (``write_file``,
+    ``mkdir``, ``symlink``, ``chmod``, ``chown``, ``remove``); the read API
+    implements :class:`repro.fs.view.FilesystemView`.  Symlinks are resolved
+    on read with a bounded hop count.
+    """
+
+    _MAX_SYMLINK_HOPS = 16
+
+    def __init__(self):
+        self._nodes: dict[str, _Node] = {
+            "/": _Node(stat=FileStat(kind=FileKind.DIRECTORY, mode=0o755))
+        }
+
+    # ---- write API -------------------------------------------------------
+
+    def write_file(
+        self,
+        path: str,
+        content: str = "",
+        *,
+        mode: int = 0o644,
+        uid: int = 0,
+        gid: int = 0,
+        owner: str = "root",
+        group: str = "root",
+        mtime: float = 0.0,
+    ) -> None:
+        """Create or replace a regular file, creating parent directories."""
+        path = self._norm(path)
+        self._ensure_parents(path)
+        existing = self._nodes.get(path)
+        if existing is not None and existing.stat.kind is FileKind.DIRECTORY:
+            raise IsADirectoryInFrame(path)
+        self._nodes[path] = _Node(
+            stat=FileStat(
+                kind=FileKind.FILE,
+                mode=mode,
+                uid=uid,
+                gid=gid,
+                owner=owner,
+                group=group,
+                size=len(content.encode()),
+                mtime=mtime,
+            ),
+            content=content,
+        )
+        self._link_to_parent(path)
+
+    def mkdir(
+        self,
+        path: str,
+        *,
+        mode: int = 0o755,
+        uid: int = 0,
+        gid: int = 0,
+        owner: str = "root",
+        group: str = "root",
+    ) -> None:
+        """Create directory ``path`` (and parents); no-op if it exists."""
+        path = self._norm(path)
+        if path in self._nodes:
+            if self._nodes[path].stat.kind is not FileKind.DIRECTORY:
+                raise NotADirectoryInFrame(path)
+            return
+        self._ensure_parents(path)
+        self._nodes[path] = _Node(
+            stat=FileStat(
+                kind=FileKind.DIRECTORY,
+                mode=mode,
+                uid=uid,
+                gid=gid,
+                owner=owner,
+                group=group,
+            )
+        )
+        self._link_to_parent(path)
+
+    def symlink(self, path: str, target: str) -> None:
+        """Create a symlink at ``path`` pointing at ``target``."""
+        path = self._norm(path)
+        self._ensure_parents(path)
+        self._nodes[path] = _Node(
+            stat=FileStat(kind=FileKind.SYMLINK, mode=0o777),
+            link_target=target,
+        )
+        self._link_to_parent(path)
+
+    def chmod(self, path: str, mode: int) -> None:
+        """Change the permission bits of an existing node."""
+        node = self._require(self._norm(path))
+        node.stat = replace(node.stat, mode=mode)
+
+    def chown(
+        self,
+        path: str,
+        uid: int,
+        gid: int,
+        owner: str | None = None,
+        group: str | None = None,
+    ) -> None:
+        """Change numeric (and optionally symbolic) ownership of a node."""
+        node = self._require(self._norm(path))
+        node.stat = replace(
+            node.stat,
+            uid=uid,
+            gid=gid,
+            owner=owner if owner is not None else node.stat.owner,
+            group=group if group is not None else node.stat.group,
+        )
+
+    def remove(self, path: str) -> None:
+        """Remove a node (recursively if a directory)."""
+        path = self._norm(path)
+        if path == "/":
+            raise FilesystemError("cannot remove the filesystem root")
+        node = self._require(path)
+        for child in sorted(node.children):
+            self.remove(posixpath.join(path, child))
+        del self._nodes[path]
+        parent = posixpath.dirname(path)
+        self._nodes[parent].children.discard(posixpath.basename(path))
+
+    # ---- read API (FilesystemView) ----------------------------------------
+
+    def exists(self, path: str) -> bool:
+        try:
+            self._resolve(self._norm(path))
+            return True
+        except FileNotFoundInFrame:
+            return False
+
+    def is_dir(self, path: str) -> bool:
+        try:
+            node = self._nodes[self._resolve(self._norm(path))]
+        except FileNotFoundInFrame:
+            return False
+        return node.stat.kind is FileKind.DIRECTORY
+
+    def read_text(self, path: str) -> str:
+        node = self._nodes[self._resolve(self._norm(path))]
+        if node.stat.kind is FileKind.DIRECTORY:
+            raise IsADirectoryInFrame(path)
+        return node.content
+
+    def stat(self, path: str) -> FileStat:
+        """Stat with symlink resolution (like :func:`os.stat`)."""
+        return self._nodes[self._resolve(self._norm(path))].stat
+
+    def lstat(self, path: str) -> FileStat:
+        """Stat without following a final symlink (like :func:`os.lstat`)."""
+        return self._require(self._norm(path)).stat
+
+    def readlink(self, path: str) -> str:
+        """Return the target of the symlink at ``path``."""
+        node = self._require(self._norm(path))
+        if node.link_target is None:
+            raise FileNotFoundInFrame(f"{path} is not a symlink")
+        return node.link_target
+
+    def listdir(self, path: str) -> list[str]:
+        resolved = self._resolve(self._norm(path))
+        node = self._nodes[resolved]
+        if node.stat.kind is not FileKind.DIRECTORY:
+            raise NotADirectoryInFrame(path)
+        return sorted(node.children)
+
+    def paths(self) -> list[str]:
+        """Every path in the filesystem, sorted (used by overlay + tests)."""
+        return sorted(self._nodes)
+
+    # ---- internals --------------------------------------------------------
+
+    @staticmethod
+    def _norm(path: str) -> str:
+        if not path.startswith("/"):
+            path = "/" + path
+        return posixpath.normpath(path)
+
+    def _require(self, path: str) -> _Node:
+        node = self._nodes.get(path)
+        if node is None:
+            raise FileNotFoundInFrame(path)
+        return node
+
+    def _resolve(self, path: str, hops: int = 0) -> str:
+        """Resolve symlinks in every component of ``path``; return the final
+        real path.  Raises :class:`FileNotFoundInFrame` on dangling links or
+        loops (after a bounded number of hops)."""
+        if hops > self._MAX_SYMLINK_HOPS:
+            raise FileNotFoundInFrame(f"{path}: too many levels of symbolic links")
+        resolved = "/"
+        parts = [part for part in path.split("/") if part]
+        for index, part in enumerate(parts):
+            candidate = posixpath.join(resolved, part)
+            node = self._nodes.get(candidate)
+            if node is None:
+                raise FileNotFoundInFrame(path)
+            if node.link_target is not None:
+                target = node.link_target
+                if not target.startswith("/"):
+                    target = posixpath.join(resolved, target)
+                remainder = "/".join(parts[index + 1:])
+                full = posixpath.join(target, remainder) if remainder else target
+                return self._resolve(posixpath.normpath(full), hops + 1)
+            resolved = candidate
+        return resolved
+
+    def _ensure_parents(self, path: str) -> None:
+        parent = posixpath.dirname(path)
+        if parent == path:
+            return
+        existing = self._nodes.get(parent)
+        if existing is None:
+            self.mkdir(parent)
+        elif existing.stat.kind is not FileKind.DIRECTORY:
+            raise NotADirectoryInFrame(parent)
+
+    def _link_to_parent(self, path: str) -> None:
+        parent = posixpath.dirname(path)
+        if parent != path:
+            self._nodes[parent].children.add(posixpath.basename(path))

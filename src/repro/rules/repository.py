@@ -1,0 +1,63 @@
+"""Loading rule packs from a directory on disk.
+
+The packaged rules ship inside the wheel; real deployments keep their
+packs (and deployment-specific override layers) in a git repository and
+point the validator at a checkout::
+
+    rules-repo/
+      manifest.yaml
+      component_configs/
+        nginx.yaml
+        site_overrides.yaml     # parent_cvl_file: nginx.yaml
+
+:func:`directory_resolver` resolves ``cvl_file`` / ``parent_cvl_file``
+references relative to that checkout, refusing path escapes;
+:func:`load_validator_from_directory` builds a ready validator from it.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import EngineError
+from repro.engine.engine import ConfigValidator, Resolver
+
+
+def directory_resolver(base_dir: str) -> Resolver:
+    """A resolver reading rule files relative to ``base_dir``.
+
+    References may use subdirectories but not escape the base directory
+    (``../../etc/shadow`` in a contributed pack must fail, not read).
+    """
+    base = os.path.abspath(base_dir)
+    if not os.path.isdir(base):
+        raise EngineError(f"rules directory {base_dir!r} does not exist")
+
+    def resolve(path: str) -> str:
+        target = os.path.abspath(os.path.join(base, path))
+        if not (target == base or target.startswith(base + os.sep)):
+            raise EngineError(
+                f"rule file reference {path!r} escapes the rules directory"
+            )
+        try:
+            with open(target, "r", encoding="utf-8") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            raise EngineError(
+                f"rule file {path!r} not found under {base_dir!r}"
+            ) from None
+
+    return resolve
+
+
+def load_validator_from_directory(
+    directory: str,
+    *,
+    manifest_file: str = "manifest.yaml",
+    **validator_kwargs,
+) -> ConfigValidator:
+    """Build a validator from an on-disk rules repository."""
+    resolver = directory_resolver(directory)
+    validator = ConfigValidator(resolver=resolver, **validator_kwargs)
+    validator.add_manifest_text(resolver(manifest_file), source=manifest_file)
+    return validator

@@ -1,0 +1,27 @@
+"""Schema-pattern configuration: tables, parsers, and the query language.
+
+The paper's second configuration style (§2.1.1) is the *schema pattern*:
+files like ``/etc/passwd``, ``/etc/fstab`` and ``audit.rules`` whose lines
+are positional records with implicit column meanings.  This package
+normalizes such files into :class:`SchemaTable` objects and evaluates the
+CVL ``query_constraints`` / ``query_columns`` mini-language against them
+(paper Listing 3: ``dir = ?`` with value ``/tmp`` over the fstab table).
+"""
+
+from repro.schema.table import Row, SchemaTable
+from repro.schema.parsers import (
+    SchemaParser,
+    SchemaParserRegistry,
+    default_schema_registry,
+)
+from repro.schema.query import Query, parse_query
+
+__all__ = [
+    "Query",
+    "Row",
+    "SchemaParser",
+    "SchemaParserRegistry",
+    "SchemaTable",
+    "default_schema_registry",
+    "parse_query",
+]

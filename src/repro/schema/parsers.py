@@ -1,0 +1,344 @@
+"""Parsers from schema-pattern files to :class:`SchemaTable`.
+
+Each parser fixes the column names (the "implicit keys" the paper
+describes) for one well-known file.  A configurable
+:class:`DelimitedParser` covers ad-hoc separator-based files.
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+from abc import ABC, abstractmethod
+
+from repro.errors import SchemaError
+from repro.schema.table import SchemaTable
+
+
+class SchemaParser(ABC):
+    """Parser for one schema-pattern format."""
+
+    #: Identifier used by manifests (``schema: fstab``).
+    name: str = "abstract"
+
+    #: Default file paths this parser applies to.
+    file_patterns: tuple[str, ...] = ()
+
+    @abstractmethod
+    def parse(self, text: str, source: str = "<memory>") -> SchemaTable:
+        """Parse ``text`` into a table."""
+
+    def _lines(self, text: str, comment: str = "#"):
+        for number, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if not line or line.startswith(comment):
+                continue
+            yield number, line
+
+
+class DelimitedParser(SchemaParser):
+    """Generic separator-based parser with caller-supplied column names.
+
+    ``delimiter=None`` splits on arbitrary whitespace (fstab style);
+    a string delimiter splits exactly (passwd's ``:``).
+    """
+
+    def __init__(self, name: str, columns: list[str], *,
+                 delimiter: str | None = None, comment: str = "#",
+                 file_patterns: tuple[str, ...] = ()):
+        self.name = name
+        self.columns = list(columns)
+        self.file_patterns = file_patterns
+        self._delimiter = delimiter
+        self._comment = comment
+
+    def parse(self, text: str, source: str = "<memory>") -> SchemaTable:
+        table = SchemaTable(self.name, self.columns, source=source)
+        for number, line in self._lines(text, self._comment):
+            if self._delimiter is None:
+                fields = line.split(None, len(self.columns) - 1)
+            else:
+                fields = line.split(self._delimiter, len(self.columns) - 1)
+            table.append([field.strip() for field in fields], line=number)
+        return table
+
+
+class PasswdParser(DelimitedParser):
+    """``/etc/passwd``: user:password:uid:gid:gecos:home:shell."""
+
+    def __init__(self):
+        super().__init__(
+            "passwd",
+            ["user", "password", "uid", "gid", "gecos", "home", "shell"],
+            delimiter=":",
+            file_patterns=("*/etc/passwd", "passwd"),
+        )
+
+
+class GroupParser(DelimitedParser):
+    """``/etc/group``: group:password:gid:members."""
+
+    def __init__(self):
+        super().__init__(
+            "group",
+            ["group", "password", "gid", "members"],
+            delimiter=":",
+            file_patterns=("*/etc/group", "group"),
+        )
+
+
+class ShadowParser(DelimitedParser):
+    """``/etc/shadow``: user:password:lastchange:min:max:warn:inactive:expire:flag."""
+
+    def __init__(self):
+        super().__init__(
+            "shadow",
+            ["user", "password", "lastchange", "min", "max", "warn",
+             "inactive", "expire", "flag"],
+            delimiter=":",
+            file_patterns=("*/etc/shadow", "shadow"),
+        )
+
+
+class FstabParser(DelimitedParser):
+    """``/etc/fstab``: device dir type options dump pass.
+
+    The paper's Listing 3 rule queries this table: ``dir = ?`` with
+    value ``/tmp`` to check whether /tmp is a separate partition.
+    """
+
+    def __init__(self):
+        super().__init__(
+            "fstab",
+            ["device", "dir", "type", "options", "dump", "pass"],
+            delimiter=None,
+            file_patterns=("*/etc/fstab", "fstab"),
+        )
+
+
+class MountsParser(DelimitedParser):
+    """``/proc/mounts``: device dir type options dump pass."""
+
+    def __init__(self):
+        super().__init__(
+            "mounts",
+            ["device", "dir", "type", "options", "dump", "pass"],
+            delimiter=None,
+            file_patterns=("*/proc/mounts", "mounts", "mtab"),
+        )
+
+
+class AuditRulesParser(SchemaParser):
+    """``/etc/audit/audit.rules`` (and audit.d fragments).
+
+    Three rule shapes are normalized into one table:
+
+    * watch rules   ``-w /etc/passwd -p wa -k identity``
+    * syscall rules ``-a always,exit -F arch=b64 -S adjtimex -k time-change``
+    * control rules ``-e 2``, ``-b 8192``, ``-D``
+
+    Columns: ``kind`` (watch|syscall|control), ``path``, ``perms``,
+    ``action`` (the -a list), ``fields`` (space-joined -F terms),
+    ``syscalls`` (comma-joined -S names), ``key`` (-k), ``raw``.
+    """
+
+    name = "audit"
+    file_patterns = ("*/audit/audit.rules", "audit.rules", "*/audit/rules.d/*.rules")
+
+    _COLUMNS = ["kind", "path", "perms", "action", "fields", "syscalls", "key", "raw"]
+
+    def parse(self, text: str, source: str = "<memory>") -> SchemaTable:
+        table = SchemaTable(self.name, self._COLUMNS, source=source)
+        for number, line in self._lines(text):
+            try:
+                tokens = shlex.split(line)
+            except ValueError as exc:
+                raise SchemaError(f"audit.rules line {number}: {exc}") from exc
+            record = self._record(tokens, line, number)
+            table.append(record, line=number)
+        return table
+
+    def _record(self, tokens: list[str], raw: str, number: int) -> list[str]:
+        kind = "control"
+        path = perms = action = key = ""
+        fields: list[str] = []
+        syscalls: list[str] = []
+        i = 0
+        while i < len(tokens):
+            flag = tokens[i]
+            if flag == "-w":
+                kind = "watch"
+                path = self._arg(tokens, i, number)
+                i += 2
+            elif flag == "-p":
+                perms = self._arg(tokens, i, number)
+                i += 2
+            elif flag == "-a":
+                kind = "syscall"
+                action = self._arg(tokens, i, number)
+                i += 2
+            elif flag == "-F":
+                fields.append(self._arg(tokens, i, number))
+                i += 2
+            elif flag == "-S":
+                syscalls.extend(self._arg(tokens, i, number).split(","))
+                i += 2
+            elif flag == "-k":
+                key = self._arg(tokens, i, number)
+                i += 2
+            elif flag in ("-e", "-b", "-f", "-r", "--backlog_wait_time"):
+                fields.append(f"{flag.lstrip('-')}={self._arg(tokens, i, number)}")
+                i += 2
+            elif flag == "-D":
+                fields.append("delete_all=true")
+                i += 1
+            else:
+                raise SchemaError(
+                    f"audit.rules line {number}: unknown flag {flag!r}"
+                )
+        return [kind, path, perms, action, " ".join(fields),
+                ",".join(syscalls), key, raw]
+
+    @staticmethod
+    def _arg(tokens: list[str], i: int, number: int) -> str:
+        if i + 1 >= len(tokens):
+            raise SchemaError(
+                f"audit.rules line {number}: flag {tokens[i]!r} needs a value"
+            )
+        return tokens[i + 1]
+
+
+class LimitsParser(DelimitedParser):
+    """``/etc/security/limits.conf``: domain type item value.
+
+    CIS uses it for "restrict core dumps" (``* hard core 0``).
+    """
+
+    def __init__(self):
+        super().__init__(
+            "limits",
+            ["domain", "type", "item", "value"],
+            delimiter=None,
+            file_patterns=("*/security/limits.conf", "limits.conf",
+                           "*/security/limits.d/*.conf"),
+        )
+
+
+class PamParser(SchemaParser):
+    """``/etc/pam.d/*`` service files: type control module args.
+
+    Bracketed controls (``[success=1 default=ignore]``) are kept as a
+    single field; ``@include`` lines become ``include`` records so rules
+    can assert on the include chain.
+    """
+
+    name = "pam"
+    file_patterns = ("*/pam.d/*", "common-password", "common-auth")
+
+    _COLUMNS = ["type", "control", "module", "args"]
+
+    def parse(self, text: str, source: str = "<memory>") -> SchemaTable:
+        table = SchemaTable(self.name, self._COLUMNS, source=source)
+        for number, line in self._lines(text):
+            if line.startswith("@include"):
+                _at, _sep, included = line.partition(" ")
+                table.append(["include", "", included.strip(), ""], line=number)
+                continue
+            pam_type, rest = self._split_first(line, number)
+            control, rest = self._split_control(rest, number)
+            module, _sep, args = rest.partition(" ")
+            table.append(
+                [pam_type, control, module.strip(), args.strip()], line=number
+            )
+        return table
+
+    @staticmethod
+    def _split_first(line: str, number: int) -> tuple[str, str]:
+        head, _sep, rest = line.partition(" ")
+        if not rest.strip():
+            raise SchemaError(f"pam line {number}: expected 'type control module'")
+        return head.strip(), rest.strip()
+
+    @staticmethod
+    def _split_control(rest: str, number: int) -> tuple[str, str]:
+        if rest.startswith("["):
+            closing = rest.find("]")
+            if closing == -1:
+                raise SchemaError(f"pam line {number}: unclosed '[' control")
+            return rest[: closing + 1], rest[closing + 1 :].strip()
+        head, _sep, tail = rest.partition(" ")
+        return head.strip(), tail.strip()
+
+
+class CrontabParser(SchemaParser):
+    """System crontab: minute hour dom month dow user command."""
+
+    name = "crontab"
+    file_patterns = ("*/etc/crontab", "crontab")
+
+    _COLUMNS = ["minute", "hour", "dom", "month", "dow", "user", "command"]
+    _ENV = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*=")
+
+    def parse(self, text: str, source: str = "<memory>") -> SchemaTable:
+        table = SchemaTable(self.name, self._COLUMNS, source=source)
+        for number, line in self._lines(text):
+            if self._ENV.match(line):
+                continue  # environment assignments are not schedule records
+            fields = line.split(None, 6)
+            table.append(fields, line=number)
+        return table
+
+
+class SchemaParserRegistry:
+    """Name- and pattern-based lookup of schema parsers."""
+
+    def __init__(self):
+        self._by_name: dict[str, SchemaParser] = {}
+        self._ordered: list[SchemaParser] = []
+
+    def register(self, parser: SchemaParser) -> None:
+        if parser.name in self._by_name:
+            raise ValueError(f"duplicate schema parser {parser.name!r}")
+        self._by_name[parser.name] = parser
+        self._ordered.append(parser)
+
+    def get(self, name: str) -> SchemaParser:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"no schema parser named {name!r}") from None
+
+    def for_file(self, path: str) -> SchemaParser | None:
+        import fnmatch
+        import posixpath
+
+        for parser in self._ordered:
+            for pattern in parser.file_patterns:
+                target = path if "/" in pattern else posixpath.basename(path)
+                if fnmatch.fnmatch(target, pattern):
+                    return parser
+        return None
+
+    def names(self) -> list[str]:
+        return sorted(self._by_name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+
+def default_schema_registry() -> SchemaParserRegistry:
+    """Registry with every built-in schema parser."""
+    registry = SchemaParserRegistry()
+    for parser in (
+        PasswdParser(),
+        GroupParser(),
+        ShadowParser(),
+        FstabParser(),
+        MountsParser(),
+        AuditRulesParser(),
+        LimitsParser(),
+        PamParser(),
+        CrontabParser(),
+    ):
+        registry.register(parser)
+    return registry

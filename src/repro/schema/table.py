@@ -1,0 +1,117 @@
+"""SchemaTable: the normalized form of a schema-pattern configuration file."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import SchemaError
+
+
+class Row:
+    """One record; column access by name or position."""
+
+    __slots__ = ("_columns", "_values", "line")
+
+    def __init__(self, columns: tuple[str, ...], values: tuple[str, ...], line: int = 0):
+        if len(columns) != len(values):
+            raise SchemaError(
+                f"row has {len(values)} values for {len(columns)} columns"
+            )
+        self._columns = columns
+        self._values = values
+        self.line = line
+
+    def __getitem__(self, key: str | int) -> str:
+        if isinstance(key, int):
+            return self._values[key]
+        try:
+            return self._values[self._columns.index(key)]
+        except ValueError:
+            raise KeyError(key) from None
+
+    def get(self, key: str, default: str | None = None) -> str | None:
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+    def as_dict(self) -> dict[str, str]:
+        return dict(zip(self._columns, self._values))
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self._columns
+
+    @property
+    def values(self) -> tuple[str, ...]:
+        return self._values
+
+    def project(self, columns: list[str]) -> tuple[str, ...]:
+        """Values for the requested columns (in request order)."""
+        return tuple(self[column] for column in columns)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Row):
+            return NotImplemented
+        return self._columns == other._columns and self._values == other._values
+
+    def __hash__(self):
+        return hash((self._columns, self._values))
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{c}={v!r}" for c, v in zip(self._columns, self._values))
+        return f"Row({pairs})"
+
+
+class SchemaTable:
+    """A parsed schema-pattern file: named columns plus ordered rows."""
+
+    def __init__(self, name: str, columns: list[str] | tuple[str, ...],
+                 source: str = "<memory>"):
+        if not columns:
+            raise SchemaError(f"table {name!r} needs at least one column")
+        if len(set(columns)) != len(columns):
+            raise SchemaError(f"table {name!r} has duplicate column names")
+        self.name = name
+        self.columns: tuple[str, ...] = tuple(columns)
+        self.source = source
+        self._rows: list[Row] = []
+
+    def append(self, values: list[str] | tuple[str, ...], line: int = 0) -> Row:
+        """Append a record; pads missing trailing fields with ''."""
+        values = tuple(values)
+        if len(values) < len(self.columns):
+            values = values + ("",) * (len(self.columns) - len(values))
+        elif len(values) > len(self.columns):
+            raise SchemaError(
+                f"table {self.name!r}: row with {len(values)} fields exceeds "
+                f"{len(self.columns)} columns (line {line})"
+            )
+        row = Row(self.columns, values, line)
+        self._rows.append(row)
+        return row
+
+    @property
+    def rows(self) -> list[Row]:
+        return list(self._rows)
+
+    def column(self, name: str) -> list[str]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise SchemaError(f"table {self.name!r} has no column {name!r}")
+        return [row[name] for row in self._rows]
+
+    def where(self, predicate) -> list[Row]:
+        return [row for row in self._rows if predicate(row)]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __repr__(self) -> str:
+        return (
+            f"SchemaTable({self.name!r}, columns={list(self.columns)}, "
+            f"rows={len(self._rows)})"
+        )

@@ -1,0 +1,35 @@
+"""Workload generation for examples, tests, and benchmarks.
+
+Everything is seeded/deterministic.  Builders produce:
+
+* synthetic Ubuntu-flavoured host entities at controllable hardening
+  levels (:mod:`repro.workloads.hosts`);
+* Docker image/container fleets with seeded misconfiguration rates
+  (:mod:`repro.workloads.fleet`), standing in for the paper's production
+  scans of "tens of thousands of containers and images daily";
+* cloud projects with a controllable number of policy violations
+  (:mod:`repro.workloads.cloud`);
+* synthetic rule sets and config corpora for scaling ablations
+  (:mod:`repro.workloads.rulegen`).
+"""
+
+from repro.workloads.hosts import build_ubuntu_host, ubuntu_host_entity
+from repro.workloads.fleet import FleetSpec, build_fleet
+from repro.workloads.cloud import build_cloud_project
+from repro.workloads.k8s import k8s_node_entity, kubernetes_manifest
+from repro.workloads.rulegen import (
+    generate_keyvalue_config,
+    generate_tree_rules,
+)
+
+__all__ = [
+    "FleetSpec",
+    "build_cloud_project",
+    "build_fleet",
+    "build_ubuntu_host",
+    "generate_keyvalue_config",
+    "generate_tree_rules",
+    "k8s_node_entity",
+    "kubernetes_manifest",
+    "ubuntu_host_entity",
+]

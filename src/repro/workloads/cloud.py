@@ -1,0 +1,102 @@
+"""Cloud-project generation with controllable policy violations."""
+
+from __future__ import annotations
+
+import random
+
+from repro.fs.vfs import VirtualFilesystem
+from repro.crawler.cloud_sim import (
+    CloudControlPlane,
+    CloudUser,
+    Instance,
+    SecurityGroup,
+    SecurityGroupRule,
+)
+from repro.crawler.entities import CloudEntity
+
+
+def controller_fs(*, hardened: bool = True) -> VirtualFilesystem:
+    """Control-plane service configs (keystone.conf / nova.conf)."""
+    fs = VirtualFilesystem()
+    if hardened:
+        keystone = (
+            "[DEFAULT]\ndebug = false\n"
+            "[token]\nprovider = fernet\n"
+            "[ssl]\nenable = true\n"
+            "[oslo_middleware]\nmax_request_body_size = 114688\n"
+        )
+        nova = (
+            "[DEFAULT]\nauth_strategy = keystone\ndebug = false\n"
+            "[glance]\nglance_api_insecure = false\n"
+        )
+        fs.write_file("/etc/keystone/keystone.conf", keystone, mode=0o640,
+                      uid=116, gid=121, owner="keystone", group="keystone")
+        fs.write_file("/etc/nova/nova.conf", nova, mode=0o640,
+                      uid=117, gid=122, owner="nova", group="nova")
+    else:
+        keystone = (
+            "[DEFAULT]\ndebug = true\n"
+            "[token]\nprovider = uuid\n"
+            "[ssl]\nenable = false\n"
+        )
+        nova = "[DEFAULT]\nauth_strategy = noauth2\n[glance]\nglance_api_insecure = true\n"
+        fs.write_file("/etc/keystone/keystone.conf", keystone, mode=0o644)
+        fs.write_file("/etc/nova/nova.conf", nova, mode=0o644)
+    return fs
+
+
+def build_cloud_project(
+    name: str = "web",
+    *,
+    instances: int = 5,
+    violations: bool = False,
+    seed: int = 0,
+    cloud: CloudControlPlane | None = None,
+) -> CloudEntity:
+    """Build a project and wrap it in a validatable entity.
+
+    With ``violations`` the project carries the OSSG findings the shipped
+    openstack pack detects: a world-open SSH group, an admin without MFA,
+    and an instance launched without a keypair.
+    """
+    rng = random.Random(seed)
+    cloud = cloud or CloudControlPlane()
+    project = cloud.create_project(name)
+
+    web = SecurityGroup("web", description="public web tier")
+    web.add_rule(SecurityGroupRule(protocol="tcp", port_min=443, port_max=443))
+    project.add_security_group(web)
+
+    mgmt = SecurityGroup("mgmt", description="bastion access")
+    mgmt.add_rule(
+        SecurityGroupRule(
+            protocol="tcp",
+            port_min=22,
+            port_max=22,
+            remote_cidr="0.0.0.0/0" if violations else "10.0.0.0/8",
+        )
+    )
+    project.add_security_group(mgmt)
+
+    project.add_user(CloudUser("alice", roles=["admin"], mfa_enabled=True))
+    project.add_user(
+        CloudUser("bob", roles=["admin"], mfa_enabled=not violations)
+    )
+    project.add_user(CloudUser("carol", roles=["member"]))
+
+    for index in range(instances):
+        keyless = violations and index == 0
+        project.add_instance(
+            Instance(
+                f"vm-{index:03d}",
+                flavor=rng.choice(["m1.small", "m1.medium", "m1.large"]),
+                security_groups=["web" if index % 2 == 0 else "mgmt"],
+                key_name="" if keyless else "ops-key",
+            )
+        )
+    return CloudEntity(
+        f"openstack/{name}",
+        cloud,
+        name,
+        controller_fs(hardened=not violations),
+    )

@@ -1,0 +1,125 @@
+"""Docker fleet generation with seeded misconfiguration rates.
+
+The paper's production deployment validates "tens of thousands of
+containers and images daily".  :func:`build_fleet` reproduces that shape:
+a registry of base images, derived application images, and running
+containers whose runtime options are good or bad according to a seeded
+misconfiguration rate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crawler.docker_sim import (
+    Container,
+    DockerDaemon,
+    DockerImage,
+    HostConfig,
+    ImageBuilder,
+    Mount,
+)
+from repro.workloads.hosts import mysql_cnf, nginx_conf
+
+
+@dataclass
+class FleetSpec:
+    """Shape of the generated fleet."""
+
+    images: int = 10
+    containers_per_image: int = 5
+    misconfig_rate: float = 0.3   # probability each knob is misconfigured
+    seed: int = 0
+
+
+def _base_image(kind: str, *, hardened: bool, rng: random.Random) -> ImageBuilder:
+    builder = ImageBuilder()
+    builder.add_file("/etc/os-release", 'NAME="Ubuntu"\nVERSION_ID="16.04"\n')
+    builder.install_package("libc6", "2.23-0ubuntu11")
+    builder.new_layer()
+    if kind == "nginx":
+        builder.add_file("/etc/nginx/nginx.conf", nginx_conf(hardened=hardened))
+        builder.install_package("nginx", "1.10.3-0ubuntu0.16.04.5")
+        builder.expose("443/tcp" if hardened else "80/tcp")
+        builder.entrypoint("nginx", "-g", "daemon off;")
+    elif kind == "mysql":
+        builder.add_file("/etc/mysql/my.cnf", mysql_cnf(hardened=hardened))
+        builder.install_package("mysql-server", "5.7.33-0ubuntu0.16.04.1")
+        builder.expose("3306/tcp")
+        builder.entrypoint("mysqld")
+    else:  # generic app image
+        builder.add_file("/app/config.json", '{"debug": %s}\n'
+                         % ("false" if hardened else "true"))
+        builder.entrypoint("/app/run")
+    if hardened:
+        builder.user(f"app{rng.randrange(100, 999)}")
+        builder.healthcheck("CMD", "curl", "-f", "http://localhost/healthz")
+    # Misconfigured images keep the root default and no healthcheck.
+    return builder
+
+
+def _host_config(*, hardened: bool, rng: random.Random) -> HostConfig:
+    if hardened:
+        return HostConfig(
+            privileged=False,
+            network_mode="bridge",
+            readonly_rootfs=True,
+            cap_drop=["ALL"],
+            security_opt=["no-new-privileges"],
+            memory=512 * 1024 * 1024,
+            cpu_shares=512,
+            pids_limit=256,
+            restart_policy="on-failure",
+            restart_max_retries=5,
+            port_bindings={"443/tcp": f"0.0.0.0:{rng.randrange(30000, 39999)}"},
+        )
+    # A grab-bag of the CIS-Docker violations the rule pack detects.
+    bad = HostConfig(memory=0, cpu_shares=0, pids_limit=0, restart_policy="always")
+    fault = rng.randrange(6)
+    if fault == 0:
+        bad.privileged = True
+    elif fault == 1:
+        bad.network_mode = "host"
+    elif fault == 2:
+        bad.pid_mode = "host"
+    elif fault == 3:
+        bad.cap_add = ["SYS_ADMIN"]
+    elif fault == 4:
+        bad.mounts = [Mount(source="/var/run/docker.sock",
+                            destination="/var/run/docker.sock")]
+    else:
+        bad.port_bindings = {"22/tcp": "0.0.0.0:22"}
+    return bad
+
+
+def build_fleet(spec: FleetSpec) -> tuple[DockerDaemon, list[DockerImage], list[Container]]:
+    """Build a daemon populated with images and running containers.
+
+    Returns ``(daemon, images, containers)``.  Whether each image and each
+    container is hardened is an independent seeded draw at
+    ``1 - misconfig_rate`` probability, so validators see a fleet-shaped
+    mixture of passes and findings.
+    """
+    rng = random.Random(spec.seed)
+    daemon = DockerDaemon()
+    kinds = ["nginx", "mysql", "app"]
+    images: list[DockerImage] = []
+    containers: list[Container] = []
+    for index in range(spec.images):
+        kind = kinds[index % len(kinds)]
+        image_hardened = rng.random() >= spec.misconfig_rate
+        builder = _base_image(kind, hardened=image_hardened, rng=rng)
+        image = builder.build(f"registry.local/{kind}-{index:03d}",
+                              tag="1.0" if image_hardened else "latest")
+        daemon.add_image(image)
+        images.append(image)
+        for replica in range(spec.containers_per_image):
+            container_hardened = rng.random() >= spec.misconfig_rate
+            container = daemon.run(
+                image.reference,
+                f"{kind}-{index:03d}-r{replica}",
+                host_config=_host_config(hardened=container_hardened, rng=rng),
+            )
+            containers.append(container)
+    return daemon, images, containers

@@ -1,0 +1,401 @@
+"""Synthetic Ubuntu-flavoured hosts at controllable hardening levels.
+
+``hardening`` runs 0.0 (stock, many findings) to 1.0 (fully hardened,
+clean CIS run); intermediate values flip individual settings using a
+seeded RNG, so fleets show a realistic spread of findings.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.fs.packages import Package, PackageDatabase
+from repro.fs.vfs import VirtualFilesystem
+from repro.crawler.entities import HostEntity
+
+_SYSCTL_SETTINGS = [
+    ("net.ipv4.ip_forward", "0", "1"),
+    ("net.ipv4.conf.all.send_redirects", "0", "1"),
+    ("net.ipv4.conf.default.send_redirects", "0", "1"),
+    ("net.ipv4.conf.all.accept_source_route", "0", "1"),
+    ("net.ipv4.conf.all.accept_redirects", "0", "1"),
+    ("net.ipv4.conf.all.secure_redirects", "0", "1"),
+    ("net.ipv4.conf.all.log_martians", "1", "0"),
+    ("net.ipv4.icmp_echo_ignore_broadcasts", "1", "0"),
+    ("net.ipv4.icmp_ignore_bogus_error_responses", "1", "0"),
+    ("net.ipv4.conf.all.rp_filter", "1", "0"),
+    ("net.ipv4.tcp_syncookies", "1", "0"),
+    ("net.ipv6.conf.all.accept_ra", "0", "1"),
+    ("net.ipv6.conf.all.accept_redirects", "0", "1"),
+    ("kernel.randomize_va_space", "2", "0"),
+    ("fs.suid_dumpable", "0", "1"),
+]
+
+_SSHD_SETTINGS = [
+    ("Protocol", "2", "2,1"),
+    ("LogLevel", "INFO", "QUIET"),
+    ("X11Forwarding", "no", "yes"),
+    ("MaxAuthTries", "4", "6"),
+    ("IgnoreRhosts", "yes", "no"),
+    ("HostbasedAuthentication", "no", "yes"),
+    ("PermitRootLogin", "no", "yes"),
+    ("PermitEmptyPasswords", "no", "yes"),
+    ("PermitUserEnvironment", "no", "yes"),
+    ("Ciphers", "chacha20-poly1305@openssh.com,aes256-gcm@openssh.com", "aes256-cbc,3des-cbc"),
+    ("MACs", "hmac-sha2-512,hmac-sha2-256", "hmac-md5,hmac-sha1-96"),
+    ("ClientAliveInterval", "300", "900"),
+    ("ClientAliveCountMax", "3", "10"),
+    ("LoginGraceTime", "60", "120"),
+    ("Banner", "/etc/issue.net", "none"),
+    ("UsePAM", "yes", "no"),
+    ("AllowTcpForwarding", "no", "yes"),
+    ("MaxStartups", "10:30:60", "100"),
+    ("MaxSessions", "10", "20"),
+]
+
+_AUDIT_RULES = [
+    "-a always,exit -F arch=b64 -S adjtimex -S settimeofday -k time-change",
+    "-a always,exit -F arch=b64 -S clock_settime -k time-change",
+    "-w /etc/localtime -p wa -k time-change",
+    "-w /etc/passwd -p wa -k identity",
+    "-w /etc/group -p wa -k identity",
+    "-w /etc/shadow -p wa -k identity",
+    "-w /etc/gshadow -p wa -k identity",
+    "-w /etc/security/opasswd -p wa -k identity",
+    "-w /etc/issue -p wa -k system-locale",
+    "-w /etc/hosts -p wa -k system-locale",
+    "-a always,exit -F arch=b64 -S sethostname -S setdomainname -k system-locale",
+    "-w /etc/apparmor/ -p wa -k MAC-policy",
+    "-w /var/log/faillog -p wa -k logins",
+    "-w /var/log/lastlog -p wa -k logins",
+    "-w /var/run/utmp -p wa -k session",
+    "-w /var/log/wtmp -p wa -k session",
+    "-a always,exit -F arch=b64 -S chmod -S fchmod -S fchmodat -k perm_mod",
+    "-a always,exit -F arch=b64 -S chown -S fchown -S lchown -k perm_mod",
+    "-a always,exit -F arch=b64 -S open -F exit=-EACCES -k access",
+    "-a always,exit -F arch=b64 -S mount -k mounts",
+    "-a always,exit -F arch=b64 -S unlink -S unlinkat -S rename -k delete",
+    "-w /etc/sudoers -p wa -k scope",
+    "-w /var/log/sudo.log -p wa -k actions",
+    "-a always,exit -F arch=b64 -S init_module -S delete_module -k modules",
+    "-e 2",
+]
+
+_FSTAB_HARDENED = """\
+/dev/sda1 / ext4 errors=remount-ro 0 1
+/dev/sda2 /tmp ext4 nodev,nosuid,noexec 0 2
+/dev/sda3 /var ext4 defaults 0 2
+/dev/sda4 /var/log ext4 defaults 0 2
+/dev/sda5 /var/log/audit ext4 defaults 0 2
+/dev/sda6 /home ext4 nodev 0 2
+tmpfs /run/shm tmpfs nodev,nosuid,noexec 0 0
+"""
+
+_FSTAB_STOCK = """\
+/dev/sda1 / ext4 errors=remount-ro 0 1
+tmpfs /run/shm tmpfs defaults 0 0
+"""
+
+_MODPROBE_MODULES = [
+    "cramfs", "freevxfs", "jffs2", "hfs", "hfsplus", "squashfs", "udf",
+    "usb-storage",
+]
+
+_PASSWD = """\
+root:x:0:0:root:/root:/bin/bash
+daemon:x:1:1:daemon:/usr/sbin:/usr/sbin/nologin
+www-data:x:33:33:www-data:/var/www:/usr/sbin/nologin
+mysql:x:107:112:MySQL Server:/nonexistent:/bin/false
+ubuntu:x:1000:1000:Ubuntu:/home/ubuntu:/bin/bash
+"""
+
+_GROUP = """\
+root:x:0:
+daemon:x:1:
+docker:x:999:ubuntu
+sudo:x:27:ubuntu
+"""
+
+
+def build_ubuntu_host(
+    *,
+    hardening: float = 1.0,
+    seed: int = 0,
+    with_nginx: bool = False,
+    with_mysql: bool = False,
+    with_apache: bool = False,
+    with_hadoop: bool = False,
+) -> VirtualFilesystem:
+    """Build the filesystem of a synthetic Ubuntu host.
+
+    ``hardening=1.0`` passes the shipped CIS packs; ``0.0`` is a stock
+    install with the misconfigurations the benchmarks hunt for.
+    """
+    rng = random.Random(seed)
+    fs = VirtualFilesystem()
+
+    def pick(good: str, bad: str) -> str:
+        return good if rng.random() < hardening else bad
+
+    hardened = hardening >= 1.0
+
+    sysctl_lines = [
+        f"{key} = {pick(good, bad)}" for key, good, bad in _SYSCTL_SETTINGS
+    ]
+    fs.write_file("/etc/sysctl.conf", "\n".join(sysctl_lines) + "\n",
+                  mode=0o644)
+    fs.mkdir("/etc/sysctl.d")
+
+    sshd_lines = ["# sshd_config -- synthetic"]
+    for key, good, bad in _SSHD_SETTINGS:
+        value = pick(good, bad)
+        if value != "none":
+            sshd_lines.append(f"{key} {value}")
+    fs.write_file(
+        "/etc/ssh/sshd_config",
+        "\n".join(sshd_lines) + "\n",
+        mode=0o600 if hardened or rng.random() < hardening else 0o644,
+    )
+
+    audit_rules = list(_AUDIT_RULES)
+    if not hardened:
+        keep = max(0, int(len(audit_rules) * hardening))
+        rng.shuffle(audit_rules)
+        immutable = "-e 2" in audit_rules[:keep]
+        audit_rules = audit_rules[:keep]
+        if immutable and audit_rules and audit_rules[-1] != "-e 2":
+            audit_rules = [r for r in audit_rules if r != "-e 2"] + ["-e 2"]
+    fs.write_file(
+        "/etc/audit/audit.rules", "\n".join(audit_rules) + "\n", mode=0o640
+    )
+
+    fstab_hardened = hardened or rng.random() < hardening
+    fs.write_file(
+        "/etc/fstab",
+        _FSTAB_HARDENED if fstab_hardened else _FSTAB_STOCK,
+        mode=0o644,
+    )
+    # The live mount table mirrors fstab plus the kernel's own mounts.
+    mounts = (_FSTAB_HARDENED if fstab_hardened else _FSTAB_STOCK)
+    mounts += "proc /proc proc rw,nosuid,nodev,noexec 0 0\n"
+    fs.write_file("/proc/mounts", mounts, mode=0o444)
+
+    modprobe_lines = []
+    for module in _MODPROBE_MODULES:
+        if hardened or rng.random() < hardening:
+            modprobe_lines.append(f"install {module} /bin/true")
+    modprobe_lines.append("blacklist dccp")
+    modprobe_lines.append("blacklist sctp")
+    fs.write_file(
+        "/etc/modprobe.d/hardening.conf",
+        "\n".join(modprobe_lines) + "\n",
+        mode=0o644,
+    )
+
+    fs.write_file("/etc/passwd", _PASSWD, mode=0o644)
+    fs.write_file("/etc/group", _GROUP, mode=0o644)
+    fs.write_file("/etc/shadow", "root:*:17000:0:99999:7:::\n", mode=0o640,
+                  gid=42, group="shadow")
+    if hardened or rng.random() < hardening:
+        fs.write_file(
+            "/etc/login.defs",
+            "PASS_MAX_DAYS 90\nPASS_MIN_DAYS 7\nPASS_WARN_AGE 7\n",
+            mode=0o644,
+        )
+        fs.write_file(
+            "/etc/security/limits.conf", "* hard core 0\n", mode=0o644
+        )
+        fs.write_file(
+            "/etc/pam.d/common-password",
+            "password requisite pam_pwquality.so retry=3 minlen=14\n"
+            "password [success=1 default=ignore] pam_unix.so obscure "
+            "use_authtok try_first_pass sha512\n",
+            mode=0o644,
+        )
+    else:
+        fs.write_file(
+            "/etc/login.defs",
+            "PASS_MAX_DAYS 99999\nPASS_MIN_DAYS 0\nPASS_WARN_AGE 7\n",
+            mode=0o644,
+        )
+        fs.write_file("/etc/security/limits.conf", "# empty\n", mode=0o644)
+        fs.write_file(
+            "/etc/pam.d/common-password",
+            "password [success=1 default=ignore] pam_unix.so obscure md5\n",
+            mode=0o644,
+        )
+
+    if with_nginx:
+        fs.write_file("/etc/nginx/nginx.conf", nginx_conf(hardened=hardened),
+                      mode=0o644)
+    if with_mysql:
+        fs.write_file("/etc/mysql/my.cnf", mysql_cnf(hardened=hardened),
+                      mode=0o644)
+    if with_apache:
+        fs.write_file("/etc/apache2/apache2.conf",
+                      apache_conf(hardened=hardened), mode=0o644)
+    if with_hadoop:
+        fs.write_file("/etc/hadoop/core-site.xml",
+                      hadoop_core_site(hardened=hardened), mode=0o644)
+        fs.write_file("/etc/hadoop/hdfs-site.xml",
+                      hadoop_hdfs_site(hardened=hardened), mode=0o644)
+        yarn_acl = "true" if hardened else "false"
+        mapred_policy = "HTTPS_ONLY" if hardened else "HTTP_ONLY"
+        fs.write_file(
+            "/etc/hadoop/yarn-site.xml",
+            "<configuration>\n  <property><name>yarn.acl.enable</name>"
+            f"<value>{yarn_acl}</value></property>\n</configuration>\n",
+            mode=0o644,
+        )
+        fs.write_file(
+            "/etc/hadoop/mapred-site.xml",
+            "<configuration>\n  <property><name>mapreduce.jobhistory.http.policy"
+            f"</name><value>{mapred_policy}</value></property>\n</configuration>\n",
+            mode=0o644,
+        )
+    return fs
+
+
+def nginx_conf(*, hardened: bool = True) -> str:
+    if hardened:
+        return """\
+user www-data;
+worker_processes auto;
+http {
+    server_tokens off;
+    keepalive_timeout 65;
+    client_max_body_size 8m;
+    server {
+        listen 443 ssl;
+        ssl_certificate /etc/nginx/cert.pem;
+        ssl_certificate_key /etc/nginx/key.pem;
+        ssl_protocols TLSv1.2 TLSv1.3;
+        ssl_ciphers HIGH:!aNULL:!MD5;
+        ssl_prefer_server_ciphers on;
+        ssl_session_tickets off;
+        autoindex off;
+        add_header X-Frame-Options SAMEORIGIN;
+        add_header X-Content-Type-Options nosniff;
+    }
+}
+"""
+    return """\
+user root;
+worker_processes auto;
+http {
+    server {
+        listen 443 ssl;
+        ssl_certificate /etc/nginx/cert.pem;
+        ssl_certificate_key /etc/nginx/key.pem;
+        ssl_protocols SSLv3 TLSv1.2;
+        ssl_ciphers RC4:HIGH;
+        autoindex on;
+        client_max_body_size 0;
+    }
+}
+"""
+
+
+def mysql_cnf(*, hardened: bool = True) -> str:
+    if hardened:
+        return """\
+[mysqld]
+bind-address = 127.0.0.1
+local-infile = 0
+skip-show-database
+skip-symbolic-links
+secure_file_priv = /var/lib/mysql-files
+ssl-ca = /etc/mysql/cacert.pem
+ssl-cert = /etc/mysql/server-cert.pem
+ssl-key = /etc/mysql/server-key.pem
+old_passwords = 0
+"""
+    return """\
+[mysqld]
+bind-address = 0.0.0.0
+local-infile = 1
+old_passwords = 1
+"""
+
+
+def apache_conf(*, hardened: bool = True) -> str:
+    if hardened:
+        return """\
+ServerTokens Prod
+ServerSignature Off
+TraceEnable Off
+Timeout 300
+KeepAliveTimeout 5
+FileETag None
+User www-data
+SSLProtocol all -SSLv2 -SSLv3
+SSLHonorCipherOrder on
+<Directory /var/www/>
+    Options -Indexes -Includes FollowSymLinks
+    AllowOverride None
+</Directory>
+"""
+    return """\
+ServerTokens Full
+ServerSignature On
+TraceEnable On
+Timeout 600
+User root
+SSLProtocol all
+<Directory /var/www/>
+    Options Indexes Includes FollowSymLinks
+    AllowOverride All
+</Directory>
+"""
+
+
+def hadoop_core_site(*, hardened: bool = True) -> str:
+    auth = "kerberos" if hardened else "simple"
+    authz = "true" if hardened else "false"
+    rpc = "privacy" if hardened else "authentication"
+    return f"""\
+<configuration>
+  <property><name>hadoop.security.authentication</name><value>{auth}</value></property>
+  <property><name>hadoop.security.authorization</name><value>{authz}</value></property>
+  <property><name>hadoop.rpc.protection</name><value>{rpc}</value></property>
+</configuration>
+"""
+
+
+def hadoop_hdfs_site(*, hardened: bool = True) -> str:
+    flag = "true" if hardened else "false"
+    policy = "HTTPS_ONLY" if hardened else "HTTP_ONLY"
+    return f"""\
+<configuration>
+  <property><name>dfs.permissions.enabled</name><value>{flag}</value></property>
+  <property><name>dfs.encrypt.data.transfer</name><value>{flag}</value></property>
+  <property><name>dfs.namenode.acls.enabled</name><value>{flag}</value></property>
+  <property><name>dfs.datanode.data.dir.perm</name><value>700</value></property>
+  <property><name>dfs.http.policy</name><value>{policy}</value></property>
+</configuration>
+"""
+
+
+def ubuntu_packages() -> PackageDatabase:
+    """A plausible package set for a synthetic Ubuntu host."""
+    return PackageDatabase(
+        [
+            Package("openssh-server", "1:7.2p2-4ubuntu2.10"),
+            Package("auditd", "1:2.4.5-1ubuntu2.1"),
+            Package("nginx", "1.10.3-0ubuntu0.16.04.5"),
+            Package("mysql-server", "5.7.33-0ubuntu0.16.04.1"),
+            Package("apache2", "2.4.18-2ubuntu3.17"),
+        ]
+    )
+
+
+def ubuntu_host_entity(
+    name: str = "ubuntu-host",
+    *,
+    hardening: float = 1.0,
+    seed: int = 0,
+    **build_kwargs,
+) -> HostEntity:
+    """A ready-to-validate host entity (filesystem + packages + live sysctl)."""
+    fs = build_ubuntu_host(hardening=hardening, seed=seed, **build_kwargs)
+    return HostEntity(name, fs, packages=ubuntu_packages())

@@ -1,0 +1,68 @@
+"""Kubernetes node workloads: static pod manifests at controllable
+hardening, for the kubernetes extension pack."""
+
+from __future__ import annotations
+
+from repro.fs.vfs import VirtualFilesystem
+from repro.crawler.entities import HostEntity
+
+_HARDENED_POD = """\
+apiVersion: v1
+kind: Pod
+metadata:
+  name: web
+  namespace: prod
+spec:
+  securityContext:
+    runAsNonRoot: true
+  containers:
+    - name: web
+      image: registry.local/web:1.4.2
+      securityContext:
+        privileged: false
+        allowPrivilegeEscalation: false
+        readOnlyRootFilesystem: true
+        runAsNonRoot: true
+        capabilities:
+          drop: ["ALL"]
+      resources:
+        limits:
+          memory: 512Mi
+          cpu: 500m
+"""
+
+_STOCK_POD = """\
+apiVersion: v1
+kind: Pod
+metadata:
+  name: legacy
+  namespace: default
+spec:
+  hostNetwork: true
+  hostPID: true
+  containers:
+    - name: legacy
+      image: registry.local/legacy:latest
+      securityContext:
+        privileged: true
+"""
+
+
+def kubernetes_manifest(*, hardened: bool = True) -> str:
+    """One static pod manifest at the requested hardening level."""
+    return _HARDENED_POD if hardened else _STOCK_POD
+
+
+def k8s_node_entity(
+    name: str = "k8s-node", *, hardened: bool = True, pods: int = 1
+) -> HostEntity:
+    """A node carrying ``pods`` static pod manifests."""
+    fs = VirtualFilesystem()
+    fs.mkdir("/etc/kubernetes/manifests", mode=0o755)
+    for index in range(pods):
+        fs.write_file(
+            f"/etc/kubernetes/manifests/pod-{index:02d}.yaml",
+            kubernetes_manifest(hardened=hardened),
+            mode=0o644,
+        )
+    return HostEntity(name, fs)

@@ -1,0 +1,84 @@
+"""Synthetic rule and config generation for scaling ablations.
+
+The Table 2 benchmark times fixed rule sets; the scaling ablation (A1 in
+DESIGN.md) instead sweeps the *number of rules* against one frame, and
+the parsing ablation (A2) sweeps config size per lens.  These generators
+keep both sweeps deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.cvl.loader import build_rule
+from repro.cvl.model import RuleSet, TreeRule
+
+
+def generate_keyvalue_config(
+    keys: int, *, seed: int = 0, misconfig_rate: float = 0.0
+) -> str:
+    """A flat ``key = value`` config with ``keys`` settings.
+
+    Keys are ``setting_0000 .. setting_NNNN``; compliant values are
+    ``enabled``; a seeded fraction flips to ``disabled``.
+    """
+    rng = random.Random(seed)
+    lines = ["# synthetic configuration"]
+    for index in range(keys):
+        value = "disabled" if rng.random() < misconfig_rate else "enabled"
+        lines.append(f"setting_{index:04d} = {value}")
+    return "\n".join(lines) + "\n"
+
+
+def generate_tree_rules(
+    count: int, *, file_context: str = "synthetic.conf", seed: int = 0
+) -> RuleSet:
+    """``count`` tree rules, one per synthetic setting."""
+    rules = []
+    for index in range(count):
+        mapping = {
+            "config_name": f"setting_{index:04d}",
+            "config_path": [""],
+            "config_description": f"Synthetic setting #{index}.",
+            "file_context": [file_context],
+            "preferred_value": ["enabled"],
+            "preferred_value_match": "exact,all",
+            "not_present_description": f"setting_{index:04d} missing.",
+            "not_matched_preferred_value_description": f"setting_{index:04d} disabled.",
+            "matched_description": f"setting_{index:04d} enabled.",
+            "tags": ["#synthetic"],
+        }
+        rule = build_rule(mapping, source="<rulegen>")
+        assert isinstance(rule, TreeRule)
+        rules.append(rule)
+    return RuleSet(entity="synthetic", rules=rules, source="<rulegen>")
+
+
+def generate_nginx_config(servers: int, *, seed: int = 0) -> str:
+    """An nginx.conf with ``servers`` server blocks (parsing ablation)."""
+    rng = random.Random(seed)
+    blocks = []
+    for index in range(servers):
+        port = 8000 + index
+        blocks.append(
+            f"""    server {{
+        listen {port} ssl;
+        server_name host{index}.example.com;
+        ssl_protocols TLSv1.2 TLSv1.3;
+        location / {{
+            proxy_pass http://backend{rng.randrange(4)};
+        }}
+    }}"""
+        )
+    body = "\n".join(blocks)
+    return f"user www-data;\nhttp {{\n    server_tokens off;\n{body}\n}}\n"
+
+
+def generate_sysctl_config(keys: int, *, seed: int = 0) -> str:
+    """A sysctl.conf with ``keys`` parameters (parsing ablation)."""
+    rng = random.Random(seed)
+    lines = [
+        f"net.synthetic.bucket{index % 16}.param_{index:05d} = {rng.randrange(2)}"
+        for index in range(keys)
+    ]
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,49 @@
+"""Shared fixtures: synthetic entities, frames, and the builtin validator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crawler import Crawler
+from repro.rules import load_builtin_validator
+from repro.workloads import ubuntu_host_entity
+
+
+@pytest.fixture(scope="session")
+def crawler():
+    return Crawler()
+
+
+@pytest.fixture(scope="session")
+def hardened_host():
+    return ubuntu_host_entity(
+        "hardened",
+        hardening=1.0,
+        with_nginx=True,
+        with_mysql=True,
+        with_apache=True,
+        with_hadoop=True,
+    )
+
+
+@pytest.fixture(scope="session")
+def stock_host():
+    return ubuntu_host_entity(
+        "stock", hardening=0.0, with_nginx=True, with_mysql=True
+    )
+
+
+@pytest.fixture(scope="session")
+def hardened_frame(crawler, hardened_host):
+    return crawler.crawl(hardened_host)
+
+
+@pytest.fixture(scope="session")
+def stock_frame(crawler, stock_host):
+    return crawler.crawl(stock_host)
+
+
+@pytest.fixture()
+def validator():
+    # Function-scoped: tests mutate rule enablement.
+    return load_builtin_validator()

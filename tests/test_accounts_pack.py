@@ -1,0 +1,139 @@
+"""Tests for the accounts extension pack (schema queries over passwd/shadow)."""
+
+import pytest
+
+from repro.fs import VirtualFilesystem
+from repro.crawler import HostEntity
+from repro.rules import EXTENSION_TARGETS, load_builtin_validator
+
+GOOD_PASSWD = (
+    "root:x:0:0:root:/root:/bin/bash\n"
+    "daemon:x:1:1:daemon:/usr/sbin:/usr/sbin/nologin\n"
+    "www-data:x:33:33:www-data:/var/www:/usr/sbin/nologin\n"
+    "mysql:x:107:112:MySQL:/nonexistent:/bin/false\n"
+)
+GOOD_SHADOW = "root:*:17000:0:99999:7:::\ndaemon:*:17000:0:99999:7:::\n"
+GOOD_GROUP = "root:x:0:\nsudo:x:27:ubuntu\n"
+
+
+def _host(passwd=GOOD_PASSWD, shadow=GOOD_SHADOW, group=GOOD_GROUP,
+          login_defs="PASS_MAX_DAYS 90\nPASS_MIN_DAYS 7\nPASS_WARN_AGE 7\n",
+          limits="* hard core 0\n"):
+    fs = VirtualFilesystem()
+    fs.write_file("/etc/passwd", passwd, mode=0o644)
+    fs.write_file("/etc/shadow", shadow, mode=0o640, gid=42, group="shadow")
+    fs.write_file("/etc/group", group, mode=0o644)
+    fs.write_file("/etc/login.defs", login_defs, mode=0o644)
+    fs.write_file("/etc/security/limits.conf", limits, mode=0o644)
+    fs.write_file(
+        "/etc/pam.d/common-password",
+        "password requisite pam_pwquality.so retry=3\n"
+        "password [success=1 default=ignore] pam_unix.so sha512\n",
+        mode=0o644,
+    )
+    return HostEntity("accounts-host", fs)
+
+
+@pytest.fixture()
+def accounts_validator():
+    return load_builtin_validator(only=["accounts"])
+
+
+class TestAccountsPack:
+    def test_registered_as_extension(self):
+        assert "accounts" in EXTENSION_TARGETS
+
+    def test_clean_host_passes(self, accounts_validator):
+        report = accounts_validator.validate_entity(_host())
+        assert report.compliant, [
+            (r.rule.name, r.message) for r in report.failed()
+        ]
+
+    def test_empty_password_detected(self, accounts_validator):
+        shadow = GOOD_SHADOW + "backdoor::17000:0:99999:7:::\n"
+        report = accounts_validator.validate_entity(_host(shadow=shadow))
+        failed = {r.rule.name for r in report.failed()}
+        assert "no_empty_password_fields" in failed
+
+    def test_second_uid_zero_detected(self, accounts_validator):
+        passwd = GOOD_PASSWD + "toor:x:0:0:evil:/root:/bin/bash\n"
+        report = accounts_validator.validate_entity(_host(passwd=passwd))
+        failed = {r.rule.name for r in report.failed()}
+        assert "only_root_uid_zero" in failed
+
+    def test_legacy_plus_entry_detected(self, accounts_validator):
+        passwd = GOOD_PASSWD + "+::::::\n"
+        report = accounts_validator.validate_entity(_host(passwd=passwd))
+        failed = {r.rule.name for r in report.failed()}
+        assert "no_legacy_plus_passwd" in failed
+
+    def test_daemon_login_shell_detected(self, accounts_validator):
+        passwd = GOOD_PASSWD.replace(
+            "www-data:x:33:33:www-data:/var/www:/usr/sbin/nologin",
+            "www-data:x:33:33:www-data:/var/www:/bin/bash",
+        )
+        report = accounts_validator.validate_entity(_host(passwd=passwd))
+        failed = {r.rule.name for r in report.failed()}
+        assert "system_accounts_nologin" in failed
+
+    def test_root_group_members_detected(self, accounts_validator):
+        group = GOOD_GROUP.replace("root:x:0:", "root:x:0:eve")
+        report = accounts_validator.validate_entity(_host(group=group))
+        failed = {r.rule.name for r in report.failed()}
+        assert "root_group_empty" in failed
+
+    def test_missing_root_entry_detected(self, accounts_validator):
+        passwd = GOOD_PASSWD.replace(
+            "root:x:0:0:root:/root:/bin/bash\n", ""
+        )
+        report = accounts_validator.validate_entity(_host(passwd=passwd))
+        failed = {r.rule.name for r in report.failed()}
+        assert "root_entry_present" in failed
+
+    def test_world_readable_shadow_detected(self, accounts_validator):
+        entity = _host()
+        entity.filesystem().chmod("/etc/shadow", 0o644)
+        report = accounts_validator.validate_entity(entity)
+        failed = {r.rule.name for r in report.failed()}
+        assert "/etc/shadow" in failed
+
+    def test_pack_skipped_without_account_files(self, accounts_validator):
+        fs = VirtualFilesystem()
+        fs.write_file("/opt/app/config", "x")
+        report = accounts_validator.validate_entity(HostEntity("bare", fs))
+        assert len(report) == 0
+
+
+    def test_unbounded_password_age_detected(self, accounts_validator):
+        report = accounts_validator.validate_entity(
+            _host(login_defs="PASS_MAX_DAYS 99999\n")
+        )
+        failed = {r.rule.name for r in report.failed()}
+        assert "PASS_MAX_DAYS" in failed
+
+    def test_unrestricted_core_dumps_detected(self, accounts_validator):
+        report = accounts_validator.validate_entity(_host(limits="# empty\n"))
+        failed = {r.rule.name for r in report.failed()}
+        assert "core_dumps_restricted" in failed
+
+    def test_weak_password_hash_detected(self, accounts_validator):
+        entity = _host()
+        entity.filesystem().write_file(
+            "/etc/pam.d/common-password",
+            "password requisite pam_pwquality.so retry=3\n"
+            "password [success=1 default=ignore] pam_unix.so md5\n",
+        )
+        report = accounts_validator.validate_entity(entity)
+        failed = {r.rule.name for r in report.failed()}
+        assert "pam_unix_sha512" in failed
+        assert "pam_pwquality_enforced" not in failed
+
+    def test_missing_pwquality_detected(self, accounts_validator):
+        entity = _host()
+        entity.filesystem().write_file(
+            "/etc/pam.d/common-password",
+            "password [success=1 default=ignore] pam_unix.so sha512\n",
+        )
+        report = accounts_validator.validate_entity(entity)
+        failed = {r.rule.name for r in report.failed()}
+        assert "pam_pwquality_enforced" in failed

@@ -1,0 +1,170 @@
+"""Unit + property tests for path expressions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PathExpressionError
+from repro.augtree import ConfigNode, parse_path
+
+
+def _tree() -> ConfigNode:
+    root = ConfigNode("(root)")
+    http = root.add("http")
+    for listen, protocols in [("443 ssl", "TLSv1.2"), ("80", None)]:
+        server = http.add("server")
+        server.add("listen", listen)
+        if protocols:
+            server.add("ssl_protocols", protocols)
+    mysqld = root.add("mysqld")
+    mysqld.add("ssl-ca", "/etc/mysql/cacert.pem")
+    root.add("net.ipv4.ip_forward", "0")
+    modroot = root.add("modprobe")
+    for module in ("cramfs", "udf"):
+        install = modroot.add("install", module)
+        install.add("command", "/bin/true")
+    return root
+
+
+class TestBasicMatching:
+    def test_single_segment(self):
+        assert parse_path("http").match(_tree())[0].label == "http"
+
+    def test_nested_path(self):
+        values = [n.value for n in parse_path("http/server/listen").match(_tree())]
+        assert values == ["443 ssl", "80"]
+
+    def test_no_match_is_empty(self):
+        assert parse_path("http/nothing").match(_tree()) == []
+
+    def test_empty_expression_matches_root(self):
+        root = _tree()
+        assert parse_path("").match(root) == [root]
+
+    def test_dotted_label_is_one_segment(self):
+        matches = parse_path("net.ipv4.ip_forward").match(_tree())
+        assert len(matches) == 1
+        assert matches[0].value == "0"
+
+    def test_dash_in_label(self):
+        assert parse_path("mysqld/ssl-ca").match(_tree())[0].value == (
+            "/etc/mysql/cacert.pem"
+        )
+
+
+class TestWildcards:
+    def test_star_matches_any_child(self):
+        labels = {n.label for n in parse_path("*").match(_tree())}
+        assert labels == {"http", "mysqld", "net.ipv4.ip_forward", "modprobe"}
+
+    def test_star_in_middle(self):
+        values = [n.value for n in parse_path("http/*/listen").match(_tree())]
+        assert values == ["443 ssl", "80"]
+
+    def test_doublestar_descendant_or_self(self):
+        values = [n.value for n in parse_path("**/listen").match(_tree())]
+        assert values == ["443 ssl", "80"]
+
+    def test_doublestar_deduplicates(self):
+        matches = parse_path("**/**/listen").match(_tree())
+        assert len(matches) == 2
+
+    def test_doublestar_rejects_predicates(self):
+        with pytest.raises(PathExpressionError):
+            parse_path("**[1]/x")
+
+
+class TestPredicates:
+    def test_numeric_index_is_one_based(self):
+        node = parse_path("http/server[2]/listen").match(_tree())[0]
+        assert node.value == "80"
+
+    def test_index_out_of_range_is_empty(self):
+        assert parse_path("http/server[9]").match(_tree()) == []
+
+    def test_last(self):
+        node = parse_path("http/server[last()]/listen").match(_tree())[0]
+        assert node.value == "80"
+
+    def test_value_predicate(self):
+        matches = parse_path("modprobe/install[.='cramfs']").match(_tree())
+        assert len(matches) == 1
+        assert matches[0].value == "cramfs"
+
+    def test_value_predicate_then_child(self):
+        node = parse_path("modprobe/install[.='cramfs']/command").match(_tree())[0]
+        assert node.value == "/bin/true"
+
+    def test_child_value_predicate(self):
+        matches = parse_path("http/server[listen='80']").match(_tree())
+        assert len(matches) == 1
+        assert matches[0].child("ssl_protocols") is None
+
+    def test_quoted_predicate_value_with_space(self):
+        matches = parse_path("http/server[listen='443 ssl']").match(_tree())
+        assert len(matches) == 1
+
+    def test_stacked_predicates(self):
+        matches = parse_path("http/server[listen='80'][1]").match(_tree())
+        assert len(matches) == 1
+
+
+class TestQuotingAndErrors:
+    def test_quoted_label_with_slash(self):
+        root = ConfigNode("(root)")
+        root.add("a/b", "weird")
+        assert parse_path('"a/b"').match(root)[0].value == "weird"
+
+    def test_zero_index_rejected(self):
+        with pytest.raises(PathExpressionError):
+            parse_path("a[0]")
+
+    def test_empty_segment_rejected(self):
+        with pytest.raises(PathExpressionError):
+            parse_path("a//b")
+
+    def test_unbalanced_bracket_rejected(self):
+        with pytest.raises(PathExpressionError):
+            parse_path("a[1")
+
+    def test_unterminated_quote_rejected(self):
+        with pytest.raises(PathExpressionError):
+            parse_path('"abc')
+
+    def test_garbage_predicate_rejected(self):
+        with pytest.raises(PathExpressionError):
+            parse_path("a[?!]")
+
+    def test_parse_is_cached(self):
+        assert parse_path("http/server") is parse_path("http/server")
+
+
+_labels = st.text(alphabet="abcxyz_", min_size=1, max_size=5)
+
+
+class TestProperties:
+    @given(labels=st.lists(_labels, min_size=1, max_size=5))
+    def test_exact_chain_always_matches_itself(self, labels):
+        root = ConfigNode("(root)")
+        node = root
+        for label in labels:
+            node = node.add(label)
+        matches = parse_path("/".join(labels)).match(root)
+        assert node in matches
+
+    @given(labels=st.lists(_labels, min_size=1, max_size=4))
+    def test_doublestar_finds_leaf_anywhere(self, labels):
+        root = ConfigNode("(root)")
+        node = root
+        for label in labels:
+            node = node.add(label)
+        matches = parse_path(f"**/{labels[-1]}").match(root)
+        assert node in matches
+
+    @given(count=st.integers(min_value=1, max_value=6))
+    def test_indexes_partition_siblings(self, count):
+        root = ConfigNode("(root)")
+        for index in range(count):
+            root.add("item", str(index))
+        for position in range(1, count + 1):
+            matches = parse_path(f"item[{position}]").match(root)
+            assert [n.value for n in matches] == [str(position - 1)]

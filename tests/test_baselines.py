@@ -1,0 +1,265 @@
+"""Tests for the baseline engines and the cross-engine agreement property."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import BaselineError, XCCDFError
+from repro.crawler import Crawler
+from repro.baselines.common_rules import TABLE2_RULES, openscap_guide_rules
+from repro.baselines.cvl_runner import ConfigValidatorEngine, table2_validator
+from repro.baselines.inspec import InspecEngine, render_control, run_shell
+from repro.baselines.inspec.resources import resolve_resource
+from repro.baselines.loc import encoding_report, mean_sizes, render_cvl
+from repro.baselines.scripts import AdHocScriptEngine, render_script
+from repro.baselines.xccdf import (
+    CisCatEngine,
+    OpenScapEngine,
+    generate_oval,
+    generate_xccdf,
+    parse_benchmark,
+)
+from repro.workloads import ubuntu_host_entity
+
+
+@pytest.fixture(scope="module")
+def xccdf_documents():
+    checks = list(TABLE2_RULES)
+    return generate_xccdf(checks), generate_oval(checks)
+
+
+class TestCommonRules:
+    def test_exactly_forty(self):
+        assert len(TABLE2_RULES) == 40
+
+    def test_all_link_to_shipped_cvl_rules(self, validator):
+        for check in TABLE2_RULES:
+            manifest = validator.manifest(check.cvl_entity)
+            rule = validator.ruleset_for(manifest).by_name(check.cvl_name)
+            assert rule is not None, check.rule_id
+
+    def test_system_service_targets_only(self):
+        assert {c.cvl_entity for c in TABLE2_RULES} == {
+            "sshd", "sysctl", "audit", "fstab", "modprobe",
+        }
+
+    def test_openscap_guide_is_forty_and_different(self):
+        guide = openscap_guide_rules()
+        assert len(guide) == 40
+        assert {r.rule_id for r in guide}.isdisjoint(
+            {r.rule_id for r in TABLE2_RULES}
+        )
+
+
+class TestXccdf:
+    def test_generate_parse_roundtrip(self, xccdf_documents):
+        benchmark = parse_benchmark(*xccdf_documents)
+        assert len(benchmark.selected_rules()) == 40
+        assert len(benchmark.definitions) == 40
+        assert len(benchmark.tests) == 40
+        assert len(benchmark.objects) >= 40
+
+    def test_per_rule_encoding_is_verbose(self):
+        from repro.baselines.xccdf.generator import xccdf_rule_line_count
+
+        # The paper reports ~45 lines per rule under XCCDF/OVAL.
+        count = xccdf_rule_line_count(TABLE2_RULES[6])
+        assert count >= 25
+
+    def test_openscap_passes_hardened_host(self, xccdf_documents, hardened_frame):
+        results = OpenScapEngine().run(*xccdf_documents, hardened_frame)
+        assert all(r.passed for r in results)
+
+    def test_openscap_fails_stock_host(self, xccdf_documents, stock_frame):
+        results = OpenScapEngine().run(*xccdf_documents, stock_frame)
+        assert sum(not r.passed for r in results) > 20
+
+    def test_ciscat_same_verdicts_slower_start(self, xccdf_documents, hardened_frame):
+        engine = CisCatEngine(startup_rounds=10)
+        results = engine.run(*xccdf_documents, hardened_frame)
+        assert all(r.passed for r in results)
+        assert engine._startup_digest  # startup phase actually ran
+
+    def test_missing_definition_is_error(self, xccdf_documents):
+        xccdf_text, _ = xccdf_documents
+        with pytest.raises(XCCDFError):
+            OpenScapEngine().run(xccdf_text, generate_oval([]), None)
+
+    def test_invalid_xml_rejected(self):
+        with pytest.raises(XCCDFError):
+            parse_benchmark("<Benchmark", "<oval_definitions/>")
+
+
+class TestBashSim:
+    def test_grep_file(self, hardened_frame):
+        out = run_shell(
+            "grep 'PermitRootLogin' /etc/ssh/sshd_config", hardened_frame
+        )
+        assert "PermitRootLogin no" in out
+
+    def test_pipeline_head(self, hardened_frame):
+        out = run_shell(
+            "grep -E -e '.' /etc/ssh/sshd_config | head -1", hardened_frame
+        )
+        assert len(out.splitlines()) == 1
+
+    def test_grep_count(self, hardened_frame):
+        out = run_shell("grep -c 'Match' /etc/ssh/sshd_config", hardened_frame)
+        assert out == "0"
+
+    def test_wc_l(self, hardened_frame):
+        out = run_shell("cat /etc/fstab | wc -l", hardened_frame)
+        assert int(out) >= 5
+
+    def test_grep_invert(self, hardened_frame):
+        out = run_shell(
+            "grep 'nodev' /etc/fstab | grep -v 'tmpfs'", hardened_frame
+        )
+        assert "tmpfs" not in out
+
+    def test_cut_fields(self, hardened_frame):
+        out = run_shell("grep 'root' /etc/passwd | cut -d: -f7", hardened_frame)
+        assert out == "/bin/bash"
+
+    def test_missing_file_is_empty(self, hardened_frame):
+        assert run_shell("grep 'x' /no/such/file", hardened_frame) == ""
+
+    def test_unknown_command_rejected(self, hardened_frame):
+        with pytest.raises(BaselineError):
+            run_shell("awk '{print}' /etc/fstab", hardened_frame)
+
+
+class TestInspecResources:
+    def test_sshd_first_match_wins(self, crawler):
+        entity = ubuntu_host_entity("r1")
+        entity.filesystem().write_file(
+            "/etc/ssh/sshd_config", "PermitRootLogin no\nPermitRootLogin yes\n"
+        )
+        frame = crawler.crawl(entity)
+        resource = resolve_resource("sshd_config", frame)
+        assert resource.its("PermitRootLogin") == "no"
+
+    def test_sshd_lookup_case_insensitive(self, hardened_frame):
+        resource = resolve_resource("sshd_config", hardened_frame)
+        assert resource.its("permitrootlogin") == "no"
+
+    def test_kernel_parameter(self, hardened_frame):
+        resource = resolve_resource("kernel_parameter", hardened_frame)
+        assert resource.its("net.ipv4.ip_forward") == "0"
+
+    def test_etc_fstab_mount_options(self, hardened_frame):
+        resource = resolve_resource("etc_fstab", hardened_frame)
+        assert "nodev" in resource.mount_options("/tmp")
+        assert resource.mount_options("/nope") is None
+
+    def test_kernel_module_disabled(self, hardened_frame):
+        resource = resolve_resource("kernel_module", hardened_frame)
+        assert resource.disabled("cramfs")
+        assert resource.blacklisted("dccp")
+        assert not resource.disabled("ext4")
+
+    def test_file_resource(self, hardened_frame):
+        resource = resolve_resource("file", hardened_frame, "/etc/ssh/sshd_config")
+        assert resource.exists
+        assert resource.mode == "600"
+
+    def test_unknown_resource_rejected(self, hardened_frame):
+        with pytest.raises(BaselineError):
+            resolve_resource("registry_key", hardened_frame)
+
+
+class TestEngineAgreement:
+    def test_all_engines_pass_hardened(self, xccdf_documents, hardened_frame):
+        outcomes = {
+            "openscap": [
+                r.passed
+                for r in OpenScapEngine().run(*xccdf_documents, hardened_frame)
+            ],
+            "inspec-dsl": [
+                r.passed for r in InspecEngine("dsl").run(TABLE2_RULES, hardened_frame)
+            ],
+            "inspec-bash": [
+                r.passed
+                for r in InspecEngine("bash").run(TABLE2_RULES, hardened_frame)
+            ],
+            "scripts": [
+                r.passed
+                for r in AdHocScriptEngine().run(TABLE2_RULES, hardened_frame)
+            ],
+            "cvl": [
+                r.passed
+                for r in ConfigValidatorEngine().run(TABLE2_RULES, hardened_frame)
+            ],
+        }
+        for name, passed in outcomes.items():
+            assert all(passed), name
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1_000),
+           hardening=st.sampled_from([0.0, 0.3, 0.6, 0.9]))
+    def test_engines_agree_on_random_hosts(self, seed, hardening):
+        """The same 40 rules must produce identical verdict vectors under
+        every engine, whatever the host looks like."""
+        frame = Crawler().crawl(
+            ubuntu_host_entity(f"h{seed}", hardening=hardening, seed=seed)
+        )
+        xccdf_text = generate_xccdf(list(TABLE2_RULES))
+        oval_text = generate_oval(list(TABLE2_RULES))
+        vectors = {
+            "openscap": [
+                r.passed for r in OpenScapEngine().run(xccdf_text, oval_text, frame)
+            ],
+            "inspec-dsl": [
+                r.passed for r in InspecEngine("dsl").run(TABLE2_RULES, frame)
+            ],
+            "inspec-bash": [
+                r.passed for r in InspecEngine("bash").run(TABLE2_RULES, frame)
+            ],
+            "scripts": [
+                r.passed for r in AdHocScriptEngine().run(TABLE2_RULES, frame)
+            ],
+            "cvl": [
+                r.passed for r in ConfigValidatorEngine().run(TABLE2_RULES, frame)
+            ],
+        }
+        reference = vectors["scripts"]
+        for name, vector in vectors.items():
+            mismatches = [
+                TABLE2_RULES[i].rule_id
+                for i, (a, b) in enumerate(zip(vector, reference))
+                if a != b
+            ]
+            assert not mismatches, (name, mismatches)
+
+    def test_table2_validator_scopes_to_common_rules(self):
+        validator = table2_validator(TABLE2_RULES)
+        assert validator.rule_count() == 40
+
+
+class TestEncodingSizes:
+    def test_listing6_shape(self):
+        report = encoding_report(list(TABLE2_RULES))
+        means = mean_sizes(report)
+        # Paper Listing 6: XCCDF/OVAL 45 lines >> CVL 10 > Inspec 6-7.
+        assert means["xccdf_oval"] > 2.5 * means["cvl"]
+        assert means["cvl"] > means["inspec_dsl"]
+        assert means["inspec_dsl"] >= 5
+        assert means["script"] <= 2
+
+    def test_permit_root_login_cvl_is_about_ten_lines(self):
+        report = encoding_report(list(TABLE2_RULES))
+        entry = next(e for e in report if e.rule_id == "cis-5.2.8")
+        assert 8 <= entry.cvl <= 14
+        assert entry.xccdf_oval >= 25
+        assert 5 <= entry.inspec_dsl <= 9
+
+    def test_render_cvl_one_line_per_keyword(self, validator):
+        manifest = validator.manifest("sshd")
+        rule = validator.ruleset_for(manifest).by_name("PermitRootLogin")
+        rendered = render_cvl(rule.raw)
+        assert len(rendered.splitlines()) == len(rule.raw)
+
+    def test_render_control_and_script_nonempty(self):
+        for check in TABLE2_RULES[:5]:
+            assert "control" in render_control(check, "dsl")
+            assert "describe bash" in render_control(check, "bash")
+            assert "grep" in render_script(check)

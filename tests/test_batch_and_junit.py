@@ -1,0 +1,132 @@
+"""Tests for the fleet batch scanner, severity policy, and JUnit output."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.crawler import ContainerEntity, DockerImageEntity
+from repro.engine.batch import (
+    BatchScanner,
+    FleetSummary,
+    render_fleet_summary,
+    severity_rank,
+)
+from repro.engine.report import render_junit
+from repro.rules import load_builtin_validator
+from repro.workloads import FleetSpec, build_fleet, ubuntu_host_entity
+
+
+@pytest.fixture(scope="module")
+def fleet_summary():
+    validator = load_builtin_validator()
+    _daemon, images, containers = build_fleet(
+        FleetSpec(images=5, containers_per_image=3, misconfig_rate=0.5, seed=21)
+    )
+    entities = [DockerImageEntity(i) for i in images]
+    entities += [ContainerEntity(c) for c in containers]
+    scanner = BatchScanner(validator)
+    return scanner.scan_entities(entities)
+
+
+class TestSeverityRank:
+    def test_order(self):
+        assert severity_rank("critical") > severity_rank("high")
+        assert severity_rank("high") > severity_rank("medium")
+        assert severity_rank("medium") > severity_rank("low")
+        assert severity_rank("low") > severity_rank("informational")
+
+    def test_unknown_is_lowest(self):
+        assert severity_rank("nonsense") == 0
+
+
+class TestBatchScanner:
+    def test_summary_shape(self, fleet_summary):
+        assert isinstance(fleet_summary, FleetSummary)
+        assert fleet_summary.entities_scanned == 20
+        assert fleet_summary.throughput > 0
+        assert 0.0 < fleet_summary.compliance_rate() < 1.0
+
+    def test_rule_rollups_consistent_with_report(self, fleet_summary):
+        total_failed = sum(r.failed for r in fleet_summary.rules.values())
+        assert total_failed == len(fleet_summary.report.failed())
+        total_passed = sum(r.passed for r in fleet_summary.rules.values())
+        assert total_passed == len(fleet_summary.report.passed())
+
+    def test_top_failing_rules_sorted(self, fleet_summary):
+        top = fleet_summary.top_failing_rules(5)
+        fails = [rollup.failed for rollup in top]
+        assert fails == sorted(fails, reverse=True)
+
+    def test_worst_entities_have_findings(self, fleet_summary):
+        worst = fleet_summary.worst_entities(3)
+        assert worst[0].failed >= worst[-1].failed
+        assert worst[0].failed > 0
+
+    def test_failures_at_least_filters_by_severity(self, fleet_summary):
+        high = fleet_summary.failures_at_least("high")
+        assert all(
+            r.rule.severity in ("high", "critical") for r in high
+        )
+        assert len(high) <= len(fleet_summary.failures_at_least("low"))
+
+    def test_tag_rollup_counts_failures(self, fleet_summary):
+        assert fleet_summary.tag_failures.get("#cis", 0) > 0
+
+    def test_scan_frames_path(self):
+        from repro.crawler import Crawler
+
+        validator = load_builtin_validator()
+        frames = Crawler().crawl_many(
+            [ubuntu_host_entity("fa", hardening=1.0),
+             ubuntu_host_entity("fb", hardening=0.0)]
+        )
+        summary = BatchScanner(validator).scan_frames(frames)
+        assert summary.entities_scanned == 2
+        assert summary.report.failed()
+
+    def test_render_summary(self, fleet_summary):
+        text = render_fleet_summary(fleet_summary)
+        assert "top failing rules:" in text
+        assert "worst entities:" in text
+        assert "failures by tag:" in text
+        assert "compliance:" in text
+
+
+class TestJUnitOutput:
+    @pytest.fixture(scope="class")
+    def report(self):
+        validator = load_builtin_validator(only=["sshd", "sysctl"])
+        return validator.validate_entity(
+            ubuntu_host_entity("junit-host", hardening=0.5, seed=3)
+        )
+
+    def test_wellformed_xml(self, report):
+        root = ET.fromstring(render_junit(report))
+        assert root.tag == "testsuite"
+        assert int(root.get("tests")) == report.counts()["total"]
+        assert int(root.get("failures")) == report.counts()["noncompliant"]
+
+    def test_failures_carry_messages(self, report):
+        root = ET.fromstring(render_junit(report))
+        failures = root.findall(".//failure")
+        assert len(failures) == len(report.failed())
+        assert all(f.get("message") for f in failures)
+
+    def test_passing_cases_are_empty_elements(self, report):
+        root = ET.fromstring(render_junit(report))
+        passed = [
+            case
+            for case in root.findall("testcase")
+            if not list(case)
+        ]
+        assert len(passed) == len(report.passed())
+
+    def test_quoting_survives_odd_rule_names(self, validator):
+        report = validator.validate_entity(
+            ubuntu_host_entity("quoting", hardening=1.0)
+        )
+        # modprobe rule names contain quotes and brackets.
+        xml_text = render_junit(report)
+        root = ET.fromstring(xml_text)
+        names = {case.get("name") for case in root.iter("testcase")}
+        assert any("install[.='cramfs']" in name for name in names)

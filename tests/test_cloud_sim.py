@@ -1,0 +1,87 @@
+"""Tests for the simulated cloud control plane."""
+
+import pytest
+
+from repro.errors import CloudAPIError
+from repro.crawler.cloud_sim import (
+    CloudControlPlane,
+    CloudUser,
+    Instance,
+    SecurityGroup,
+    SecurityGroupRule,
+)
+
+
+@pytest.fixture()
+def cloud():
+    plane = CloudControlPlane()
+    project = plane.create_project("web")
+    group = SecurityGroup("mgmt")
+    group.add_rule(
+        SecurityGroupRule(protocol="tcp", port_min=22, port_max=22,
+                          remote_cidr="10.0.0.0/8")
+    )
+    project.add_security_group(group)
+    project.add_instance(Instance("frontend", security_groups=["mgmt"],
+                                  key_name="ops"))
+    project.add_user(CloudUser("alice", roles=["admin"], mfa_enabled=True))
+    return plane
+
+
+class TestResourceModel:
+    def test_rule_world_open(self):
+        assert SecurityGroupRule(remote_cidr="0.0.0.0/0").world_open
+        assert SecurityGroupRule(remote_cidr="::/0").world_open
+        assert not SecurityGroupRule(remote_cidr="10.0.0.0/8").world_open
+
+    def test_rule_port_coverage(self):
+        rule = SecurityGroupRule(port_min=20, port_max=25)
+        assert rule.covers_port(22)
+        assert not rule.covers_port(80)
+
+    def test_duplicate_project_rejected(self, cloud):
+        with pytest.raises(CloudAPIError):
+            cloud.create_project("web")
+
+    def test_unknown_project_rejected(self, cloud):
+        with pytest.raises(CloudAPIError):
+            cloud.project("ghost")
+
+    def test_resource_ids_unique(self):
+        assert Instance("a").instance_id != Instance("b").instance_id
+
+
+class TestApi:
+    def test_root_listing(self, cloud):
+        assert cloud.get("/")["projects"] == ["web"]
+
+    def test_project_summary(self, cloud):
+        summary = cloud.get("/projects/web")
+        assert summary["instances"] == ["frontend"]
+        assert summary["security_groups"] == ["mgmt"]
+
+    def test_collection_listing(self, cloud):
+        groups = cloud.get("/projects/web/security-groups")
+        assert groups[0]["name"] == "mgmt"
+        assert groups[0]["security_group_rules"][0]["port_range_min"] == 22
+
+    def test_single_resource(self, cloud):
+        instance = cloud.get("/projects/web/instances/frontend")
+        assert instance["key_name"] == "ops"
+        assert instance["security_groups"] == [{"name": "mgmt"}]
+
+    def test_users_collection(self, cloud):
+        users = cloud.get("/projects/web/users")
+        assert users[0]["mfa_enabled"] is True
+
+    def test_unknown_collection_rejected(self, cloud):
+        with pytest.raises(CloudAPIError):
+            cloud.get("/projects/web/volumes")
+
+    def test_unknown_resource_rejected(self, cloud):
+        with pytest.raises(CloudAPIError):
+            cloud.get("/projects/web/instances/ghost")
+
+    def test_unknown_root_rejected(self, cloud):
+        with pytest.raises(CloudAPIError):
+            cloud.get("/flavors")

@@ -1,0 +1,157 @@
+"""Tests for the composite-rule expression language."""
+
+import pytest
+
+from repro.errors import CompositeExpressionError
+from repro.cvl.composite_expr import (
+    BoolOp,
+    Comparison,
+    DictContext,
+    Not,
+    Reference,
+    evaluate_composite,
+    parse_composite,
+    referenced_entities,
+)
+
+PAPER_EXPR = (
+    'mysql.ssl-ca.CONFIGPATH=[mysqld].VALUE == "/etc/mysql/cacert.pem" '
+    "&& sysctl.net.ipv4.ip_forward && nginx.listen"
+)
+
+
+class TestParsing:
+    def test_paper_listing1_expression(self):
+        ast = parse_composite(PAPER_EXPR)
+        assert isinstance(ast, BoolOp) and ast.op == "&&"
+        comparison, sysctl_ref, nginx_ref = ast.children
+        assert isinstance(comparison, Comparison)
+        assert comparison.reference == Reference(
+            entity="mysql",
+            config="ssl-ca",
+            config_path="mysqld",
+            want_value=True,
+        )
+        assert comparison.literal == "/etc/mysql/cacert.pem"
+        assert sysctl_ref == Reference("sysctl", "net.ipv4.ip_forward")
+        assert nginx_ref == Reference("nginx", "listen")
+
+    def test_dotted_config_belongs_to_first_entity_segment(self):
+        ref = parse_composite("sysctl.net.ipv4.ip_forward")
+        assert ref.entity == "sysctl"
+        assert ref.config == "net.ipv4.ip_forward"
+
+    def test_or_and_precedence(self):
+        ast = parse_composite("a.x && b.y || c.z")
+        assert isinstance(ast, BoolOp) and ast.op == "||"
+        assert isinstance(ast.children[0], BoolOp)
+        assert ast.children[0].op == "&&"
+
+    def test_parentheses_override_precedence(self):
+        ast = parse_composite("a.x && (b.y || c.z)")
+        assert ast.op == "&&"
+        assert isinstance(ast.children[1], BoolOp)
+        assert ast.children[1].op == "||"
+
+    def test_negation(self):
+        ast = parse_composite("!a.x")
+        assert isinstance(ast, Not)
+
+    def test_not_equal_comparison(self):
+        ast = parse_composite('a.key.VALUE != "bad"')
+        assert isinstance(ast, Comparison) and ast.op == "!="
+
+    def test_value_without_comparison(self):
+        ast = parse_composite("a.key.VALUE")
+        assert isinstance(ast, Reference) and ast.want_value
+
+    def test_referenced_entities(self):
+        assert referenced_entities(PAPER_EXPR) == {"mysql", "sysctl", "nginx"}
+
+    def test_parse_cached(self):
+        assert parse_composite("a.b") is parse_composite("a.b")
+
+    def test_configpath_with_slashes(self):
+        ref = parse_composite("nginx.listen.CONFIGPATH=[http/server]")
+        assert ref.config_path == "http/server"
+
+    def test_errors(self):
+        for bad in [
+            "",
+            "&& a.b",
+            "a.b &&",
+            "(a.b",
+            "justentity",
+            'a.b == ',
+            "a.b.CONFIGPATH=[open",
+            'a.b == "unterminated',
+        ]:
+            with pytest.raises(CompositeExpressionError):
+                parse_composite(bad)
+
+
+class TestEvaluation:
+    def _context(self, **overrides):
+        context = DictContext(
+            verdicts={("sysctl", "net.ipv4.ip_forward"): True},
+            values={
+                ("mysql", "mysqld", "ssl-ca"): "/etc/mysql/cacert.pem",
+                ("nginx", "", "listen"): "443 ssl",
+            },
+        )
+        context.verdicts.update(overrides.get("verdicts", {}))
+        context.values.update(overrides.get("values", {}))
+        return context
+
+    def test_paper_expression_passes(self):
+        result = evaluate_composite(PAPER_EXPR, self._context())
+        assert result.passed
+        assert len(result.term_results) == 3
+        assert result.failed_terms() == []
+
+    def test_wrong_certificate_path_fails(self):
+        context = self._context(
+            values={("mysql", "mysqld", "ssl-ca"): "/tmp/evil.pem"}
+        )
+        result = evaluate_composite(PAPER_EXPR, context)
+        assert not result.passed
+        assert len(result.failed_terms()) == 1
+
+    def test_noncompliant_per_entity_rule_fails_term(self):
+        context = self._context(
+            verdicts={("sysctl", "net.ipv4.ip_forward"): False}
+        )
+        assert not evaluate_composite(PAPER_EXPR, context).passed
+
+    def test_bare_reference_falls_back_to_presence(self):
+        # nginx.listen has no per-entity rule; presence of the value wins.
+        context = self._context()
+        del context.values[("nginx", "", "listen")]
+        assert not evaluate_composite(PAPER_EXPR, context).passed
+
+    def test_absent_value_fails_both_comparisons(self):
+        context = DictContext()
+        assert not evaluate_composite('a.k.VALUE == "x"', context).passed
+        assert not evaluate_composite('a.k.VALUE != "x"', context).passed
+
+    def test_value_truthiness(self):
+        truthy = DictContext(values={("a", "", "k"): "enabled"})
+        falsy = DictContext(values={("a", "", "k"): "0"})
+        assert evaluate_composite("a.k.VALUE", truthy).passed
+        assert not evaluate_composite("a.k.VALUE", falsy).passed
+
+    def test_or_shortcut(self):
+        context = DictContext(values={("a", "", "x"): "1"})
+        assert evaluate_composite("a.x || b.y", context).passed
+
+    def test_negation_evaluation(self):
+        context = DictContext()
+        assert evaluate_composite("!a.gone", context).passed
+
+    def test_term_results_render_readably(self):
+        result = evaluate_composite(PAPER_EXPR, self._context())
+        rendered = [term for term, _ok in result.term_results]
+        assert (
+            'mysql.ssl-ca.CONFIGPATH=[mysqld].VALUE == "/etc/mysql/cacert.pem"'
+            in rendered
+        )

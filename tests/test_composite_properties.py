@@ -1,0 +1,110 @@
+"""Property-based tests for the composite expression language.
+
+Strategy: generate random expression ASTs, render them to the concrete
+syntax, re-parse, and check that evaluation agrees with direct AST
+evaluation under random contexts -- a full round-trip of the grammar.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.cvl.composite_expr import (
+    BoolOp,
+    Comparison,
+    DictContext,
+    Not,
+    Reference,
+    evaluate_composite,
+    parse_composite,
+)
+
+_entities = st.sampled_from(["mysql", "nginx", "sysctl", "docker"])
+_configs = st.sampled_from(
+    ["ssl-ca", "listen", "net.ipv4.ip_forward", "user", "icc"]
+)
+_paths = st.sampled_from([None, "mysqld", "http/server"])
+_literals = st.sampled_from(["on", "off", "/etc/mysql/cacert.pem", "0"])
+
+
+@st.composite
+def _references(draw):
+    return Reference(
+        entity=draw(_entities),
+        config=draw(_configs),
+        config_path=draw(_paths),
+        want_value=draw(st.booleans()),
+    )
+
+
+@st.composite
+def _terms(draw):
+    reference = draw(_references())
+    if draw(st.booleans()):
+        # Comparisons require .VALUE semantics on the lookup side but the
+        # renderer/parser treat the reference itself uniformly.
+        return Comparison(
+            reference=reference,
+            op=draw(st.sampled_from(["==", "!="])),
+            literal=draw(_literals),
+        )
+    return reference
+
+
+def _expressions(depth: int = 2):
+    if depth == 0:
+        return _terms()
+    sub = _expressions(depth - 1)
+    return st.one_of(
+        _terms(),
+        st.builds(Not, sub),
+        st.builds(
+            lambda a, b, op: BoolOp(op, (a, b)),
+            sub,
+            sub,
+            st.sampled_from(["&&", "||"]),
+        ),
+    )
+
+
+@st.composite
+def _contexts(draw):
+    verdicts = {}
+    values = {}
+    for entity in ["mysql", "nginx", "sysctl", "docker"]:
+        for config in ["ssl-ca", "listen", "net.ipv4.ip_forward", "user", "icc"]:
+            if draw(st.booleans()):
+                verdicts[(entity, config)] = draw(st.booleans())
+            for path in ["", "mysqld", "http/server"]:
+                if draw(st.integers(min_value=0, max_value=3)) == 0:
+                    values[(entity, path, config)] = draw(_literals)
+    return DictContext(verdicts=verdicts, values=values)
+
+
+class TestRoundTrip:
+    @given(ast=_expressions())
+    def test_render_parse_roundtrip_structure(self, ast):
+        reparsed = parse_composite(ast.render())
+        assert reparsed.render() == ast.render()
+
+    @given(ast=_expressions(), context=_contexts())
+    def test_render_parse_preserves_truth(self, ast, context):
+        rendered = ast.render()
+        direct = ast.truth(context)
+        via_text = evaluate_composite(rendered, context).passed
+        assert direct == via_text
+
+    @given(ast=_expressions(), context=_contexts())
+    def test_double_negation(self, ast, context):
+        negated_twice = Not(Not(ast))
+        assert negated_twice.truth(context) == ast.truth(context)
+
+    @given(a=_terms(), b=_terms(), context=_contexts())
+    def test_de_morgan(self, a, b, context):
+        left = Not(BoolOp("&&", (a, b))).truth(context)
+        right = BoolOp("||", (Not(a), Not(b))).truth(context)
+        assert left == right
+
+    @given(ast=_expressions(), context=_contexts())
+    def test_term_results_cover_every_leaf(self, ast, context):
+        result = evaluate_composite(ast.render(), context)
+        leaves = ast.render().count("==") + ast.render().count("!=")
+        assert len(result.term_results) >= max(1, leaves)

@@ -1,0 +1,174 @@
+"""Tests for the crawler, frames, and runtime plugins."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CrawlerError
+from repro.fs import VirtualFilesystem
+from repro.crawler import (
+    CloudEntity,
+    ContainerEntity,
+    Crawler,
+    DockerImageEntity,
+    HostEntity,
+)
+from repro.crawler.docker_sim import DockerDaemon, HostConfig, ImageBuilder
+from repro.crawler.plugins import flatten_json
+from repro.workloads import build_cloud_project
+
+
+def _mysql_host() -> HostEntity:
+    fs = VirtualFilesystem()
+    fs.write_file(
+        "/etc/mysql/my.cnf",
+        "[mysqld]\nssl-ca = /etc/mysql/ca.pem\nssl-cert = /etc/mysql/c.pem\n"
+        "local-infile = 0\n",
+    )
+    fs.write_file("/etc/sysctl.conf", "net.ipv4.ip_forward = 1\n")
+    return HostEntity("db-host", fs)
+
+
+class TestFlattenJson:
+    def test_nested_dict(self):
+        flat = flatten_json({"a": {"b": {"c": 1}}})
+        assert flat == {"a.b.c": "1"}
+
+    def test_booleans_lowercase(self):
+        flat = flatten_json({"x": True, "y": False})
+        assert flat == {"x": "true", "y": "false"}
+
+    def test_none_is_empty_string(self):
+        assert flatten_json({"x": None}) == {"x": ""}
+
+    def test_scalar_list_joined_and_indexed(self):
+        flat = flatten_json({"caps": ["A", "B"]})
+        assert flat["caps"] == "A,B"
+        assert flat["caps.0"] == "A"
+        assert flat["caps.1"] == "B"
+
+    def test_empty_containers(self):
+        flat = flatten_json({"a": [], "b": {}})
+        assert flat == {"a": "", "b": ""}
+
+    def test_list_of_dicts_indexed_only(self):
+        flat = flatten_json({"m": [{"s": "/x"}]})
+        assert flat == {"m.0.s": "/x"}
+
+    @given(
+        mapping=st.dictionaries(
+            st.text(alphabet="abc", min_size=1, max_size=3),
+            st.one_of(st.integers(), st.booleans(), st.text(max_size=5)),
+            max_size=6,
+        )
+    )
+    def test_flat_mapping_preserves_every_key(self, mapping):
+        flat = flatten_json(mapping)
+        assert set(flat) == set(mapping)
+
+
+class TestCrawler:
+    def test_frame_contents(self):
+        crawler = Crawler()
+        frame = crawler.crawl(_mysql_host())
+        assert frame.entity_kind == "host"
+        assert frame.read_config("/etc/mysql/my.cnf").startswith("[mysqld]")
+        assert frame.metadata["name"] == "db-host"
+
+    def test_unknown_feature_rejected(self):
+        with pytest.raises(CrawlerError):
+            Crawler().crawl(_mysql_host(), features=("files", "telepathy"))
+
+    def test_feature_selection_skips_runtime(self):
+        frame = Crawler().crawl(_mysql_host(), features=("files",))
+        assert frame.runtime == {}
+
+    def test_crawl_many_preserves_order(self):
+        crawler = Crawler()
+        frames = crawler.crawl_many([_mysql_host(), _mysql_host()])
+        assert len(frames) == 2
+
+
+class TestMySQLPlugin:
+    def test_variables_derived_from_my_cnf(self):
+        frame = Crawler().crawl(_mysql_host())
+        assert frame.runtime_value("mysql", "have_ssl") == "YES"
+        assert frame.runtime_value("mysql", "local_infile") == "0"
+
+    def test_defaults_without_ssl(self):
+        fs = VirtualFilesystem()
+        fs.write_file("/etc/mysql/my.cnf", "[mysqld]\n")
+        frame = Crawler().crawl(HostEntity("h", fs))
+        assert frame.runtime_value("mysql", "have_ssl") == "DISABLED"
+
+    def test_plugin_skipped_without_my_cnf(self):
+        fs = VirtualFilesystem()
+        fs.write_file("/etc/hostname", "h\n")
+        frame = Crawler().crawl(HostEntity("h", fs))
+        assert "mysql" not in frame.runtime
+
+
+class TestSysctlPlugin:
+    def test_conf_overrides_defaults(self):
+        frame = Crawler().crawl(_mysql_host())
+        assert frame.runtime_value("sysctl", "net.ipv4.ip_forward") == "1"
+
+    def test_live_state_overrides_conf(self):
+        entity = _mysql_host()
+        entity.live_sysctl["net.ipv4.ip_forward"] = "0"
+        frame = Crawler().crawl(entity)
+        assert frame.runtime_value("sysctl", "net.ipv4.ip_forward") == "0"
+
+    def test_exposes_unpinned_defaults(self):
+        frame = Crawler().crawl(_mysql_host())
+        # Not in sysctl.conf, but visible like `sysctl -a` (paper 2.1.3).
+        assert frame.runtime_value("sysctl", "kernel.randomize_va_space") == "2"
+
+    def test_not_run_for_containers(self):
+        image = ImageBuilder().add_file("/etc/os-release", "x").build("i")
+        daemon = DockerDaemon()
+        daemon.add_image(image)
+        container = daemon.run("i:latest", "c")
+        frame = Crawler().crawl(ContainerEntity(container))
+        assert "sysctl" not in frame.runtime
+
+
+class TestDockerPlugin:
+    def test_container_state_flattened(self):
+        image = ImageBuilder().user("app").build("i")
+        daemon = DockerDaemon()
+        daemon.add_image(image)
+        container = daemon.run(
+            "i:latest", "c", host_config=HostConfig(privileged=True)
+        )
+        frame = Crawler().crawl(ContainerEntity(container))
+        assert frame.runtime_value("docker", "HostConfig.Privileged") == "true"
+        assert frame.runtime_value("docker", "Config.User") == "app"
+
+    def test_image_state_flattened(self):
+        image = ImageBuilder().user("app").build("i", "2.0")
+        frame = Crawler().crawl(DockerImageEntity(image))
+        assert frame.runtime_value("docker", "RepoTags") == "i:2.0"
+
+
+class TestCloudPlugin:
+    def test_derived_keys(self):
+        entity = build_cloud_project("p", violations=True)
+        frame = Crawler().crawl(entity)
+        assert frame.runtime_value("cloud", "derived.world_open_ssh") == "true"
+        assert frame.runtime_value("cloud", "derived.users_without_mfa") == "bob"
+        assert "vm-000" in frame.runtime_value(
+            "cloud", "derived.instances_without_keypair"
+        )
+
+    def test_clean_project(self):
+        entity = build_cloud_project("clean", violations=False)
+        frame = Crawler().crawl(entity)
+        assert frame.runtime_value("cloud", "derived.world_open_ssh") == "false"
+        assert frame.runtime_value("cloud", "derived.users_without_mfa") == ""
+
+    def test_cloud_entity_reads_controller_files(self):
+        entity = build_cloud_project("files", violations=False)
+        frame = Crawler().crawl(entity)
+        assert "provider = fernet" in frame.read_config(
+            "/etc/keystone/keystone.conf"
+        )

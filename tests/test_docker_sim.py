@@ -1,0 +1,166 @@
+"""Tests for the simulated Docker substrate."""
+
+import pytest
+
+from repro.errors import DockerSimError
+from repro.crawler.docker_sim import (
+    DockerDaemon,
+    HostConfig,
+    ImageBuilder,
+    Mount,
+)
+
+
+@pytest.fixture()
+def daemon():
+    return DockerDaemon()
+
+
+def _simple_image(name="app", tag="1.0"):
+    builder = ImageBuilder()
+    builder.add_file("/etc/app.conf", "debug = false\n")
+    builder.install_package("libc6", "2.23")
+    builder.env("PATH", "/usr/bin").expose("8080/tcp").user("app")
+    return builder.build(name, tag)
+
+
+class TestImageBuilder:
+    def test_build_creates_layers_and_config(self):
+        image = _simple_image()
+        assert image.reference == "app:1.0"
+        assert image.config.user == "app"
+        assert image.filesystem().read_text("/etc/app.conf") == "debug = false\n"
+
+    def test_each_new_layer_is_separate(self):
+        builder = ImageBuilder()
+        builder.add_file("/a", "1")
+        builder.new_layer()
+        builder.add_file("/b", "2")
+        image = builder.build("x")
+        assert len(image.layers) == 2
+
+    def test_derived_image_inherits_base(self):
+        base = _simple_image("base")
+        child = ImageBuilder(base).add_file("/child", "c").build("child")
+        fs = child.filesystem()
+        assert fs.read_text("/etc/app.conf") == "debug = false\n"
+        assert fs.read_text("/child") == "c"
+        assert child.config.user == "app"
+        assert child.packages.installed("libc6")
+
+    def test_derived_image_overrides_file(self):
+        base = _simple_image("base")
+        child = (
+            ImageBuilder(base)
+            .add_file("/etc/app.conf", "debug = true\n")
+            .build("child")
+        )
+        assert child.filesystem().read_text("/etc/app.conf") == "debug = true\n"
+        # base is untouched
+        assert base.filesystem().read_text("/etc/app.conf") == "debug = false\n"
+
+    def test_remove_whiteouts_base_file(self):
+        base = _simple_image("base")
+        child = ImageBuilder(base).remove("/etc/app.conf").build("child")
+        assert not child.filesystem().exists("/etc/app.conf")
+
+    def test_image_ids_unique(self):
+        assert _simple_image().image_id != _simple_image().image_id
+
+    def test_healthcheck_recorded_in_inspect(self):
+        builder = ImageBuilder()
+        builder.healthcheck("CMD", "curl", "-f", "http://localhost/")
+        image = builder.build("h")
+        assert image.inspect()["Config"]["Healthcheck"]["Test"][0] == "CMD"
+
+    def test_empty_build_gets_one_empty_layer(self):
+        image = ImageBuilder().build("empty")
+        assert len(image.layers) == 1
+
+
+class TestContainers:
+    def test_run_and_lookup(self, daemon):
+        daemon.add_image(_simple_image())
+        container = daemon.run("app:1.0", "web1")
+        assert daemon.container("web1") is container
+        assert container.state == "running"
+
+    def test_default_tag_latest(self, daemon):
+        daemon.add_image(_simple_image(tag="latest"))
+        assert daemon.image("app").tag == "latest"
+
+    def test_run_unknown_image_rejected(self, daemon):
+        with pytest.raises(DockerSimError):
+            daemon.run("ghost:1.0", "c")
+
+    def test_duplicate_name_rejected(self, daemon):
+        daemon.add_image(_simple_image())
+        daemon.run("app:1.0", "dup")
+        with pytest.raises(DockerSimError):
+            daemon.run("app:1.0", "dup")
+
+    def test_container_writes_do_not_touch_image(self, daemon):
+        daemon.add_image(_simple_image())
+        container = daemon.run("app:1.0", "w")
+        container.write_file("/etc/app.conf", "patched\n")
+        assert container.filesystem().read_text("/etc/app.conf") == "patched\n"
+        assert daemon.image("app:1.0").filesystem().read_text(
+            "/etc/app.conf"
+        ) == "debug = false\n"
+
+    def test_env_merging(self, daemon):
+        daemon.add_image(_simple_image())
+        container = daemon.run("app:1.0", "e", env={"EXTRA": "1"})
+        assert container.env["PATH"] == "/usr/bin"
+        assert container.env["EXTRA"] == "1"
+
+    def test_stop_sets_state(self, daemon):
+        daemon.add_image(_simple_image())
+        container = daemon.run("app:1.0", "s")
+        container.stop(exit_code=3)
+        assert container.state == "exited"
+        assert container.exit_code == 3
+        assert daemon.containers() == []
+        assert len(daemon.containers(all_states=True)) == 1
+
+    def test_inspect_shape(self, daemon):
+        daemon.add_image(_simple_image())
+        config = HostConfig(
+            privileged=True,
+            port_bindings={"8080/tcp": "0.0.0.0:80"},
+            mounts=[Mount("/data", "/data", read_only=True)],
+        )
+        container = daemon.run("app:1.0", "i", host_config=config)
+        inspected = container.inspect()
+        assert inspected["HostConfig"]["Privileged"] is True
+        assert inspected["HostConfig"]["PortBindings"]["8080/tcp"][0][
+            "HostPort"
+        ] == "80"
+        assert inspected["Mounts"][0]["RW"] is False
+        assert inspected["State"]["Running"] is True
+
+    def test_remove_container(self, daemon):
+        daemon.add_image(_simple_image())
+        daemon.run("app:1.0", "rm-me")
+        daemon.remove_container("rm-me")
+        with pytest.raises(DockerSimError):
+            daemon.container("rm-me")
+
+
+class TestDaemonConfig:
+    def test_default_daemon_json_is_hardened(self, daemon):
+        config = daemon.daemon_config()
+        assert config["icc"] is False
+        assert config["no-new-privileges"] is True
+
+    def test_daemon_json_parsed(self):
+        daemon = DockerDaemon()
+        daemon.host_fs.write_file(
+            "/etc/docker/daemon.json", '{"icc": false}\n'
+        )
+        assert daemon.daemon_config() == {"icc": False}
+
+    def test_docker_sock_metadata(self, daemon):
+        stat = daemon.host_fs.stat("/var/run/docker.sock")
+        assert stat.mode == 0o660
+        assert stat.group == "docker"

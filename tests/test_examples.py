@@ -1,0 +1,33 @@
+"""Every example must run clean -- examples are documentation that rots
+fastest, so they are executed as part of the suite."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize(
+    "example", _EXAMPLES, ids=[path.stem for path in _EXAMPLES]
+)
+def test_example_runs_clean(example):
+    completed = subprocess.run(
+        [sys.executable, str(example)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "examples must narrate what they do"
+
+
+def test_example_inventory():
+    # The deliverable requires a quickstart plus domain scenarios.
+    names = {path.stem for path in _EXAMPLES}
+    assert "quickstart" in names
+    assert len(names) >= 3

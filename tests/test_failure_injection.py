@@ -1,0 +1,145 @@
+"""Failure injection: broken plugins, runtime fallbacks, whiteout edges."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PluginError
+from repro.fs import OverlayFilesystem, VirtualFilesystem, flatten, whiteout_for
+from repro.crawler import Crawler, HostEntity
+from repro.crawler.plugins import PluginRegistry, RuntimePlugin
+from repro.engine import ConfigValidator, Verdict
+
+
+class _ExplodingPlugin(RuntimePlugin):
+    name = "exploding"
+    kinds = ("host",)
+
+    def extract(self, entity):
+        raise RuntimeError("boom")
+
+
+class _FixedPlugin(RuntimePlugin):
+    name = "fixed"
+    kinds = ("host",)
+
+    def extract(self, entity):
+        return {"key": "value"}
+
+
+def _registry():
+    registry = PluginRegistry()
+    registry.register(_ExplodingPlugin())
+    registry.register(_FixedPlugin())
+    return registry
+
+
+class TestPluginFailureIsolation:
+    def test_broken_plugin_does_not_block_others(self):
+        crawler = Crawler(plugins=_registry())
+        frame = crawler.crawl(HostEntity("h", VirtualFilesystem()))
+        assert frame.runtime_value("fixed", "key") == "value"
+        assert "exploding" not in frame.runtime
+        assert "boom" in frame.metadata["plugin_error:exploding"]
+
+    def test_strict_mode_aborts(self):
+        crawler = Crawler(plugins=_registry())
+        with pytest.raises(PluginError):
+            crawler.crawl(
+                HostEntity("h", VirtualFilesystem()), strict_plugins=True
+            )
+
+    def test_script_rules_na_when_plugin_failed(self):
+        crawler = Crawler(plugins=_registry())
+        rules = {
+            "pack.yaml": (
+                "script_name: s\nscript: 'exploding some.key'\n"
+                "preferred_value: ['1']\ntags: ['#x']\n"
+            )
+        }
+        validator = ConfigValidator(
+            resolver=rules.__getitem__, crawler=crawler
+        )
+        validator.add_manifest_text("pack: {cvl_file: pack.yaml}")
+        report = validator.validate_entity(HostEntity("h", VirtualFilesystem()))
+        result = report.results[0]
+        assert result.verdict is Verdict.NOT_APPLICABLE
+
+
+class TestCompositeRuntimeFallback:
+    def test_composite_reads_runtime_namespace_when_file_lacks_key(self):
+        # sysctl.conf does not pin the key, but the live sysctl namespace
+        # (matching the component name) carries it.
+        rules = {
+            "sysctl.yaml": (
+                "composite_rule_name: live_check\n"
+                'composite_rule: sysctl.net.ipv4.tcp_syncookies.VALUE == "1"\n'
+                "tags: ['#x']\nmatched_description: ok\n"
+                "not_matched_preferred_value_description: bad\n"
+            )
+        }
+        validator = ConfigValidator(resolver=rules.__getitem__)
+        validator.add_manifest_text(
+            "sysctl: {config_search_paths: [/etc/sysctl.conf], cvl_file: sysctl.yaml}"
+        )
+        fs = VirtualFilesystem()
+        fs.write_file("/etc/sysctl.conf", "kernel.randomize_va_space = 2\n")
+        entity = HostEntity("h", fs, live_sysctl={"net.ipv4.tcp_syncookies": "1"})
+        report = validator.validate_entity(entity)
+        composite = report.results[-1]
+        assert composite.rule.name == "live_check"
+        assert composite.verdict is Verdict.COMPLIANT
+
+    def test_file_value_preferred_over_runtime(self):
+        rules = {
+            "sysctl.yaml": (
+                "composite_rule_name: file_wins\n"
+                'composite_rule: sysctl.net.ipv4.ip_forward.VALUE == "0"\n'
+                "tags: ['#x']\nmatched_description: ok\n"
+                "not_matched_preferred_value_description: bad\n"
+            )
+        }
+        validator = ConfigValidator(resolver=rules.__getitem__)
+        validator.add_manifest_text(
+            "sysctl: {config_search_paths: [/etc/sysctl.conf], cvl_file: sysctl.yaml}"
+        )
+        fs = VirtualFilesystem()
+        fs.write_file("/etc/sysctl.conf", "net.ipv4.ip_forward = 0\n")
+        entity = HostEntity("h", fs, live_sysctl={"net.ipv4.ip_forward": "1"})
+        report = validator.validate_entity(entity)
+        assert report.results[-1].verdict is Verdict.COMPLIANT
+
+
+_names = st.sampled_from(["a", "b", "c"])
+
+
+class TestOverlayWhiteoutProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        lower_files=st.sets(_names, min_size=1, max_size=3),
+        deleted=st.sets(_names, max_size=2),
+        readded=st.sets(_names, max_size=2),
+    )
+    def test_flatten_agrees_with_overlay_under_whiteouts(
+        self, lower_files, deleted, readded
+    ):
+        lower = VirtualFilesystem()
+        for name in lower_files:
+            lower.write_file(f"/etc/{name}", f"lower-{name}")
+        upper = VirtualFilesystem()
+        for name in deleted:
+            upper.write_file(whiteout_for(f"/etc/{name}"), "")
+        for name in readded:
+            upper.write_file(f"/etc/{name}", f"upper-{name}")
+        overlay = OverlayFilesystem([lower, upper])
+        merged = flatten(overlay)
+
+        for name in lower_files | deleted | readded:
+            path = f"/etc/{name}"
+            assert overlay.exists(path) == merged.exists(path), path
+            if overlay.exists(path):
+                assert overlay.read_text(path) == merged.read_text(path)
+                # semantics: re-added wins; deleted-only is gone; rest lower
+                if name in readded:
+                    assert overlay.read_text(path) == f"upper-{name}"
+                elif name in deleted:
+                    raise AssertionError(f"{path} should have been deleted")

@@ -1,0 +1,93 @@
+"""Tests for frame-level diffing."""
+
+from repro.fs import VirtualFilesystem
+from repro.crawler import Crawler, HostEntity
+from repro.crawler.framediff import diff_frames, render_frame_diff
+from repro.fs.packages import Package, PackageDatabase
+from repro.workloads import ubuntu_host_entity
+
+
+def _frame(files: dict[str, tuple], packages=None):
+    fs = VirtualFilesystem()
+    for path, (content, mode) in files.items():
+        fs.write_file(path, content, mode=mode)
+    entity = HostEntity("diff-host", fs, packages=PackageDatabase(packages or []))
+    return Crawler().crawl(entity, features=("files", "packages"))
+
+
+class TestDiffFrames:
+    def test_identical_frames_are_empty(self):
+        files = {"/etc/a": ("x\n", 0o644)}
+        diff = diff_frames(_frame(files), _frame(files))
+        assert diff.empty
+
+    def test_added_and_removed(self):
+        before = _frame({"/etc/old": ("x\n", 0o644)})
+        after = _frame({"/etc/new": ("y\n", 0o644)})
+        diff = diff_frames(before, after)
+        changes = {(c.path, c.change) for c in diff.files}
+        assert ("/etc/new", "added") in changes
+        assert ("/etc/old", "removed") in changes
+
+    def test_content_change_counts_lines(self):
+        before = _frame({"/etc/f": ("a\nb\nc\n", 0o644)})
+        after = _frame({"/etc/f": ("a\nB\nc\nd\n", 0o644)})
+        diff = diff_frames(before, after)
+        content = [c for c in diff.files if c.change == "content"][0]
+        assert "2 line(s)" in content.detail
+
+    def test_metadata_change(self):
+        before = _frame({"/etc/f": ("x\n", 0o644)})
+        after = _frame({"/etc/f": ("x\n", 0o600)})
+        diff = diff_frames(before, after)
+        metadata = [c for c in diff.files if c.change == "metadata"][0]
+        assert "644 -> 600" in metadata.detail
+
+    def test_package_changes(self):
+        before = _frame({"/etc/f": ("x\n", 0o644)},
+                        [Package("nginx", "1.10"), Package("old", "1")])
+        after = _frame({"/etc/f": ("x\n", 0o644)},
+                       [Package("nginx", "1.12"), Package("new", "2")])
+        diff = diff_frames(before, after)
+        assert diff.packages_added == ["new"]
+        assert diff.packages_removed == ["old"]
+        assert diff.packages_changed == ["nginx"]
+
+    def test_runtime_changes(self, crawler):
+        before = crawler.crawl(ubuntu_host_entity("r", hardening=1.0))
+        entity = ubuntu_host_entity("r", hardening=1.0)
+        entity.live_sysctl["net.ipv4.ip_forward"] = "1"
+        after = crawler.crawl(entity)
+        diff = diff_frames(before, after)
+        assert "net.ipv4.ip_forward" in diff.runtime_changed.get("sysctl", [])
+
+    def test_render_summary(self):
+        before = _frame({"/etc/f": ("a\n", 0o644)})
+        after = _frame({"/etc/f": ("b\n", 0o600), "/etc/g": ("", 0o644)})
+        text = render_frame_diff(diff_frames(before, after))
+        assert "[added" in text
+        assert "[content" in text
+        assert "[metadata" in text
+
+    def test_render_with_unified_diff(self):
+        before = _frame({"/etc/f": ("a\nb\n", 0o644)})
+        after = _frame({"/etc/f": ("a\nc\n", 0o644)})
+        text = render_frame_diff(
+            diff_frames(before, after),
+            unified_for=["/etc/f"],
+            baseline=before,
+            current=after,
+        )
+        assert "-b" in text and "+c" in text
+
+    def test_render_empty(self):
+        frame = _frame({"/etc/f": ("x\n", 0o644)})
+        assert "no differences" in render_frame_diff(diff_frames(frame, frame))
+
+    def test_explains_verdict_drift(self, crawler, validator):
+        """The file diff should point at the config behind a regression."""
+        good = crawler.crawl(ubuntu_host_entity("x", hardening=1.0))
+        bad = crawler.crawl(ubuntu_host_entity("x", hardening=0.0))
+        frame_diff = diff_frames(good, bad)
+        assert "/etc/ssh/sshd_config" in frame_diff.changed_paths()
+        assert "/etc/fstab" in frame_diff.changed_paths()

@@ -1,0 +1,104 @@
+"""Unit + property tests for the package database and version ordering."""
+
+from hypothesis import given, strategies as st
+
+from repro.fs import Package, PackageDatabase, compare_versions
+
+
+class TestDatabase:
+    def test_install_and_lookup(self):
+        db = PackageDatabase([Package("nginx", "1.10.3")])
+        assert db.installed("nginx")
+        assert db.version_of("nginx") == "1.10.3"
+
+    def test_missing_package(self):
+        db = PackageDatabase()
+        assert not db.installed("nginx")
+        assert db.version_of("nginx") is None
+        assert db.get("nginx") is None
+
+    def test_install_upgrades(self):
+        db = PackageDatabase([Package("app", "1.0")])
+        db.install(Package("app", "2.0"))
+        assert db.version_of("app") == "2.0"
+        assert len(db) == 1
+
+    def test_remove_is_idempotent(self):
+        db = PackageDatabase([Package("app", "1.0")])
+        db.remove("app")
+        db.remove("app")
+        assert not db.installed("app")
+
+    def test_at_least(self):
+        db = PackageDatabase([Package("openssl", "1.0.2g")])
+        assert db.at_least("openssl", "1.0.1")
+        assert db.at_least("openssl", "1.0.2g")
+        assert not db.at_least("openssl", "1.1.0")
+        assert not db.at_least("missing", "1.0")
+
+    def test_iteration_sorted_by_name(self):
+        db = PackageDatabase([Package("zsh", "5"), Package("bash", "4")])
+        assert [p.name for p in db] == ["bash", "zsh"]
+
+
+class TestVersionComparison:
+    def test_numeric_ordering(self):
+        assert compare_versions("1.9", "1.10") < 0
+
+    def test_equal(self):
+        assert compare_versions("2.0.1", "2.0.1") == 0
+
+    def test_epoch_dominates(self):
+        assert compare_versions("1:1.0", "2.0") > 0
+
+    def test_revision_breaks_ties(self):
+        assert compare_versions("1.0-1", "1.0-2") < 0
+
+    def test_tilde_sorts_before_release(self):
+        assert compare_versions("2.0~rc1", "2.0") < 0
+        assert compare_versions("2.0~rc1", "2.0~rc2") < 0
+
+    def test_letters_vs_digits(self):
+        assert compare_versions("1.0a", "1.0") > 0
+
+    def test_debian_style_full(self):
+        assert compare_versions(
+            "1:7.2p2-4ubuntu2.8", "1:7.2p2-4ubuntu2.10"
+        ) < 0
+
+    def test_longer_wins_when_prefix_equal(self):
+        assert compare_versions("1.0.1", "1.0") > 0
+
+
+_version = st.from_regex(r"[0-9]{1,3}(\.[0-9]{1,3}){0,3}", fullmatch=True)
+
+
+class TestVersionProperties:
+    @given(v=_version)
+    def test_reflexive(self, v):
+        assert compare_versions(v, v) == 0
+
+    @given(a=_version, b=_version)
+    def test_antisymmetric(self, a, b):
+        assert compare_versions(a, b) == -compare_versions(b, a)
+
+    @given(a=_version, b=_version, c=_version)
+    def test_transitive(self, a, b, c):
+        ordered = sorted([a, b, c], key=_key)
+        assert compare_versions(ordered[0], ordered[1]) <= 0
+        assert compare_versions(ordered[1], ordered[2]) <= 0
+        assert compare_versions(ordered[0], ordered[2]) <= 0
+
+    @given(a=_version, b=_version)
+    def test_matches_numeric_tuple_order(self, a, b):
+        tuple_a = tuple(int(part) for part in a.split("."))
+        tuple_b = tuple(int(part) for part in b.split("."))
+        expected = (tuple_a > tuple_b) - (tuple_a < tuple_b)
+        got = compare_versions(a, b)
+        assert (got > 0) == (expected > 0) and (got < 0) == (expected < 0)
+
+
+def _key(version):
+    import functools
+
+    return functools.cmp_to_key(compare_versions)(version)

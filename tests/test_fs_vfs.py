@@ -1,0 +1,251 @@
+"""Unit tests for the in-memory filesystem."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import (
+    FileNotFoundInFrame,
+    FilesystemError,
+    IsADirectoryInFrame,
+    NotADirectoryInFrame,
+)
+from repro.fs import FileKind, VirtualFilesystem, format_mode
+
+
+@pytest.fixture()
+def fs():
+    return VirtualFilesystem()
+
+
+class TestWriteAndRead:
+    def test_write_then_read(self, fs):
+        fs.write_file("/etc/motd", "hello\n")
+        assert fs.read_text("/etc/motd") == "hello\n"
+
+    def test_write_creates_parents(self, fs):
+        fs.write_file("/a/b/c/d.txt", "x")
+        assert fs.is_dir("/a/b/c")
+        assert fs.is_dir("/a")
+
+    def test_overwrite_replaces_content(self, fs):
+        fs.write_file("/f", "one")
+        fs.write_file("/f", "two")
+        assert fs.read_text("/f") == "two"
+
+    def test_relative_path_is_rooted(self, fs):
+        fs.write_file("etc/conf", "x")
+        assert fs.read_text("/etc/conf") == "x"
+
+    def test_path_normalization(self, fs):
+        fs.write_file("/etc/ssh/sshd_config", "Port 22\n")
+        assert fs.read_text("/etc//ssh/./sshd_config") == "Port 22\n"
+
+    def test_read_missing_raises(self, fs):
+        with pytest.raises(FileNotFoundInFrame):
+            fs.read_text("/nope")
+
+    def test_read_directory_raises(self, fs):
+        fs.mkdir("/etc")
+        with pytest.raises(IsADirectoryInFrame):
+            fs.read_text("/etc")
+
+    def test_write_over_directory_raises(self, fs):
+        fs.mkdir("/etc")
+        with pytest.raises(IsADirectoryInFrame):
+            fs.write_file("/etc", "no")
+
+    def test_write_under_file_raises(self, fs):
+        fs.write_file("/etc", "a file")
+        with pytest.raises(NotADirectoryInFrame):
+            fs.write_file("/etc/child", "x")
+
+
+class TestMetadata:
+    def test_default_stat(self, fs):
+        fs.write_file("/f", "abc")
+        stat = fs.stat("/f")
+        assert stat.mode == 0o644
+        assert stat.ownership == "0:0"
+        assert stat.ownership_names == "root:root"
+        assert stat.size == 3
+
+    def test_explicit_metadata(self, fs):
+        fs.write_file("/s", "", mode=0o600, uid=107, gid=112,
+                      owner="mysql", group="mysql")
+        stat = fs.stat("/s")
+        assert stat.octal_mode == "600"
+        assert stat.ownership == "107:112"
+        assert stat.ownership_names == "mysql:mysql"
+
+    def test_chmod(self, fs):
+        fs.write_file("/f", "")
+        fs.chmod("/f", 0o400)
+        assert fs.stat("/f").mode == 0o400
+
+    def test_chown(self, fs):
+        fs.write_file("/f", "")
+        fs.chown("/f", 33, 33, owner="www-data", group="www-data")
+        assert fs.stat("/f").ownership == "33:33"
+        assert fs.stat("/f").owner == "www-data"
+
+    def test_chmod_missing_raises(self, fs):
+        with pytest.raises(FileNotFoundInFrame):
+            fs.chmod("/missing", 0o644)
+
+    def test_format_mode_file(self, fs):
+        fs.write_file("/f", "", mode=0o644)
+        assert format_mode(fs.stat("/f")) == "-rw-r--r--"
+
+    def test_format_mode_directory(self, fs):
+        fs.mkdir("/d", mode=0o755)
+        assert format_mode(fs.stat("/d")) == "drwxr-xr-x"
+
+    def test_size_counts_bytes_not_chars(self, fs):
+        fs.write_file("/f", "é")  # two UTF-8 bytes
+        assert fs.stat("/f").size == 2
+
+
+class TestDirectories:
+    def test_listdir_sorted(self, fs):
+        fs.write_file("/d/b", "")
+        fs.write_file("/d/a", "")
+        fs.write_file("/d/c", "")
+        assert fs.listdir("/d") == ["a", "b", "c"]
+
+    def test_listdir_on_file_raises(self, fs):
+        fs.write_file("/f", "")
+        with pytest.raises(NotADirectoryInFrame):
+            fs.listdir("/f")
+
+    def test_mkdir_idempotent(self, fs):
+        fs.mkdir("/d")
+        fs.mkdir("/d")
+        assert fs.is_dir("/d")
+
+    def test_remove_file(self, fs):
+        fs.write_file("/d/f", "")
+        fs.remove("/d/f")
+        assert not fs.exists("/d/f")
+        assert fs.listdir("/d") == []
+
+    def test_remove_directory_recursive(self, fs):
+        fs.write_file("/d/sub/f", "")
+        fs.remove("/d")
+        assert not fs.exists("/d/sub/f")
+        assert not fs.exists("/d")
+
+    def test_remove_root_refused(self, fs):
+        with pytest.raises(FilesystemError):
+            fs.remove("/")
+
+    def test_walk_yields_all(self, fs):
+        fs.write_file("/etc/ssh/sshd_config", "")
+        fs.write_file("/etc/motd", "")
+        walked = {dirpath: (dirs, files) for dirpath, dirs, files in fs.walk("/etc")}
+        assert walked["/etc"] == (["ssh"], ["motd"])
+        assert walked["/etc/ssh"] == ([], ["sshd_config"])
+
+    def test_find_by_glob(self, fs):
+        fs.write_file("/etc/sysctl.d/10-net.conf", "")
+        fs.write_file("/etc/sysctl.d/readme.txt", "")
+        assert fs.find("/etc/sysctl.d", "*.conf") == ["/etc/sysctl.d/10-net.conf"]
+
+    def test_files_under_file_returns_itself(self, fs):
+        fs.write_file("/etc/fstab", "")
+        assert fs.files_under("/etc/fstab") == ["/etc/fstab"]
+
+    def test_files_under_missing_is_empty(self, fs):
+        assert fs.files_under("/nope") == []
+
+
+class TestSymlinks:
+    def test_symlink_resolution(self, fs):
+        fs.write_file("/etc/real.conf", "data")
+        fs.symlink("/etc/link.conf", "/etc/real.conf")
+        assert fs.read_text("/etc/link.conf") == "data"
+
+    def test_relative_symlink(self, fs):
+        fs.write_file("/etc/real.conf", "data")
+        fs.symlink("/etc/link.conf", "real.conf")
+        assert fs.read_text("/etc/link.conf") == "data"
+
+    def test_symlink_in_directory_component(self, fs):
+        fs.write_file("/opt/app/conf/a.conf", "x")
+        fs.symlink("/etc/app", "/opt/app/conf")
+        assert fs.read_text("/etc/app/a.conf") == "x"
+
+    def test_dangling_symlink(self, fs):
+        fs.symlink("/l", "/missing")
+        assert not fs.exists("/l")
+        with pytest.raises(FileNotFoundInFrame):
+            fs.read_text("/l")
+
+    def test_symlink_loop_detected(self, fs):
+        fs.symlink("/a", "/b")
+        fs.symlink("/b", "/a")
+        with pytest.raises(FileNotFoundInFrame):
+            fs.read_text("/a")
+
+    def test_lstat_does_not_follow(self, fs):
+        fs.write_file("/real", "")
+        fs.symlink("/link", "/real")
+        assert fs.lstat("/link").kind is FileKind.SYMLINK
+        assert fs.stat("/link").kind is FileKind.FILE
+
+    def test_readlink(self, fs):
+        fs.symlink("/link", "/target")
+        assert fs.readlink("/link") == "/target"
+
+    def test_readlink_on_regular_file_raises(self, fs):
+        fs.write_file("/f", "")
+        with pytest.raises(FileNotFoundInFrame):
+            fs.readlink("/f")
+
+
+_path_segments = st.lists(
+    st.text(alphabet="abcdefgh", min_size=1, max_size=6), min_size=1, max_size=4
+)
+
+
+class TestProperties:
+    @given(segments=_path_segments, content=st.text(max_size=64))
+    def test_roundtrip_any_path(self, segments, content):
+        fs = VirtualFilesystem()
+        path = "/" + "/".join(segments)
+        fs.write_file(path, content)
+        assert fs.read_text(path) == content
+        assert fs.exists(path)
+
+    @given(segments=_path_segments)
+    def test_parents_exist_after_write(self, segments):
+        fs = VirtualFilesystem()
+        path = "/" + "/".join(segments)
+        fs.write_file(path, "")
+        parent = "/".join(path.split("/")[:-1]) or "/"
+        assert fs.is_dir(parent)
+
+    @given(
+        paths=st.lists(
+            _path_segments.map(lambda segs: "/" + "/".join(segs)),
+            min_size=1,
+            max_size=8,
+            unique=True,
+        )
+    )
+    def test_walk_visits_every_written_file(self, paths):
+        fs = VirtualFilesystem()
+        written = set()
+        for path in paths:
+            # Skip paths that collide with an already-written file acting
+            # as a directory prefix.
+            try:
+                fs.write_file(path, "x")
+                written.add(path)
+            except (NotADirectoryInFrame, IsADirectoryInFrame):
+                pass
+        found = {
+            f"{dirpath.rstrip('/')}/{name}"
+            for dirpath, _dirs, files in fs.walk("/")
+            for name in files
+        }
+        assert written <= found

@@ -1,0 +1,187 @@
+"""Targeted tests for less-traveled paths across subsystems."""
+
+import pytest
+
+from repro.errors import BaselineError, CVLSyntaxError
+from repro.fs import VirtualFilesystem
+from repro.crawler import Crawler, HostEntity
+from repro.cvl.loader import build_rule, load_rules
+from repro.baselines.common_rules import LineCheck
+from repro.baselines.inspec.bashsim import run_shell
+from repro.baselines.xccdf import (
+    OpenScapEngine,
+    generate_oval,
+    generate_xccdf,
+    parse_benchmark,
+)
+
+
+def _frame(**files):
+    fs = VirtualFilesystem()
+    for path, content in files.items():
+        fs.write_file(
+            "/" + path.replace("__", "/").replace("_conf", ".conf"), content
+        )
+    return Crawler().crawl(HostEntity("gap", fs), features=("files",))
+
+
+class TestOvalNegation:
+    """expect="absent" rules become negated OVAL criteria."""
+
+    _ABSENT = LineCheck(
+        rule_id="neg-1",
+        title="No telnet entries",
+        files=("/etc/inetd.conf",),
+        pattern=r"^\s*telnet",
+        expect="absent",
+        description="telnet must not be enabled",
+    )
+
+    def test_generated_criteria_negated(self):
+        oval = generate_oval([self._ABSENT])
+        assert 'negate="true"' in oval
+
+    def test_absent_rule_passes_when_pattern_missing(self):
+        frame = _frame(etc__inetd_conf="ftp stream tcp\n")
+        results = OpenScapEngine().run(
+            generate_xccdf([self._ABSENT]), generate_oval([self._ABSENT]), frame
+        )
+        assert results[0].passed
+
+    def test_absent_rule_fails_when_pattern_present(self):
+        frame = _frame(etc__inetd_conf="telnet stream tcp\n")
+        results = OpenScapEngine().run(
+            generate_xccdf([self._ABSENT]), generate_oval([self._ABSENT]), frame
+        )
+        assert not results[0].passed
+
+    def test_missing_file_counts_as_absent(self):
+        frame = _frame(etc__hostname="x\n")
+        results = OpenScapEngine().run(
+            generate_xccdf([self._ABSENT]), generate_oval([self._ABSENT]), frame
+        )
+        assert results[0].passed
+
+    def test_parse_preserves_negate(self):
+        benchmark = parse_benchmark(
+            generate_xccdf([self._ABSENT]), generate_oval([self._ABSENT])
+        )
+        definition = next(iter(benchmark.definitions.values()))
+        assert definition.negate
+
+
+class TestBashSimExtras:
+    def test_tail(self, hardened_frame):
+        out = run_shell("cat /etc/fstab | tail -2", hardened_frame)
+        assert len(out.splitlines()) == 2
+
+    def test_echo_then_grep(self, hardened_frame):
+        assert run_shell("echo hello world | grep hello", hardened_frame) == (
+            "hello world"
+        )
+
+    def test_grep_dash_e_flag(self, hardened_frame):
+        out = run_shell(
+            "grep -e 'PermitRootLogin' /etc/ssh/sshd_config", hardened_frame
+        )
+        assert "PermitRootLogin" in out
+
+    def test_grep_case_insensitive(self, hardened_frame):
+        out = run_shell(
+            "grep -i 'permitrootlogin' /etc/ssh/sshd_config", hardened_frame
+        )
+        assert "PermitRootLogin" in out
+
+    def test_unsupported_grep_flag_rejected(self, hardened_frame):
+        with pytest.raises(BaselineError):
+            run_shell("grep -P 'x' /etc/fstab", hardened_frame)
+
+    def test_grep_without_pattern_rejected(self, hardened_frame):
+        with pytest.raises(BaselineError):
+            run_shell("grep", hardened_frame)
+
+    def test_wc_unsupported_args_rejected(self, hardened_frame):
+        with pytest.raises(BaselineError):
+            run_shell("cat /etc/fstab | wc -c", hardened_frame)
+
+    def test_pipe_inside_quotes_not_split(self, hardened_frame):
+        out = run_shell("echo 'a|b'", hardened_frame)
+        assert out == "a|b"
+
+
+class TestLoaderEdgeCases:
+    def test_query_columns_list_form(self):
+        rule = build_rule({
+            "config_schema_name": "q",
+            "query_columns": ["user", "shell"],
+            "schema_parser": "passwd",
+        })
+        assert rule.query_columns == "user,shell"
+
+    def test_ownership_integer_zero(self):
+        rule = build_rule({"path_name": "/x", "ownership": 0})
+        assert rule.ownership == "0:0"
+
+    def test_entity_name_in_file_header(self):
+        ruleset = load_rules(
+            "entity_name: custom\nrules:\n  - config_name: k\n"
+        )
+        assert ruleset.entity == "custom"
+
+    def test_explicit_entity_argument_wins_when_header_missing(self):
+        ruleset = load_rules("config_name: k\n", entity="given")
+        assert ruleset.entity == "given"
+
+    def test_file_header_with_unknown_key_rejected(self):
+        with pytest.raises(CVLSyntaxError):
+            load_rules("entity_name: x\nschedule: hourly\nrules: []\n")
+
+    def test_empty_stream_is_empty_ruleset(self):
+        assert len(load_rules("")) == 0
+
+    def test_multiple_documents_with_header_and_rules(self):
+        text = (
+            "entity_name: combo\nrules:\n  - config_name: a\n"
+            "---\n"
+            "config_name: b\n"
+        )
+        ruleset = load_rules(text)
+        assert {rule.name for rule in ruleset.rules} == {"a", "b"}
+
+
+class TestRuleSetHelpers:
+    def test_of_type_and_with_tag(self):
+        ruleset = load_rules(
+            "config_name: a\ntags: ['#x']\n---\npath_name: /p\ntags: ['#y']\n"
+        )
+        assert len(ruleset.of_type("tree")) == 1
+        assert len(ruleset.of_type("path")) == 1
+        assert [rule.name for rule in ruleset.with_tag("#y")] == ["/p"]
+
+    def test_by_name_missing_is_none(self):
+        assert load_rules("config_name: a\n").by_name("zzz") is None
+
+
+class TestEngineTagAndCompositeFilter:
+    def test_composite_respects_tag_filter(self):
+        from repro.engine import ConfigValidator
+
+        rules = {
+            "pack.yaml": (
+                "config_name: k\nfile_context: ['f']\ntags: ['#a']\n"
+                "---\n"
+                "composite_rule_name: c\ncomposite_rule: pack.k\n"
+                "tags: ['#b']\n"
+            )
+        }
+        validator = ConfigValidator(resolver=rules.__getitem__)
+        validator.add_manifest_text(
+            "pack: {config_search_paths: [/etc], cvl_file: pack.yaml}"
+        )
+        fs = VirtualFilesystem()
+        fs.write_file("/etc/f", "k = v\n")
+        entity = HostEntity("t", fs)
+        report_a = validator.validate_entity(entity, tags=["#a"])
+        assert {r.rule.name for r in report_a} == {"k"}
+        report_b = validator.validate_entity(entity, tags=["#b"])
+        assert {r.rule.name for r in report_b} == {"c"}

@@ -1,0 +1,134 @@
+"""Unit tests for the Inspec-style DSL (matchers, describes, controls)."""
+
+import pytest
+
+from repro.errors import BaselineError
+from repro.fs import VirtualFilesystem
+from repro.crawler import Crawler, HostEntity
+from repro.baselines.inspec.dsl import (
+    Control,
+    Describe,
+    Profile,
+    should_cmp_lte,
+    should_eq,
+    should_exist,
+    should_include,
+    should_match,
+)
+
+
+@pytest.fixture()
+def frame():
+    fs = VirtualFilesystem()
+    fs.write_file(
+        "/etc/ssh/sshd_config",
+        "PermitRootLogin no\nMaxAuthTries 4\nPort 22\n",
+        mode=0o600,
+    )
+    fs.write_file("/etc/sysctl.conf", "net.ipv4.ip_forward = 0\n")
+    return Crawler().crawl(HostEntity("dsl-host", fs), features=("files",))
+
+
+class TestMatchers:
+    def test_should_eq(self):
+        assert should_eq("no")("no")
+        assert not should_eq("no")("yes")
+
+    def test_should_match_handles_none(self):
+        assert should_match("no|without-password")("no")
+        assert not should_match("no")(None)
+
+    def test_should_exist(self):
+        assert should_exist()("anything")
+        assert not should_exist()("")
+        assert not should_exist()(None)
+
+    def test_should_include_string_and_list(self):
+        assert should_include("nodev")("rw,nodev,nosuid")
+        assert should_include("a")(["a", "b"])
+        assert not should_include("z")(["a", "b"])
+        assert not should_include("z")(None)
+
+    def test_should_cmp_lte(self):
+        assert should_cmp_lte(4)("4")
+        assert should_cmp_lte(4)("3")
+        assert not should_cmp_lte(4)("6")
+        assert not should_cmp_lte(4)("not-a-number")
+        assert not should_cmp_lte(4)(None)
+
+
+class TestDescribe:
+    def test_resource_its_property(self, frame):
+        block = Describe(
+            subject_kind="resource",
+            subject="sshd_config",
+            its="PermitRootLogin",
+        ).should("eq no", should_eq("no"))
+        assert block.evaluate(frame)
+
+    def test_resource_without_its_returns_resource(self, frame):
+        block = Describe(
+            subject_kind="resource",
+            subject="file",
+            subject_args=("/etc/ssh/sshd_config",),
+        ).should("exists", lambda resource: resource.exists)
+        assert block.evaluate(frame)
+
+    def test_bash_subject_with_extraction(self, frame):
+        block = Describe(
+            subject_kind="bash",
+            subject="grep 'PermitRootLogin' /etc/ssh/sshd_config | head -1",
+            extract=(r"PermitRootLogin\s+(\S+)", 1),
+        ).should("eq no", should_eq("no"))
+        assert block.evaluate(frame)
+
+    def test_extraction_miss_yields_none(self, frame):
+        block = Describe(
+            subject_kind="bash",
+            subject="grep 'NoSuchKey' /etc/ssh/sshd_config",
+            extract=(r"NoSuchKey\s+(\S+)", 1),
+        ).should("eq x", should_eq("x"))
+        assert not block.evaluate(frame)
+
+    def test_multiple_matchers_all_must_hold(self, frame):
+        block = Describe(
+            subject_kind="resource", subject="sshd_config", its="MaxAuthTries"
+        )
+        block.should("lte 4", should_cmp_lte(4))
+        block.should("eq 4", should_eq("4"))
+        assert block.evaluate(frame)
+        block.should("eq 3", should_eq("3"))
+        assert not block.evaluate(frame)
+
+    def test_unknown_subject_kind_rejected(self, frame):
+        block = Describe(subject_kind="powershell", subject="Get-Item")
+        with pytest.raises(BaselineError):
+            block.resolve(frame)
+
+
+class TestControlAndProfile:
+    def test_control_requires_describes(self, frame):
+        with pytest.raises(BaselineError):
+            Control(control_id="empty").evaluate(frame)
+
+    def test_control_all_describes_must_pass(self, frame):
+        control = Control(control_id="c", title="combo")
+        control.describe(
+            Describe(
+                subject_kind="resource", subject="sshd_config",
+                its="PermitRootLogin",
+            ).should("eq", should_eq("no"))
+        )
+        control.describe(
+            Describe(
+                subject_kind="resource", subject="kernel_parameter",
+                its="net.ipv4.ip_forward",
+            ).should("eq", should_eq("0"))
+        )
+        assert control.evaluate(frame)
+
+    def test_profile_accumulates_controls(self, frame):
+        profile = Profile(name="p")
+        profile.add(Control(control_id="a"))
+        profile.add(Control(control_id="b"))
+        assert [c.control_id for c in profile.controls] == ["a", "b"]

@@ -1,0 +1,228 @@
+"""End-to-end integration scenarios, including the paper's worked examples."""
+
+from repro import (
+    ConfigValidator,
+    ContainerEntity,
+    Crawler,
+    DockerImageEntity,
+    HostEntity,
+    Verdict,
+    load_builtin_validator,
+)
+from repro.fs import VirtualFilesystem
+from repro.crawler.docker_sim import DockerDaemon, HostConfig, ImageBuilder
+from repro.workloads import FleetSpec, build_cloud_project, build_fleet
+
+
+class TestPaperListings:
+    """The exact rules from paper Listings 1-5 evaluated end-to-end."""
+
+    RULES = {
+        "component_configs/nginx.yaml": """
+config_name: ssl_protocols
+config_path: ["server", "http/server"]
+config_description: "Enables the specified SSL protocols."
+preferred_value: [ "TLSv1.2", "TLSv1.3" ]
+non_preferred_value: [ "SSLv2", "SSLv3", "TLSv1 ", "TLSv1.1" ]
+non_preferred_value_match: substr ,any
+preferred_value_match: substr ,any
+not_present_description: "ssl_protocols is not present."
+not_matched_preferred_value_description: "Non -recommended TLS ver."
+matched_description: "ssl_protocols key is set to TLS v1.2/1.3"
+tags: ["#security", "#ssl", "#owasp"]
+require_other_configs: [ listen , ssl_certificate , ssl_certificate_key ]
+file_context: ["nginx.conf", "sites-enabled"]
+""",
+        "mysql.yaml": """
+path_name: /etc/mysql/my.cnf
+path_description: "Permissions and ownership for mysql config file"
+ownership: "0:0"
+permission: 644
+tags: [ "#owasp" ]
+---
+composite_rule_name: "mysql ssl -ca path and sysctl and nginx SSL"
+composite_rule_description: "Check if nginx is running with SSL , ip_forward is disabled , and mysql server ssl -ca has a cert"
+composite_rule: mysql.ssl-ca.CONFIGPATH=[mysqld].VALUE == "/etc/mysql/cacert.pem" && sysctl.net.ipv4.ip_forward && nginx.listen
+tags: ["docker", "nginx", "sysctl"]
+matched_description: "mysql server ssl -ca has a cert , ip_forward is disabled , and nginx has SSL enabled."
+not_matched_preferred_value_description: "Either mysql server ssl -ca does not have a cert , or ip_forward is enabled , or nginx has SSL disabled."
+""",
+        "fstab.yaml": """
+config_schema_name: check_tmp_separate_partition
+config_schema_description: "Check if /tmp is on a separate partition"
+query_constraints: "dir = ?"
+query_constraints_value: ["/tmp"]
+query_columns: "*"
+non_preferred_value: [""]
+non_preferred_value_match: exact ,all
+schema_parser: fstab
+not_matched_preferred_value_description: "/tmp not on sep. partition"
+matched_description: "/tmp is on a separate partition"
+tags: ["#cis", "#cisubuntu14.04_2.1"]
+""",
+        "sysctl.yaml": """
+config_name: net.ipv4.ip_forward
+file_context: ["sysctl.conf"]
+preferred_value: ["0"]
+preferred_value_match: exact,all
+matched_description: "ip_forward is disabled"
+""",
+    }
+
+    MANIFEST = """
+nginx:
+  enabled: True
+  config_search_paths:
+    - /etc/nginx
+  cvl_file: "component_configs/nginx.yaml"
+mysql: {config_search_paths: [/etc/mysql], cvl_file: mysql.yaml}
+fstab: {config_search_paths: [/etc/fstab], cvl_file: fstab.yaml}
+sysctl: {config_search_paths: [/etc/sysctl.conf], cvl_file: sysctl.yaml}
+"""
+
+    def _validator(self):
+        validator = ConfigValidator(resolver=self.RULES.__getitem__)
+        validator.add_manifest_text(self.MANIFEST)
+        return validator
+
+    def _host(self, *, good=True):
+        fs = VirtualFilesystem()
+        fs.write_file(
+            "/etc/nginx/nginx.conf",
+            """
+http {
+  server {
+    listen 443 ssl;
+    ssl_certificate /etc/nginx/cert.pem;
+    ssl_certificate_key /etc/nginx/key.pem;
+    ssl_protocols %s;
+  }
+}
+""" % ("TLSv1.2 TLSv1.3" if good else "SSLv3 TLSv1.2"),
+        )
+        fs.write_file(
+            "/etc/mysql/my.cnf",
+            "[mysqld]\nssl-ca = %s\n"
+            % ("/etc/mysql/cacert.pem" if good else "/tmp/wrong.pem"),
+            mode=0o644,
+        )
+        fs.write_file(
+            "/etc/sysctl.conf",
+            f"net.ipv4.ip_forward = {'0' if good else '1'}\n",
+        )
+        fs.write_file(
+            "/etc/fstab",
+            "/dev/sda1 / ext4 defaults 0 1\n"
+            + ("/dev/sda2 /tmp ext4 nodev 0 2\n" if good else ""),
+        )
+        return HostEntity("paper-host", fs)
+
+    def test_all_listings_pass_on_good_host(self):
+        report = self._validator().validate_entity(self._host(good=True))
+        assert report.compliant
+        assert report.counts()["total"] == 5
+
+    def test_all_listings_fail_on_bad_host(self):
+        report = self._validator().validate_entity(self._host(good=False))
+        failed = {r.rule.name for r in report.failed()}
+        assert failed == {
+            "ssl_protocols",
+            "check_tmp_separate_partition",
+            "net.ipv4.ip_forward",
+            "mysql ssl -ca path and sysctl and nginx SSL",
+        }
+
+    def test_listing2_messages_match_paper(self):
+        report = self._validator().validate_entity(self._host(good=False))
+        ssl = [r for r in report if r.rule.name == "ssl_protocols"][0]
+        assert ssl.message == "Non -recommended TLS ver."
+        report = self._validator().validate_entity(self._host(good=True))
+        ssl = [r for r in report if r.rule.name == "ssl_protocols"][0]
+        assert ssl.message == "ssl_protocols key is set to TLS v1.2/1.3"
+
+
+class TestImageAndContainerDrift:
+    """Validate an image, then a container that drifted from it."""
+
+    def test_container_drift_detected(self):
+        validator = load_builtin_validator()
+        builder = ImageBuilder()
+        builder.add_file("/etc/ssh/sshd_config", "PermitRootLogin no\nPort 22\n")
+        builder.user("app").healthcheck("CMD", "true")
+        image = builder.build("drifty", "1.0")
+        daemon = DockerDaemon()
+        daemon.add_image(image)
+        container = daemon.run(
+            "drifty:1.0",
+            "c1",
+            host_config=HostConfig(
+                memory=256 << 20, cpu_shares=2, pids_limit=64,
+                readonly_rootfs=True, restart_policy="on-failure",
+                security_opt=["no-new-privileges"],
+            ),
+        )
+        # runtime drift: someone enabled root login inside the container
+        container.write_file("/etc/ssh/sshd_config", "PermitRootLogin yes\n")
+
+        image_report = validator.validate_entity(DockerImageEntity(image))
+        container_report = validator.validate_entity(ContainerEntity(container))
+
+        image_sshd = {
+            r.rule.name: r.verdict for r in image_report.for_entity("sshd")
+        }
+        container_sshd = {
+            r.rule.name: r.verdict for r in container_report.for_entity("sshd")
+        }
+        assert image_sshd["PermitRootLogin"] is Verdict.COMPLIANT
+        assert container_sshd["PermitRootLogin"] is Verdict.NONCOMPLIANT
+
+    def test_image_layers_shadow_base_misconfiguration(self):
+        validator = load_builtin_validator()
+        base_builder = ImageBuilder()
+        base_builder.add_file("/etc/ssh/sshd_config", "PermitRootLogin yes\n")
+        base = base_builder.build("base", "1.0")
+        fixed = (
+            ImageBuilder(base)
+            .add_file("/etc/ssh/sshd_config", "PermitRootLogin no\n")
+            .build("fixed", "1.0")
+        )
+        base_report = validator.validate_entity(DockerImageEntity(base))
+        fixed_report = validator.validate_entity(DockerImageEntity(fixed))
+        name = "PermitRootLogin"
+        assert any(r.failed for r in base_report if r.rule.name == name)
+        assert all(r.passed for r in fixed_report if r.rule.name == name)
+
+
+class TestFleetScale:
+    def test_hundred_entity_group_run(self):
+        validator = load_builtin_validator()
+        _daemon, images, containers = build_fleet(
+            FleetSpec(images=20, containers_per_image=4, misconfig_rate=0.4,
+                      seed=3)
+        )
+        entities = [ContainerEntity(c) for c in containers]
+        entities += [DockerImageEntity(i) for i in images]
+        report = validator.validate_entities(entities)
+        assert len(entities) == 100
+        assert report.errors() == []
+        # every container produced docker_containers results
+        container_targets = {
+            r.target for r in report if r.entity == "docker_containers"
+        }
+        assert len(container_targets) == 100
+
+
+class TestMixedEstate:
+    def test_host_plus_cloud_plus_containers_in_one_run(self, hardened_host):
+        validator = load_builtin_validator()
+        cloud = build_cloud_project("estate", violations=True)
+        _d, images, containers = build_fleet(FleetSpec(images=2, seed=1))
+        entities = [hardened_host, cloud]
+        entities += [ContainerEntity(c) for c in containers[:3]]
+        report = validator.validate_entities(entities)
+        kinds = {r.target.split(":", 1)[0].split(",")[0] for r in report}
+        assert report.counts()["total"] > 100
+        openstack_failures = {
+            r.rule.name for r in report.failed() if r.entity == "openstack"
+        }
+        assert "no_world_open_ssh" in openstack_failures

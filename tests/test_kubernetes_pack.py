@@ -1,0 +1,92 @@
+"""Tests for the Kubernetes manifests extension pack."""
+
+import pytest
+
+from repro.fs import VirtualFilesystem
+from repro.crawler import HostEntity
+from repro.rules import EXTENSION_TARGETS, load_builtin_validator
+from repro.workloads import k8s_node_entity, kubernetes_manifest
+
+
+@pytest.fixture()
+def k8s_validator():
+    return load_builtin_validator(only=["kubernetes"])
+
+
+class TestKubernetesPack:
+    def test_registered_as_extension(self):
+        assert "kubernetes" in EXTENSION_TARGETS
+
+    def test_hardened_node_passes(self, k8s_validator):
+        report = k8s_validator.validate_entity(k8s_node_entity(hardened=True))
+        assert report.compliant, [
+            (r.rule.name, r.message) for r in report.failed()
+        ]
+
+    def test_stock_node_fails_expected_rules(self, k8s_validator):
+        report = k8s_validator.validate_entity(k8s_node_entity(hardened=False))
+        failed = {r.rule.name for r in report.failed()}
+        assert {
+            "privileged", "hostNetwork", "hostPID", "runAsNonRoot",
+            "allowPrivilegeEscalation", "image", "memory",
+        } <= failed
+
+    def test_latest_tag_and_untagged_images_flagged(self, k8s_validator):
+        manifest = kubernetes_manifest(hardened=True).replace(
+            "registry.local/web:1.4.2", "registry.local/web"
+        )
+        fs = VirtualFilesystem()
+        fs.mkdir("/etc/kubernetes/manifests", mode=0o755)
+        fs.write_file("/etc/kubernetes/manifests/pod.yaml", manifest)
+        report = k8s_validator.validate_entity(HostEntity("untagged", fs))
+        assert "image" in {r.rule.name for r in report.failed()}
+
+    def test_deployment_template_paths_also_matched(self, k8s_validator):
+        deployment = """\
+apiVersion: apps/v1
+kind: Deployment
+metadata: {name: api}
+spec:
+  template:
+    spec:
+      hostNetwork: true
+      containers:
+        - name: api
+          image: registry.local/api:2.0
+          securityContext:
+            privileged: true
+"""
+        fs = VirtualFilesystem()
+        fs.mkdir("/etc/kubernetes/manifests", mode=0o755)
+        fs.write_file("/etc/kubernetes/manifests/deploy.yaml", deployment)
+        report = k8s_validator.validate_entity(HostEntity("deploy", fs))
+        failed = {r.rule.name for r in report.failed()}
+        assert {"privileged", "hostNetwork"} <= failed
+
+    def test_multiple_pods_one_bad_fails(self, k8s_validator):
+        fs = VirtualFilesystem()
+        fs.mkdir("/etc/kubernetes/manifests", mode=0o755)
+        fs.write_file(
+            "/etc/kubernetes/manifests/good.yaml",
+            kubernetes_manifest(hardened=True),
+        )
+        fs.write_file(
+            "/etc/kubernetes/manifests/bad.yaml",
+            kubernetes_manifest(hardened=False),
+        )
+        report = k8s_validator.validate_entity(HostEntity("mixed", fs))
+        assert "privileged" in {r.rule.name for r in report.failed()}
+
+    def test_nodes_without_manifests_skipped(self, k8s_validator):
+        fs = VirtualFilesystem()
+        fs.write_file("/etc/hostname", "plain\n")
+        report = k8s_validator.validate_entity(HostEntity("plain", fs))
+        assert len(report) == 0
+
+    def test_world_writable_manifest_dir_flagged(self, k8s_validator):
+        entity = k8s_node_entity(hardened=True)
+        entity.filesystem().chmod("/etc/kubernetes/manifests", 0o777)
+        report = k8s_validator.validate_entity(entity)
+        assert "/etc/kubernetes/manifests" in {
+            r.rule.name for r in report.failed()
+        }

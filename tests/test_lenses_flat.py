@@ -1,0 +1,187 @@
+"""Tests for the flat-format lenses: keyvalue, sysctl, sshd, modprobe,
+properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LensError
+from repro.augtree.lenses import (
+    KeyValueLens,
+    ModprobeLens,
+    PropertiesLens,
+    SshdLens,
+    SysctlLens,
+)
+
+
+class TestKeyValueLens:
+    def test_equals_separator(self):
+        tree = KeyValueLens().parse("A = valA\n")
+        assert tree.value_of("A") == "valA"
+
+    def test_colon_separator(self):
+        tree = KeyValueLens().parse("key: value\n")
+        assert tree.value_of("key") == "value"
+
+    def test_space_separator(self):
+        tree = KeyValueLens().parse("key value\n")
+        assert tree.value_of("key") == "value"
+
+    def test_earliest_separator_wins(self):
+        tree = KeyValueLens().parse("key = a:b\n")
+        assert tree.value_of("key") == "a:b"
+
+    def test_bare_flag_has_no_value(self):
+        tree = KeyValueLens().parse("standalone\n")
+        assert tree.first("standalone").value is None
+
+    def test_comments_and_blanks_skipped(self):
+        tree = KeyValueLens().parse("# comment\n\n; other comment\nk = v\n")
+        assert tree.size() == 1
+
+    def test_inline_comment_stripped(self):
+        tree = KeyValueLens().parse("k = v # trailing\n")
+        assert tree.value_of("k") == "v"
+
+    def test_quoted_value_unquoted(self):
+        tree = KeyValueLens().parse('k = "hello world"\n')
+        assert tree.value_of("k") == "hello world"
+
+    def test_hash_inside_quotes_preserved(self):
+        tree = KeyValueLens().parse('k = "a # b"\n')
+        assert tree.value_of("k") == "a # b"
+
+    def test_backslash_continuation(self):
+        tree = KeyValueLens().parse("k = one \\\ntwo\n")
+        assert tree.value_of("k") == "one two"
+
+    def test_repeated_keys_kept(self):
+        tree = KeyValueLens().parse("k = 1\nk = 2\n")
+        assert [n.value for n in tree.match("k")] == ["1", "2"]
+
+    @given(
+        pairs=st.dictionaries(
+            st.text(alphabet="abcdef_", min_size=1, max_size=8),
+            st.text(alphabet="xyz0123456789", min_size=1, max_size=8),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_roundtrip_property(self, pairs):
+        text = "\n".join(f"{k} = {v}" for k, v in pairs.items())
+        tree = KeyValueLens().parse(text)
+        for key, value in pairs.items():
+            assert tree.value_of(key) == value
+
+
+class TestSysctlLens:
+    def test_dotted_keys_stay_single_labels(self):
+        tree = SysctlLens().parse("net.ipv4.ip_forward = 0\n")
+        assert tree.value_of("net.ipv4.ip_forward") == "0"
+        assert tree.first("net") is None
+
+    def test_missing_equals_raises_with_line(self):
+        with pytest.raises(LensError) as exc:
+            SysctlLens().parse("ok = 1\nbroken line\n")
+        assert "line 2" in str(exc.value)
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(LensError):
+            SysctlLens().parse("= 1\n")
+
+    def test_semicolon_comments(self):
+        tree = SysctlLens().parse("; comment\nkernel.x = 1\n")
+        assert tree.size() == 1
+
+    def test_value_with_spaces(self):
+        tree = SysctlLens().parse("net.ipv4.ping_group_range = 0 2147483647\n")
+        assert tree.value_of("net.ipv4.ping_group_range") == "0 2147483647"
+
+
+class TestSshdLens:
+    def test_space_form(self):
+        tree = SshdLens().parse("PermitRootLogin no\n")
+        assert tree.value_of("PermitRootLogin") == "no"
+
+    def test_equals_form(self):
+        tree = SshdLens().parse("PermitRootLogin=no\n")
+        assert tree.value_of("PermitRootLogin") == "no"
+
+    def test_match_blocks_nest(self):
+        tree = SshdLens().parse(
+            "X11Forwarding no\n"
+            "Match User bob\n"
+            "  X11Forwarding yes\n"
+            "Match Address 10.0.0.0/8\n"
+            "  PermitRootLogin yes\n"
+        )
+        assert tree.value_of("X11Forwarding") == "no"
+        matches = tree.match("Match")
+        assert [m.value for m in matches] == ["User bob", "Address 10.0.0.0/8"]
+        assert tree.value_of("Match[1]/X11Forwarding") == "yes"
+
+    def test_keyword_case_preserved(self):
+        tree = SshdLens().parse("permitrootlogin no\n")
+        assert tree.first("permitrootlogin") is not None
+
+    def test_multiarg_value(self):
+        tree = SshdLens().parse("AllowUsers alice bob carol\n")
+        assert tree.value_of("AllowUsers") == "alice bob carol"
+
+    def test_comments_skipped(self):
+        tree = SshdLens().parse("# PermitRootLogin yes\nPort 22\n")
+        assert tree.first("PermitRootLogin") is None
+
+
+class TestModprobeLens:
+    def test_install_directive(self):
+        tree = ModprobeLens().parse("install cramfs /bin/true\n")
+        assert tree.value_of("install[.='cramfs']/command") == "/bin/true"
+
+    def test_blacklist(self):
+        tree = ModprobeLens().parse("blacklist dccp\n")
+        assert tree.first("blacklist[.='dccp']") is not None
+
+    def test_options_split_into_children(self):
+        tree = ModprobeLens().parse("options snd_hda slots=1 power_save=0\n")
+        node = tree.first("options[.='snd_hda']")
+        assert node.get("slots") == "1"
+        assert node.get("power_save") == "0"
+
+    def test_alias(self):
+        tree = ModprobeLens().parse("alias net-pf-31 off\n")
+        assert tree.value_of("alias[.='net-pf-31']/module") == "off"
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(LensError):
+            ModprobeLens().parse("frobnicate cramfs\n")
+
+    def test_directive_without_module_rejected(self):
+        with pytest.raises(LensError):
+            ModprobeLens().parse("install\n")
+
+
+class TestPropertiesLens:
+    def test_equals(self):
+        tree = PropertiesLens().parse("log4j.rootLogger=INFO, console\n")
+        assert tree.value_of("log4j.rootLogger") == "INFO, console"
+
+    def test_colon(self):
+        tree = PropertiesLens().parse("key: value\n")
+        assert tree.value_of("key") == "value"
+
+    def test_whitespace_separator(self):
+        tree = PropertiesLens().parse("key value\n")
+        assert tree.value_of("key") == "value"
+
+    def test_escaped_space_in_key(self):
+        tree = PropertiesLens().parse("a\\ b = c\n")
+        assert tree.value_of('"a b"') == "c"
+
+    def test_bang_comment(self):
+        tree = PropertiesLens().parse("! a comment\nk=v\n")
+        assert tree.size() == 1
+
+    def test_continuation(self):
+        tree = PropertiesLens().parse("k=one,\\\ntwo\n")
+        assert tree.value_of("k") == "one,two"

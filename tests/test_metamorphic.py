@@ -1,0 +1,144 @@
+"""Metamorphic properties of the engine and substrates.
+
+These don't check specific verdicts -- they check invariants that must
+hold under transformations: reordering rules, duplicating frames,
+filtering by tags, flattening overlays, serializing frames.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fs import OverlayFilesystem, VirtualFilesystem, flatten
+from repro.crawler import Crawler, HostEntity
+from repro.crawler.serialize import dump_frame, load_frame
+from repro.cvl import Manifest, RuleSet
+from repro.engine import ConfigValidator, Verdict
+from repro.rules import load_builtin_validator
+from repro.workloads import generate_keyvalue_config, generate_tree_rules, ubuntu_host_entity
+
+
+def _verdict_map(report):
+    return {
+        (r.entity, r.rule.name): r.verdict
+        for r in report
+        if r.rule.rule_type != "composite"
+    }
+
+
+class TestEngineMetamorphic:
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_rule_order_does_not_change_verdicts(self, seed):
+        config = generate_keyvalue_config(60, misconfig_rate=0.3, seed=seed)
+        fs = VirtualFilesystem()
+        fs.write_file("/etc/synthetic/synthetic.conf", config)
+        frame = Crawler().crawl(HostEntity("m", fs), features=("files",))
+
+        rules = list(generate_tree_rules(60))
+        shuffled = list(rules)
+        random.Random(seed).shuffle(shuffled)
+
+        def run(rule_list):
+            validator = ConfigValidator()
+            validator.add_ruleset(
+                Manifest(entity="synthetic", cvl_file="<m>",
+                         config_search_paths=["/etc/synthetic"]),
+                RuleSet(entity="synthetic", rules=rule_list),
+            )
+            return _verdict_map(validator.validate_frame(frame))
+
+        assert run(rules) == run(shuffled)
+
+    @settings(max_examples=4, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        hardening=st.sampled_from([0.0, 0.5, 1.0]),
+    )
+    def test_duplicating_a_frame_keeps_per_rule_verdicts(self, seed, hardening):
+        validator = load_builtin_validator(only=["sshd", "sysctl", "fstab"])
+        frame = Crawler().crawl(
+            ubuntu_host_entity("dup", hardening=hardening, seed=seed)
+        )
+        single = _verdict_map(validator.validate_frame(frame))
+        doubled_report = validator.validate_frames([frame, frame])
+        # Every (entity, rule) verdict from the single run appears, with the
+        # same value, in the doubled run.
+        doubled = _verdict_map(doubled_report)
+        assert single == doubled
+
+    @settings(max_examples=4, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_tag_filter_yields_subset_with_same_verdicts(self, seed):
+        validator = load_builtin_validator(only=["sshd", "sysctl"])
+        frame = Crawler().crawl(
+            ubuntu_host_entity("tagf", hardening=0.5, seed=seed)
+        )
+        full = _verdict_map(validator.validate_frame(frame))
+        filtered = _verdict_map(
+            validator.validate_frame(frame, tags=["#cis"])
+        )
+        assert set(filtered) <= set(full)
+        for key, verdict in filtered.items():
+            assert full[key] == verdict
+
+    @settings(max_examples=3, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        hardening=st.sampled_from([0.2, 0.8]),
+    )
+    def test_validation_is_deterministic(self, seed, hardening):
+        validator = load_builtin_validator(only=["sshd", "audit"])
+        frame = Crawler().crawl(
+            ubuntu_host_entity("det", hardening=hardening, seed=seed)
+        )
+        first = _verdict_map(validator.validate_frame(frame))
+        second = _verdict_map(validator.validate_frame(frame))
+        assert first == second
+
+
+_layer_files = st.dictionaries(
+    st.sampled_from(["/etc/a", "/etc/b", "/etc/sub/c", "/opt/d"]),
+    st.text(alphabet="xyz", max_size=5),
+    max_size=4,
+)
+
+
+class TestSubstrateMetamorphic:
+    @settings(max_examples=20, deadline=None)
+    @given(layers=st.lists(_layer_files, min_size=1, max_size=4))
+    def test_flatten_preserves_overlay_view(self, layers):
+        stacks = []
+        for files in layers:
+            fs = VirtualFilesystem()
+            for path, content in files.items():
+                fs.write_file(path, content)
+            stacks.append(fs)
+        overlay = OverlayFilesystem(stacks)
+        merged = flatten(overlay)
+        overlay_files = {
+            f"{d}/{n}".replace("//", "/")
+            for d, _s, names in overlay.walk("/")
+            for n in names
+        }
+        merged_files = {
+            f"{d}/{n}".replace("//", "/")
+            for d, _s, names in merged.walk("/")
+            for n in names
+        }
+        assert overlay_files == merged_files
+        for path in overlay_files:
+            assert merged.read_text(path) == overlay.read_text(path)
+
+    @settings(max_examples=10, deadline=None)
+    @given(files=_layer_files, seed=st.integers(min_value=0, max_value=99))
+    def test_serialize_roundtrip_preserves_walk(self, files, seed):
+        fs = VirtualFilesystem()
+        for path, content in files.items():
+            fs.write_file(path, content, mode=0o640 if seed % 2 else 0o644)
+        frame = Crawler().crawl(HostEntity("s", fs), features=("files",))
+        restored = load_frame(dump_frame(frame))
+        assert list(restored.files.walk("/")) == list(frame.files.walk("/"))
+        for path in files:
+            assert restored.read_config(path) == frame.read_config(path)
+            assert restored.stat(path).mode == frame.stat(path).mode

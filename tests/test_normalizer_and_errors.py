@@ -1,0 +1,116 @@
+"""Tests for the Normalizer (caching, discovery) and the error hierarchy."""
+
+import pytest
+
+import repro.errors as errors
+from repro.errors import LensError, ReproError, SchemaError
+from repro.fs import VirtualFilesystem
+from repro.crawler import Crawler, HostEntity
+from repro.engine.normalizer import Normalizer
+
+
+def _frame(**files):
+    fs = VirtualFilesystem()
+    for path, content in files.items():
+        fs.write_file("/" + path.replace("__", "/"), content)
+    return Crawler().crawl(HostEntity("n", fs), features=("files",))
+
+
+class TestDiscovery:
+    def test_files_in_search_paths_cached(self):
+        frame = _frame(etc__a="1", etc__b="2")
+        normalizer = Normalizer()
+        first = normalizer.files_in_search_paths(frame, ["/etc"])
+        second = normalizer.files_in_search_paths(frame, ["/etc"])
+        assert first == second == ["/etc/a", "/etc/b"]
+
+    def test_candidate_files_substring_context(self):
+        frame = _frame(
+            etc__nginx__nginx_conf="", etc__nginx__sites_enabled__site="",
+        )
+        normalizer = Normalizer()
+        files = normalizer.candidate_files(
+            frame, ["/etc/nginx"], ["sites_enabled"]
+        )
+        assert files == ["/etc/nginx/sites_enabled/site"]
+
+    def test_candidate_files_glob_context(self):
+        frame = _frame(etc__x__a_conf="", etc__x__b_txt="")
+        normalizer = Normalizer()
+        files = normalizer.candidate_files(frame, ["/etc/x"], ["*_conf"])
+        assert files == ["/etc/x/a_conf"]
+
+    def test_no_context_returns_everything(self):
+        frame = _frame(etc__x__a="", etc__x__b="")
+        normalizer = Normalizer()
+        assert len(normalizer.candidate_files(frame, ["/etc/x"], [])) == 2
+
+
+class TestParsingCache:
+    def test_tree_cached_per_frame_and_lens(self):
+        frame = _frame(etc__sysctl_conf="a.b = 1\n")
+        normalizer = Normalizer()
+        tree1 = normalizer.tree_for(frame, "/etc/sysctl_conf", "sysctl")
+        tree2 = normalizer.tree_for(frame, "/etc/sysctl_conf", "sysctl")
+        assert tree1 is tree2
+        # A different lens name is a different cache entry.
+        tree3 = normalizer.tree_for(frame, "/etc/sysctl_conf", "keyvalue")
+        assert tree3 is not tree1
+
+    def test_different_frames_not_conflated(self):
+        frame_a = _frame(etc__f="k = 1\n")
+        frame_b = _frame(etc__f="k = 2\n")
+        normalizer = Normalizer()
+        assert normalizer.tree_for(frame_a, "/etc/f").value_of("k") == "1"
+        assert normalizer.tree_for(frame_b, "/etc/f").value_of("k") == "2"
+
+    def test_table_cached(self):
+        frame = _frame(etc__fstab="/dev/sda1 / ext4 defaults 0 1\n")
+        normalizer = Normalizer()
+        assert normalizer.table_for(frame, "/etc/fstab") is normalizer.table_for(
+            frame, "/etc/fstab"
+        )
+
+    def test_table_without_parser_raises(self):
+        frame = _frame(etc__odd="whatever\n")
+        with pytest.raises(SchemaError):
+            Normalizer().table_for(frame, "/etc/odd")
+
+    def test_try_tree_swallows_lens_errors(self):
+        frame = _frame(etc__sysctl_conf="not an assignment\n")
+        normalizer = Normalizer()
+        assert normalizer.try_tree(frame, "/etc/sysctl_conf", "sysctl") is None
+
+    def test_tree_for_unknown_lens_raises(self):
+        frame = _frame(etc__f="k = 1\n")
+        with pytest.raises(LensError):
+            Normalizer().tree_for(frame, "/etc/f", "quantum")
+
+
+class TestErrorHierarchy:
+    def test_every_public_error_derives_from_reproerror(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, ReproError), name
+
+    def test_lens_error_carries_location(self):
+        error = LensError("nginx", "boom", line=7)
+        assert error.lens == "nginx"
+        assert "line 7" in str(error)
+
+    def test_cvl_syntax_error_names_source(self):
+        error = errors.CVLSyntaxError("bad", source="pack.yaml")
+        assert "pack.yaml" in str(error)
+
+    def test_catching_base_covers_subsystems(self):
+        for exc in (
+            errors.FileNotFoundInFrame("x"),
+            errors.QueryError("x"),
+            errors.CVLKeywordError("x"),
+            errors.DockerSimError("x"),
+            errors.CloudAPIError("x"),
+            errors.XCCDFError("x"),
+        ):
+            with pytest.raises(ReproError):
+                raise exc

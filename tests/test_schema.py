@@ -1,0 +1,309 @@
+"""Tests for schema tables, parsers, and the query mini-language."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import QueryError, SchemaError
+from repro.schema import Query, SchemaTable, default_schema_registry, parse_query
+
+PASSWD = (
+    "root:x:0:0:root:/root:/bin/bash\n"
+    "daemon:x:1:1:daemon:/usr/sbin:/usr/sbin/nologin\n"
+    "ubuntu:x:1000:1000:Ubuntu:/home/ubuntu:/bin/bash\n"
+)
+FSTAB = (
+    "# static file system information\n"
+    "/dev/sda1 / ext4 errors=remount-ro 0 1\n"
+    "/dev/sda2 /tmp ext4 nodev,nosuid,noexec 0 2\n"
+    "tmpfs /run/shm tmpfs nodev 0 0\n"
+)
+AUDIT = (
+    "-w /etc/passwd -p wa -k identity\n"
+    "-a always,exit -F arch=b64 -S adjtimex -S settimeofday -k time-change\n"
+    "-e 2\n"
+)
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_schema_registry()
+
+
+class TestSchemaTable:
+    def test_append_and_access(self):
+        table = SchemaTable("t", ["a", "b"])
+        row = table.append(["1", "2"], line=3)
+        assert row["a"] == "1"
+        assert row[1] == "2"
+        assert row.line == 3
+
+    def test_short_rows_padded(self):
+        table = SchemaTable("t", ["a", "b", "c"])
+        row = table.append(["only"])
+        assert row["c"] == ""
+
+    def test_too_many_fields_rejected(self):
+        table = SchemaTable("t", ["a"])
+        with pytest.raises(SchemaError):
+            table.append(["1", "2"])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            SchemaTable("t", ["a", "a"])
+
+    def test_column_extraction(self):
+        table = SchemaTable("t", ["a"])
+        table.append(["1"])
+        table.append(["2"])
+        assert table.column("a") == ["1", "2"]
+
+    def test_unknown_column_rejected(self):
+        table = SchemaTable("t", ["a"])
+        with pytest.raises(SchemaError):
+            table.column("z")
+
+    def test_row_as_dict_and_project(self):
+        table = SchemaTable("t", ["a", "b"])
+        row = table.append(["1", "2"])
+        assert row.as_dict() == {"a": "1", "b": "2"}
+        assert row.project(["b", "a"]) == ("2", "1")
+
+    def test_row_unknown_key(self):
+        table = SchemaTable("t", ["a"])
+        row = table.append(["1"])
+        with pytest.raises(KeyError):
+            row["zzz"]
+        assert row.get("zzz", "dflt") == "dflt"
+
+
+class TestParsers:
+    def test_passwd(self, registry):
+        table = registry.get("passwd").parse(PASSWD)
+        assert len(table) == 3
+        assert table.rows[0]["shell"] == "/bin/bash"
+        assert table.rows[1]["uid"] == "1"
+
+    def test_fstab_skips_comments(self, registry):
+        table = registry.get("fstab").parse(FSTAB)
+        assert len(table) == 3
+        assert table.rows[1]["dir"] == "/tmp"
+        assert table.rows[1]["options"] == "nodev,nosuid,noexec"
+
+    def test_audit_watch_rule(self, registry):
+        table = registry.get("audit").parse(AUDIT)
+        watch = table.rows[0]
+        assert watch["kind"] == "watch"
+        assert watch["path"] == "/etc/passwd"
+        assert watch["perms"] == "wa"
+        assert watch["key"] == "identity"
+
+    def test_audit_syscall_rule(self, registry):
+        table = registry.get("audit").parse(AUDIT)
+        syscall = table.rows[1]
+        assert syscall["kind"] == "syscall"
+        assert "adjtimex" in syscall["syscalls"].split(",")
+        assert "settimeofday" in syscall["syscalls"].split(",")
+        assert syscall["fields"] == "arch=b64"
+
+    def test_audit_control_rule(self, registry):
+        table = registry.get("audit").parse(AUDIT)
+        control = table.rows[2]
+        assert control["kind"] == "control"
+        assert "e=2" in control["fields"]
+
+    def test_audit_unknown_flag_rejected(self, registry):
+        with pytest.raises(SchemaError):
+            registry.get("audit").parse("-z whatever\n")
+
+    def test_audit_flag_missing_value_rejected(self, registry):
+        with pytest.raises(SchemaError):
+            registry.get("audit").parse("-w\n")
+
+    def test_crontab_skips_env_lines(self, registry):
+        table = registry.get("crontab").parse(
+            "SHELL=/bin/sh\n17 * * * * root cd / && run-parts /etc/cron.hourly\n"
+        )
+        assert len(table) == 1
+        assert table.rows[0]["user"] == "root"
+
+    def test_group_members(self, registry):
+        table = registry.get("group").parse("docker:x:999:alice,bob\n")
+        assert table.rows[0]["members"] == "alice,bob"
+
+    def test_for_file_dispatch(self, registry):
+        assert registry.for_file("/etc/passwd").name == "passwd"
+        assert registry.for_file("/etc/fstab").name == "fstab"
+        assert registry.for_file("/etc/audit/audit.rules").name == "audit"
+        assert registry.for_file("/etc/unknown") is None
+
+    def test_unknown_parser_name(self, registry):
+        with pytest.raises(SchemaError):
+            registry.get("nope")
+
+
+class TestQuery:
+    @pytest.fixture()
+    def fstab_table(self, registry):
+        return registry.get("fstab").parse(FSTAB)
+
+    def test_equality_with_placeholder(self, fstab_table):
+        rows = Query("dir = ?", "*").execute(fstab_table, ["/tmp"])
+        assert len(rows) == 1
+        assert rows[0][0] == "/dev/sda2"
+
+    def test_no_match_is_empty(self, fstab_table):
+        assert Query("dir = ?", "*").execute(fstab_table, ["/var"]) == []
+
+    def test_projection_single_column(self, fstab_table):
+        rows = Query("dir = ?", "options").execute(fstab_table, ["/tmp"])
+        assert rows == [("nodev,nosuid,noexec",)]
+
+    def test_projection_multiple_columns(self, fstab_table):
+        rows = Query("dir = ?", "device, type").execute(fstab_table, ["/tmp"])
+        assert rows == [("/dev/sda2", "ext4")]
+
+    def test_and(self, fstab_table):
+        rows = Query("type = ? AND dir = ?", "*").execute(
+            fstab_table, ["ext4", "/"]
+        )
+        assert len(rows) == 1
+
+    def test_or(self, fstab_table):
+        rows = Query("dir = ? OR dir = ?", "dir").execute(
+            fstab_table, ["/tmp", "/run/shm"]
+        )
+        assert [r[0] for r in rows] == ["/tmp", "/run/shm"]
+
+    def test_not(self, fstab_table):
+        rows = Query("NOT type = ?", "dir").execute(fstab_table, ["tmpfs"])
+        assert [r[0] for r in rows] == ["/", "/tmp"]
+
+    def test_parentheses(self, fstab_table):
+        rows = Query("(dir = ? OR dir = ?) AND type = ?", "dir").execute(
+            fstab_table, ["/", "/run/shm", "tmpfs"]
+        )
+        assert [r[0] for r in rows] == ["/run/shm"]
+
+    def test_like(self, fstab_table):
+        rows = Query("options LIKE ?", "dir").execute(fstab_table, ["%nodev%"])
+        assert [r[0] for r in rows] == ["/tmp", "/run/shm"]
+
+    def test_in(self, fstab_table):
+        rows = Query("dir IN (?, ?)", "dir").execute(
+            fstab_table, ["/", "/tmp"]
+        )
+        assert [r[0] for r in rows] == ["/", "/tmp"]
+
+    def test_not_equal(self, fstab_table):
+        rows = Query("type != ?", "type").execute(fstab_table, ["ext4"])
+        assert rows == [("tmpfs",)]
+
+    def test_numeric_comparison(self, fstab_table):
+        rows = Query("pass > ?", "dir").execute(fstab_table, ["0"])
+        assert [r[0] for r in rows] == ["/", "/tmp"]
+
+    def test_string_comparison_fallback(self, fstab_table):
+        rows = Query("device >= ?", "device").execute(fstab_table, ["tmpfs"])
+        assert rows == [("tmpfs",)]
+
+    def test_empty_constraints_match_all(self, fstab_table):
+        assert len(Query("", "*").execute(fstab_table)) == 3
+
+    def test_quoted_literal(self, fstab_table):
+        rows = Query("dir = '/tmp'", "dir").execute(fstab_table)
+        assert rows == [("/tmp",)]
+
+    def test_unbound_placeholder_rejected(self, fstab_table):
+        with pytest.raises(QueryError):
+            Query("dir = ?", "*").execute(fstab_table, [])
+
+    def test_unknown_column_rejected(self, fstab_table):
+        with pytest.raises(QueryError):
+            Query("bogus = ?", "*").execute(fstab_table, ["x"])
+
+    def test_syntax_errors(self):
+        for bad in ["dir =", "= ?", "dir ? x", "(dir = ?", "dir IN ?"]:
+            with pytest.raises(QueryError):
+                parse_query(bad)
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("a = 1 b = 2")
+
+    def test_keywords_case_insensitive(self, fstab_table):
+        rows = Query("dir = ? or dir = ?", "dir").execute(
+            fstab_table, ["/", "/tmp"]
+        )
+        assert len(rows) == 2
+
+
+class TestQueryProperties:
+    @given(
+        values=st.lists(
+            st.integers(min_value=0, max_value=20), min_size=1, max_size=20
+        ),
+        threshold=st.integers(min_value=0, max_value=20),
+    )
+    def test_comparison_matches_python_filter(self, values, threshold):
+        table = SchemaTable("t", ["n"])
+        for value in values:
+            table.append([str(value)])
+        rows = Query("n <= ?", "n").execute(table, [str(threshold)])
+        expected = [str(v) for v in values if v <= threshold]
+        assert [r[0] for r in rows] == expected
+
+    @given(
+        words=st.lists(
+            st.text(alphabet="abc", min_size=1, max_size=4),
+            min_size=1,
+            max_size=15,
+        ),
+        needle=st.text(alphabet="abc", min_size=1, max_size=2),
+    )
+    def test_like_matches_python_contains(self, words, needle):
+        table = SchemaTable("t", ["w"])
+        for word in words:
+            table.append([word])
+        rows = Query("w LIKE ?", "w").execute(table, [f"%{needle}%"])
+        expected = [w for w in words if needle in w]
+        assert [r[0] for r in rows] == expected
+
+
+class TestPamParser:
+    def test_basic_lines(self, registry):
+        table = registry.get("pam").parse(
+            "password requisite pam_pwquality.so retry=3 minlen=14\n"
+        )
+        row = table.rows[0]
+        assert row["type"] == "password"
+        assert row["control"] == "requisite"
+        assert row["module"] == "pam_pwquality.so"
+        assert "retry=3" in row["args"]
+
+    def test_bracketed_control(self, registry):
+        table = registry.get("pam").parse(
+            "password [success=1 default=ignore] pam_unix.so sha512\n"
+        )
+        row = table.rows[0]
+        assert row["control"] == "[success=1 default=ignore]"
+        assert row["module"] == "pam_unix.so"
+        assert row["args"] == "sha512"
+
+    def test_include_lines(self, registry):
+        table = registry.get("pam").parse("@include common-auth\n")
+        assert table.rows[0]["type"] == "include"
+        assert table.rows[0]["module"] == "common-auth"
+
+    def test_unclosed_bracket_rejected(self, registry):
+        with pytest.raises(SchemaError):
+            registry.get("pam").parse("auth [success=1 pam_unix.so\n")
+
+    def test_pattern_dispatch(self, registry):
+        assert registry.for_file("/etc/pam.d/common-password").name == "pam"
+
+    def test_limits_parser(self, registry):
+        table = registry.get("limits").parse("* hard core 0\nroot soft nofile 65536\n")
+        assert table.rows[0].as_dict() == {
+            "domain": "*", "type": "hard", "item": "core", "value": "0",
+        }
+        assert registry.for_file("/etc/security/limits.conf").name == "limits"

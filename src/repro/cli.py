@@ -41,19 +41,26 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     if args.rules_dir:
         from repro.rules.repository import load_validator_from_directory
 
-        validator = load_validator_from_directory(args.rules_dir)
+        validator = load_validator_from_directory(
+            args.rules_dir, cache_size=args.cache_size, workers=args.workers
+        )
         if args.targets:
             wanted = set(args.targets.split(","))
             for manifest in validator.manifests():
                 manifest.enabled = manifest.entity in wanted
     else:
         validator = load_builtin_validator(
-            only=args.targets.split(",") if args.targets else None
+            only=args.targets.split(",") if args.targets else None,
+            cache_size=args.cache_size,
+            workers=args.workers,
         )
+    timings = _make_timings(args)
     entity = HostEntity(args.name, RealFilesystem(args.root))
     report = validator.validate_entity(
-        entity, tags=args.tags.split(",") if args.tags else None
+        entity, tags=args.tags.split(",") if args.tags else None,
+        timings=timings,
     )
+    _print_stage_timings(args, timings, validator)
     if args.json:
         print(render_json(report))
     elif args.junit:
@@ -74,6 +81,23 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         ]
         return 1 if blocking or report.errors() else 0
     return 0 if report.compliant else 1
+
+
+def _make_timings(args: argparse.Namespace):
+    if not getattr(args, "stage_timings", False):
+        return None
+    from repro.engine.stages import StageTimings
+
+    return StageTimings()
+
+
+def _print_stage_timings(args, timings, validator) -> None:
+    """Stage + cache diagnostics on stderr (stdout stays report-only)."""
+    if timings is None:
+        return
+    print("\nstage timings (aggregate worker-seconds):", file=sys.stderr)
+    print(timings.render(), file=sys.stderr)
+    print(validator.cache_stats().render(), file=sys.stderr)
 
 
 def _cmd_coverage(_args: argparse.Namespace) -> int:
@@ -118,13 +142,16 @@ def _cmd_dump(args: argparse.Namespace) -> int:
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
-    validator = load_builtin_validator()
+    validator = load_builtin_validator(
+        cache_size=args.cache_size, workers=args.workers
+    )
+    timings = _make_timings(args)
     if args.scenario == "host":
         entity = ubuntu_host_entity(
             "demo-host", hardening=args.hardening,
             with_nginx=True, with_mysql=True,
         )
-        report = validator.validate_entity(entity)
+        report = validator.validate_entity(entity, timings=timings)
     elif args.scenario == "fleet":
         _daemon, images, containers = build_fleet(
             FleetSpec(images=args.size, containers_per_image=3,
@@ -132,11 +159,14 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         )
         entities = [ContainerEntity(c) for c in containers]
         entities += [DockerImageEntity(i) for i in images]
-        report = validator.validate_entities(entities)
+        report = validator.validate_entities(
+            entities, workers=args.workers, timings=timings
+        )
     else:  # cloud
         entity = build_cloud_project("demo", violations=args.hardening < 1.0)
-        report = validator.validate_entity(entity)
+        report = validator.validate_entity(entity, timings=timings)
     print(render_text(report, only_failures=args.only_failures))
+    _print_stage_timings(args, timings, validator)
     return 0 if report.compliant else 1
 
 
@@ -231,6 +261,23 @@ def _cmd_scaffold(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_scaling_flags(subparser: argparse.ArgumentParser) -> None:
+    """The fleet-pipeline knobs shared by scanning commands."""
+    subparser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker threads for crawling and per-frame validation",
+    )
+    subparser.add_argument(
+        "--cache-size", type=int, default=None,
+        help="max parsed artifacts kept in the content-addressed cache "
+             "(0 disables it)",
+    )
+    subparser.add_argument(
+        "--stage-timings", action="store_true",
+        help="print per-stage wall time and parse-cache stats on stderr",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="configvalidator",
@@ -257,6 +304,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["", "informational", "low", "medium", "high", "critical"],
         help="exit nonzero only for failures at or above this severity",
     )
+    _add_scaling_flags(validate)
     validate.set_defaults(func=_cmd_validate)
 
     coverage = subparsers.add_parser("coverage", help="Table 1 inventory")
@@ -276,6 +324,7 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--hardening", type=float, default=0.5)
     demo.add_argument("--size", type=int, default=5)
     demo.add_argument("--only-failures", action="store_true")
+    _add_scaling_flags(demo)
     demo.set_defaults(func=_cmd_demo)
 
     snapshot = subparsers.add_parser(

@@ -9,6 +9,8 @@ views are shared, not copied -- so frames can be produced at fleet scale
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
+
 from repro.errors import CrawlerError, PluginError
 from repro.crawler.entities import Entity
 from repro.crawler.frame import ConfigFrame
@@ -70,7 +72,24 @@ class Crawler:
         return frame
 
     def crawl_many(
-        self, entities: list[Entity], features: tuple[str, ...] = ALL_FEATURES
+        self,
+        entities: list[Entity],
+        features: tuple[str, ...] = ALL_FEATURES,
+        *,
+        workers: int = 1,
     ) -> list[ConfigFrame]:
-        """Snapshot a fleet (document order preserved)."""
+        """Snapshot a fleet (document order preserved).
+
+        ``workers > 1`` fans entities out on a thread pool; the returned
+        frame list still matches ``entities`` position-for-position.
+        """
+        if workers > 1 and len(entities) > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(workers, len(entities)),
+                thread_name_prefix="crawl",
+            ) as pool:
+                return list(
+                    pool.map(lambda entity: self.crawl(entity, features),
+                             entities)
+                )
         return [self.crawl(entity, features) for entity in entities]

@@ -2,11 +2,20 @@
 
 from __future__ import annotations
 
+import itertools
+
 from dataclasses import dataclass, field
 
 from repro.fs.meta import FileStat
 from repro.fs.packages import PackageDatabase
 from repro.fs.view import FilesystemView
+
+#: Process-wide monotonic frame ids.  ``itertools.count`` increments
+#: atomically under the GIL, so tokens are unique even when frames are
+#: built from crawler worker threads.  Unlike ``id(frame)``, a token is
+#: never reused after a frame is garbage-collected, so caches keyed by it
+#: can never alias two different frames' artifacts.
+_frame_tokens = itertools.count(1)
 
 
 @dataclass
@@ -28,6 +37,11 @@ class ConfigFrame:
     packages: PackageDatabase = field(default_factory=PackageDatabase)
     runtime: dict[str, dict[str, str]] = field(default_factory=dict)
     metadata: dict[str, str] = field(default_factory=dict)
+    #: Unique per-frame cache key (see :data:`_frame_tokens`).
+    cache_token: int = field(
+        default_factory=lambda: next(_frame_tokens),
+        init=False, repr=False, compare=False,
+    )
 
     def read_config(self, path: str) -> str:
         """Text of the config file at ``path`` (raises if absent)."""

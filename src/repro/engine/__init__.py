@@ -2,6 +2,8 @@
 
 from repro.engine.engine import ConfigValidator
 from repro.engine.normalizer import Normalizer
+from repro.engine.parse_cache import CacheStats, ParseCache
+from repro.engine.stages import StageTimings
 from repro.engine.results import (
     Evidence,
     Outcome,
@@ -19,7 +21,10 @@ from repro.engine.report import (
 )
 
 __all__ = [
+    "CacheStats",
     "ConfigValidator",
+    "ParseCache",
+    "StageTimings",
     "DriftEntry",
     "DriftReport",
     "diff_reports",

@@ -15,7 +15,9 @@ from repro.crawler.crawler import Crawler
 from repro.crawler.entities import Entity
 from repro.crawler.frame import ConfigFrame
 from repro.engine.engine import ConfigValidator
+from repro.engine.parse_cache import CacheStats
 from repro.engine.results import RuleResult, ValidationReport, Verdict
+from repro.engine.stages import StageTimings
 
 _SEVERITY_ORDER = ("informational", "low", "medium", "high", "critical")
 
@@ -30,13 +32,20 @@ def severity_rank(severity: str) -> int:
 
 @dataclass
 class RuleRollup:
-    """Fleet-wide stats for one rule."""
+    """Fleet-wide stats for one rule.
+
+    ``errors`` and ``not_applicable`` are counted separately from
+    pass/fail: a rule that errors fleet-wide must not look healthy on the
+    dashboard just because it never produced a NONCOMPLIANT verdict.
+    """
 
     entity: str
     rule_name: str
     severity: str
     failed: int = 0
     passed: int = 0
+    errors: int = 0
+    not_applicable: int = 0
     message: str = ""
 
     @property
@@ -72,6 +81,10 @@ class FleetSummary:
     rules: dict[tuple[str, str], RuleRollup] = field(default_factory=dict)
     entities: dict[str, EntityRollup] = field(default_factory=dict)
     tag_failures: dict[str, int] = field(default_factory=dict)
+    #: Per-stage wall time of this scan cycle (None when not collected).
+    stage_timings: StageTimings | None = None
+    #: Parse-cache counters snapshotted at the end of the cycle.
+    cache_stats: CacheStats | None = None
 
     @property
     def throughput(self) -> float:
@@ -84,6 +97,18 @@ class FleetSummary:
         return sorted(
             self.rules.values(),
             key=lambda r: (-r.failed, -severity_rank(r.severity), r.rule_name),
+        )[:count]
+
+    def erroring_rules(self, count: int = 10) -> list[RuleRollup]:
+        """Rules that errored or were inapplicable somewhere in the fleet."""
+        flagged = [
+            rollup
+            for rollup in self.rules.values()
+            if rollup.errors or rollup.not_applicable
+        ]
+        return sorted(
+            flagged,
+            key=lambda r: (-r.errors, -r.not_applicable, r.rule_name),
         )[:count]
 
     def worst_entities(self, count: int = 10) -> list[EntityRollup]:
@@ -108,41 +133,64 @@ class FleetSummary:
 
 
 class BatchScanner:
-    """Validate fleets and build dashboard summaries."""
+    """Validate fleets and build dashboard summaries.
 
-    def __init__(self, validator: ConfigValidator, crawler: Crawler | None = None):
+    ``workers`` parallelizes both halves of the cycle (crawl fan-out and
+    per-frame validation); stage timings and parse-cache counters ride
+    along on the returned :class:`FleetSummary`.
+    """
+
+    def __init__(self, validator: ConfigValidator,
+                 crawler: Crawler | None = None, *, workers: int = 1):
         self._validator = validator
         self._crawler = crawler or Crawler()
+        self._workers = max(1, workers)
 
     def scan_entities(self, entities: list[Entity], *,
-                      tags: list[str] | None = None) -> FleetSummary:
+                      tags: list[str] | None = None,
+                      workers: int | None = None) -> FleetSummary:
         """Crawl + validate ``entities`` and roll the results up."""
+        workers = self._workers if workers is None else max(1, workers)
+        timings = StageTimings()
         started = time.perf_counter()
-        frames = self._crawler.crawl_many(entities)
+        with timings.timer("crawl"):
+            frames = self._crawler.crawl_many(entities, workers=workers)
+        report = self._validator.validate_frames(
+            frames, tags=tags, workers=workers, timings=timings
+        )
         return self._summarize(
-            self._validator.validate_frames(frames, tags=tags),
-            len(entities),
-            time.perf_counter() - started,
+            report, len(entities), time.perf_counter() - started, timings
         )
 
     def scan_frames(self, frames: list[ConfigFrame], *,
-                    tags: list[str] | None = None) -> FleetSummary:
+                    tags: list[str] | None = None,
+                    workers: int | None = None) -> FleetSummary:
         """Validate pre-captured frames (the decoupled pipeline)."""
+        workers = self._workers if workers is None else max(1, workers)
+        timings = StageTimings()
         started = time.perf_counter()
-        report = self._validator.validate_frames(frames, tags=tags)
+        report = self._validator.validate_frames(
+            frames, tags=tags, workers=workers, timings=timings
+        )
         return self._summarize(
-            report, len(frames), time.perf_counter() - started
+            report, len(frames), time.perf_counter() - started, timings
         )
 
     def _summarize(
-        self, report: ValidationReport, entity_count: int, elapsed: float
+        self,
+        report: ValidationReport,
+        entity_count: int,
+        elapsed: float,
+        timings: StageTimings | None = None,
     ) -> FleetSummary:
         summary = FleetSummary(
-            report=report, entities_scanned=entity_count, elapsed_s=elapsed
+            report=report,
+            entities_scanned=entity_count,
+            elapsed_s=elapsed,
+            stage_timings=timings,
+            cache_stats=self._validator.cache_stats(),
         )
         for result in report:
-            if result.verdict not in (Verdict.COMPLIANT, Verdict.NONCOMPLIANT):
-                continue
             key = (result.entity, result.rule.name)
             rollup = summary.rules.get(key)
             if rollup is None:
@@ -152,6 +200,13 @@ class BatchScanner:
                     severity=result.rule.severity,
                 )
                 summary.rules[key] = rollup
+            if result.verdict is Verdict.ERROR:
+                rollup.errors += 1
+                rollup.message = result.message
+                continue
+            if result.verdict is Verdict.NOT_APPLICABLE:
+                rollup.not_applicable += 1
+                continue
             entity_rollup = summary.entities.get(result.target)
             if entity_rollup is None:
                 entity_rollup = EntityRollup(target=result.target)
@@ -211,4 +266,21 @@ def render_fleet_summary(summary: FleetSummary, *, top: int = 10) -> str:
         )
         for tag, count in ranked[:top]:
             lines.append(f"  {count:4d}  {tag}")
+    erroring = [r for r in summary.erroring_rules(top) if r.errors]
+    if erroring:
+        lines.append("")
+        lines.append("rules with errors:")
+        for rollup in erroring:
+            lines.append(
+                f"  {rollup.errors:4d} errors "
+                f"[{rollup.severity:<8s}] {rollup.entity}/{rollup.rule_name}"
+            )
+    if summary.stage_timings is not None:
+        lines.append("")
+        lines.append("stage timings (aggregate worker-seconds):")
+        for row in summary.stage_timings.render().splitlines():
+            lines.append(f"  {row}")
+    if summary.cache_stats is not None:
+        lines.append("")
+        lines.append(summary.cache_stats.render())
     return "\n".join(lines)

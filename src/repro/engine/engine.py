@@ -12,7 +12,9 @@ frames; entities differ only in what their frames contain.
 
 from __future__ import annotations
 
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from typing import Callable
 
 from repro.errors import EngineError, EntityNotFound
@@ -39,6 +41,8 @@ from repro.engine.evaluators import (
     evaluate_tree,
 )
 from repro.engine.normalizer import Normalizer
+from repro.engine.parse_cache import DEFAULT_CACHE_SIZE, CacheStats, ParseCache
+from repro.engine.stages import StageTimings
 from repro.engine.results import (
     Evidence,
     Outcome,
@@ -134,6 +138,9 @@ class ConfigValidator:
         lenses: LensRegistry | None = None,
         schemas: SchemaParserRegistry | None = None,
         crawler: Crawler | None = None,
+        parse_cache: ParseCache | None = None,
+        cache_size: int | None = None,
+        workers: int = 1,
     ):
         self._resolver = resolver
         self._lenses = lenses
@@ -141,6 +148,14 @@ class ConfigValidator:
         self._crawler = crawler or Crawler()
         self._manifests: dict[str, Manifest] = {}
         self._rulesets: dict[str, RuleSet] = {}
+        #: Single-flight guard for lazy ruleset loading (validate_frames
+        #: and rule_count may race it from worker threads).
+        self._ruleset_lock = threading.Lock()
+        #: Content-addressed parse cache shared across frames and runs.
+        self.parse_cache = parse_cache or ParseCache(
+            DEFAULT_CACHE_SIZE if cache_size is None else cache_size
+        )
+        self.workers = max(1, workers)
 
     # ---- configuration ----------------------------------------------------
 
@@ -168,10 +183,24 @@ class ConfigValidator:
             raise EntityNotFound(f"no manifest for entity {entity!r}") from None
 
     def ruleset_for(self, manifest: Manifest) -> RuleSet:
-        """Load (and cache) the rule set behind a manifest."""
+        """Load (and cache) the rule set behind a manifest.
+
+        Idempotent under concurrency: worker threads racing a cold entry
+        single-flight through a lock, so the resolver runs exactly once
+        per pack and every caller sees the same :class:`RuleSet` object.
+        """
         cached = self._rulesets.get(manifest.entity)
         if cached is not None:
             return cached
+        with self._ruleset_lock:
+            cached = self._rulesets.get(manifest.entity)
+            if cached is not None:
+                return cached
+            ruleset = self._load_ruleset(manifest)
+            self._rulesets[manifest.entity] = ruleset
+            return ruleset
+
+    def _load_ruleset(self, manifest: Manifest) -> RuleSet:
         if self._resolver is None:
             raise EngineError(
                 f"manifest {manifest.entity!r} references {manifest.cvl_file!r} "
@@ -195,8 +224,11 @@ class ConfigValidator:
                 resolver=self._resolver,
             )
             ruleset = merge_inherited(parent, ruleset)
-        self._rulesets[manifest.entity] = ruleset
         return ruleset
+
+    def cache_stats(self) -> CacheStats:
+        """Counters of the shared content-addressed parse cache."""
+        return self.parse_cache.stats()
 
     def rule_count(self) -> int:
         """Total enabled rules across all manifests."""
@@ -214,10 +246,12 @@ class ConfigValidator:
         *,
         tags: list[str] | None = None,
         include_composites: bool = True,
+        timings: StageTimings | None = None,
     ) -> ValidationReport:
         """Validate one frame against every enabled manifest."""
         return self.validate_frames([frame], tags=tags,
-                                    include_composites=include_composites)
+                                    include_composites=include_composites,
+                                    timings=timings)
 
     def validate_frames(
         self,
@@ -225,20 +259,31 @@ class ConfigValidator:
         *,
         tags: list[str] | None = None,
         include_composites: bool = True,
+        workers: int | None = None,
+        timings: StageTimings | None = None,
     ) -> ValidationReport:
         """Validate a group of frames together.
 
         Per-entity rules run against every frame; composite rules run once
         over the merged cross-frame context (this is how a rule can span a
         MySQL container, a host's sysctl, and an nginx container).
+
+        With ``workers > 1`` frames fan out on a thread pool (sharing the
+        content-addressed parse cache), then a deterministic merge barrier
+        records results in document order -- composite rules see the
+        identical merged context and the report is byte-for-byte the same
+        as the sequential path, regardless of completion order.
         """
-        normalizer = Normalizer(self._lenses, self._schemas)
+        workers = self.workers if workers is None else max(1, workers)
+        normalizer = Normalizer(self._lenses, self._schemas,
+                                cache=self.parse_cache, timings=timings)
         context = _RunContext(self, normalizer)
         target = ",".join(frame.describe() for frame in frames)
         report = ValidationReport(target=target)
 
         # Composite rules are cross-entity: they belong to the run, not to
         # any one frame, so gather them up front from every enabled pack.
+        # This also pre-loads every ruleset before the fan-out.
         composites: list[tuple[Manifest, CompositeRule]] = []
         for manifest in self.manifests():
             if not manifest.enabled:
@@ -249,14 +294,18 @@ class ConfigValidator:
                         continue
                     composites.append((manifest, rule))
 
-        for frame in frames:
+        def validate_one(
+            frame: ConfigFrame,
+        ) -> list[tuple[Manifest, list[RuleResult]]]:
+            placements: list[tuple[Manifest, list[RuleResult]]] = []
             for manifest in self.manifests():
                 if not manifest.enabled:
                     continue
                 if not manifest.applies_to_kind(frame.entity_kind):
                     continue
                 ruleset = self.ruleset_for(manifest)
-                if not self._component_present(frame, manifest, ruleset, normalizer):
+                if not self._component_present(frame, manifest, ruleset,
+                                               normalizer):
                     continue  # the component is not installed on this entity
                 frame_results: list[RuleResult] = []
                 for rule in ruleset.enabled_rules():
@@ -267,29 +316,62 @@ class ConfigValidator:
                     started = time.perf_counter()
                     result = self._evaluate(rule, frame, manifest, normalizer)
                     result.duration_s = time.perf_counter() - started
+                    if timings is not None:
+                        timings.add("evaluate", result.duration_s)
                     frame_results.append(result)
+                placements.append((manifest, frame_results))
+            return placements
+
+        if workers > 1 and len(frames) > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(workers, len(frames)),
+                thread_name_prefix="validate",
+            ) as pool:
+                per_frame = list(pool.map(validate_one, frames))
+        else:
+            per_frame = [validate_one(frame) for frame in frames]
+
+        # Deterministic merge barrier: document order, not completion order.
+        for frame, placements in zip(frames, per_frame):
+            for manifest, frame_results in placements:
                 context.record(manifest, frame, frame_results)
                 report.extend(frame_results)
 
         if include_composites:
             for manifest, rule in composites:
-                report.add(self._evaluate_composite(rule, manifest, context, target))
+                started = time.perf_counter()
+                report.add(self._evaluate_composite(rule, manifest, context,
+                                                    target))
+                if timings is not None:
+                    timings.add("composite", time.perf_counter() - started)
         return report
 
     def validate_entity(
-        self, entity: Entity, *, tags: list[str] | None = None
+        self, entity: Entity, *, tags: list[str] | None = None,
+        timings: StageTimings | None = None,
     ) -> ValidationReport:
         """Crawl ``entity`` and validate the resulting frame."""
-        frame = self._crawler.crawl(entity)
-        return self.validate_frame(frame, tags=tags)
+        if timings is not None:
+            with timings.timer("crawl"):
+                frame = self._crawler.crawl(entity)
+        else:
+            frame = self._crawler.crawl(entity)
+        return self.validate_frame(frame, tags=tags, timings=timings)
 
     def validate_entities(
-        self, entities: list[Entity], *, tags: list[str] | None = None
+        self, entities: list[Entity], *, tags: list[str] | None = None,
+        workers: int | None = None, timings: StageTimings | None = None,
     ) -> ValidationReport:
         """Crawl and validate a group of entities together (composites see
         the whole group)."""
-        frames = self._crawler.crawl_many(entities)
-        return self.validate_frames(frames, tags=tags)
+        workers = self.workers if workers is None else max(1, workers)
+        if timings is not None:
+            with timings.timer("crawl"):
+                frames = self._crawler.crawl_many(entities, workers=workers)
+        else:
+            frames = self._crawler.crawl_many(entities, workers=workers)
+        return self.validate_frames(frames, tags=tags, workers=workers,
+                                    timings=timings)
 
     # ---- internals ---------------------------------------------------------
 

@@ -1,19 +1,35 @@
 """The Data Normalizer: raw frame files -> config trees / schema tables.
 
-One normalizer instance serves one validation run; parsed artifacts are
-cached per (frame, file, parser) because many rules read the same file
-(every sshd rule parses sshd_config once, not forty times).
+Two cache levels keep fleet-scale parsing cheap:
+
+* an **L1 per-run memo** keyed by ``(frame.cache_token, path, parser)``
+  short-circuits repeated reads within one validation run (every sshd
+  rule parses sshd_config once, not forty times);
+* a shared **content-addressed** :class:`~repro.engine.parse_cache.ParseCache`
+  keyed by ``(sha256(content), kind, parser)`` dedupes across frames and
+  across scan cycles, so the N containers spawned from one image parse
+  each identical config file exactly once per process.
+
+Frame-scoped caches key on :attr:`ConfigFrame.cache_token` -- a monotonic
+id that, unlike ``id(frame)``, is never reused after a frame is
+garbage-collected mid-process.  All caches tolerate concurrent access
+from validator worker threads: dict operations are GIL-atomic and a
+racing duplicate parse is harmless (last store wins, artifacts are
+immutable to the evaluators).
 """
 
 from __future__ import annotations
 
 import fnmatch
 import posixpath
+import time
 
 from repro.errors import LensError, SchemaError
 from repro.augtree.lenses import LensRegistry, default_registry
 from repro.augtree.tree import ConfigTree
 from repro.crawler.frame import ConfigFrame
+from repro.engine.parse_cache import ParseCache, content_digest
+from repro.engine.stages import StageTimings
 from repro.schema import (
     SchemaParserRegistry,
     SchemaTable,
@@ -22,33 +38,48 @@ from repro.schema import (
 
 
 class Normalizer:
-    """File discovery + parsing with per-run caching."""
+    """File discovery + parsing with per-run and cross-run caching."""
 
     def __init__(
         self,
         lenses: LensRegistry | None = None,
         schemas: SchemaParserRegistry | None = None,
+        *,
+        cache: ParseCache | None = None,
+        timings: StageTimings | None = None,
     ):
         self.lenses = lenses or default_registry()
         self.schemas = schemas or default_schema_registry()
-        self._tree_cache: dict[tuple[int, str, str], ConfigTree] = {}
-        self._table_cache: dict[tuple[int, str, str], SchemaTable] = {}
+        #: Shared content-addressed cache (private to this run when the
+        #: caller did not supply one).
+        self.cache = cache if cache is not None else ParseCache()
+        self.timings = timings
+        self._tree_memo: dict[tuple[int, str, str], ConfigTree] = {}
+        self._table_memo: dict[tuple[int, str, str], SchemaTable] = {}
         self._files_cache: dict[tuple[int, tuple[str, ...]], list[str]] = {}
+        self._digests: dict[tuple[int, str], str] = {}
 
     # ---- discovery --------------------------------------------------------
 
     def files_in_search_paths(
         self, frame: ConfigFrame, search_paths: list[str]
     ) -> list[str]:
-        """Every file under the manifest's search paths (cached)."""
-        key = (id(frame), tuple(search_paths))
+        """Every file under the manifest's search paths (cached).
+
+        Returns the cached list itself -- callers must treat it as
+        read-only (copying it per call was measurable at fleet scale).
+        """
+        key = (frame.cache_token, tuple(search_paths))
         cached = self._files_cache.get(key)
         if cached is None:
+            started = time.perf_counter()
             cached = []
             for top in search_paths:
                 cached.extend(frame.files.files_under(top))
             self._files_cache[key] = cached
-        return list(cached)
+            if self.timings is not None:
+                self.timings.add("discover", time.perf_counter() - started)
+        return cached
 
     def candidate_files(
         self,
@@ -84,31 +115,50 @@ class Normalizer:
 
     # ---- parsing -----------------------------------------------------------
 
+    def _digest_for(self, frame: ConfigFrame, path: str, content: str) -> str:
+        key = (frame.cache_token, path)
+        digest = self._digests.get(key)
+        if digest is None:
+            digest = content_digest(content)
+            self._digests[key] = digest
+        return digest
+
+    def _timed_parse(self, parse, content: str, path: str):
+        if self.timings is None:
+            return parse(content, source=path)
+        started = time.perf_counter()
+        try:
+            return parse(content, source=path)
+        finally:
+            self.timings.add("parse", time.perf_counter() - started)
+
     def tree_for(
         self, frame: ConfigFrame, path: str, lens_name: str | None = None
     ) -> ConfigTree:
         """Parse ``path`` with the named lens (or by filename pattern,
         falling back to the generic key-value lens)."""
-        key = (id(frame), path, lens_name or "")
-        cached = self._tree_cache.get(key)
-        if cached is not None:
-            return cached
         if lens_name:
             lens = self.lenses.get(lens_name)
         else:
             lens = self.lenses.for_file(path) or self.lenses.get("keyvalue")
-        tree = lens.parse(frame.read_config(path), source=path)
-        self._tree_cache[key] = tree
+        memo_key = (frame.cache_token, path, lens.name)
+        cached = self._tree_memo.get(memo_key)
+        if cached is not None:
+            return cached
+        content = frame.read_config(path)
+        cache_key = (self._digest_for(frame, path, content), "tree", lens.name)
+        tree = self.cache.get_or_parse(
+            cache_key,
+            len(content),
+            lambda: self._timed_parse(lens.parse, content, path),
+        )
+        self._tree_memo[memo_key] = tree
         return tree
 
     def table_for(
         self, frame: ConfigFrame, path: str, parser_name: str | None = None
     ) -> SchemaTable:
         """Parse ``path`` with the named schema parser (or by pattern)."""
-        key = (id(frame), path, parser_name or "")
-        cached = self._table_cache.get(key)
-        if cached is not None:
-            return cached
         if parser_name:
             parser = self.schemas.get(parser_name)
         else:
@@ -118,8 +168,18 @@ class Normalizer:
                     f"no schema parser matches {path!r}; set schema_parser "
                     f"in the rule or manifest"
                 )
-        table = parser.parse(frame.read_config(path), source=path)
-        self._table_cache[key] = table
+        memo_key = (frame.cache_token, path, parser.name)
+        cached = self._table_memo.get(memo_key)
+        if cached is not None:
+            return cached
+        content = frame.read_config(path)
+        cache_key = (self._digest_for(frame, path, content), "table", parser.name)
+        table = self.cache.get_or_parse(
+            cache_key,
+            len(content),
+            lambda: self._timed_parse(parser.parse, content, path),
+        )
+        self._table_memo[memo_key] = table
         return table
 
     def try_tree(

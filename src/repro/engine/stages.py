@@ -1,0 +1,87 @@
+"""Per-stage wall-time instrumentation for the validation pipeline.
+
+The paper's Figure 1 stages map onto the scan cycle as:
+
+* ``crawl``     -- Config Extractor (entity -> frame)
+* ``discover``  -- file discovery under manifest search paths
+* ``parse``     -- Data Normalizer (lens / schema parsing, cache misses only)
+* ``evaluate``  -- Rule Engine, per-entity rules
+* ``composite`` -- Rule Engine, cross-entity conjunction/disjunction
+
+With ``workers > 1`` the totals are summed across worker threads, so a
+stage's time is aggregate worker-seconds and may exceed the cycle's
+wall-clock elapsed time; the ratio between stages is what matters for
+capacity planning.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+#: Stage names in pipeline order (also the rendering order).
+STAGES = ("crawl", "discover", "parse", "evaluate", "composite")
+
+
+class StageTimings:
+    """Thread-safe accumulator of per-stage durations."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._seconds = {stage: 0.0 for stage in STAGES}
+        self._counts = {stage: 0 for stage in STAGES}
+
+    def add(self, stage: str, seconds: float, count: int = 1) -> None:
+        with self._lock:
+            self._seconds[stage] += seconds
+            self._counts[stage] += count
+
+    @contextmanager
+    def timer(self, stage: str):
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(stage, time.perf_counter() - started)
+
+    def seconds(self, stage: str) -> float:
+        with self._lock:
+            return self._seconds[stage]
+
+    def count(self, stage: str) -> int:
+        with self._lock:
+            return self._counts[stage]
+
+    @property
+    def total_seconds(self) -> float:
+        with self._lock:
+            return sum(self._seconds.values())
+
+    def as_dict(self) -> dict[str, dict[str, float]]:
+        with self._lock:
+            return {
+                stage: {
+                    "seconds": self._seconds[stage],
+                    "count": float(self._counts[stage]),
+                }
+                for stage in STAGES
+            }
+
+    def merge(self, other: "StageTimings") -> None:
+        snapshot = other.as_dict()
+        for stage, values in snapshot.items():
+            self.add(stage, values["seconds"], int(values["count"]))
+
+    def render(self) -> str:
+        """Aligned stage table (aggregate worker-seconds)."""
+        total = self.total_seconds or 1.0
+        lines = [f"{'stage':<12}{'time [ms]':>12}{'share':>8}{'ops':>10}"]
+        with self._lock:
+            for stage in STAGES:
+                seconds = self._seconds[stage]
+                lines.append(
+                    f"{stage:<12}{seconds * 1e3:>12.2f}"
+                    f"{seconds / total:>8.1%}{self._counts[stage]:>10d}"
+                )
+        return "\n".join(lines)

@@ -121,6 +121,11 @@ class OverlayFilesystem(FilesystemView):
         """True if ``layer`` contains a whiteout for ``path`` or any of its
         ancestors (or an opaque marker over an ancestor directory that would
         hide the lower-layer entry)."""
+        # Most layers delete nothing; VirtualFilesystem counts its whiteout
+        # entries so those layers skip the ancestor probing entirely.
+        whiteouts = getattr(layer, "whiteout_count", None)
+        if whiteouts == 0:
+            return False
         current = path
         while current != "/":
             if layer.exists(whiteout_for(current)):

@@ -45,6 +45,19 @@ class VirtualFilesystem(FilesystemView):
         self._nodes: dict[str, _Node] = {
             "/": _Node(stat=FileStat(kind=FileKind.DIRECTORY, mode=0o755))
         }
+        #: Count of whiteout-marker entries (``.wh.*`` basenames).  Overlay
+        #: views consult this to skip per-path whiteout probing entirely on
+        #: the common layer that deletes nothing.
+        self._whiteout_count = 0
+
+    @property
+    def whiteout_count(self) -> int:
+        """Number of stored paths whose basename is a whiteout marker."""
+        return self._whiteout_count
+
+    @staticmethod
+    def _is_whiteout_name(path: str) -> bool:
+        return posixpath.basename(path).startswith(".wh.")
 
     # ---- write API -------------------------------------------------------
 
@@ -66,6 +79,8 @@ class VirtualFilesystem(FilesystemView):
         existing = self._nodes.get(path)
         if existing is not None and existing.stat.kind is FileKind.DIRECTORY:
             raise IsADirectoryInFrame(path)
+        if existing is None and self._is_whiteout_name(path):
+            self._whiteout_count += 1
         self._nodes[path] = _Node(
             stat=FileStat(
                 kind=FileKind.FILE,
@@ -98,6 +113,8 @@ class VirtualFilesystem(FilesystemView):
                 raise NotADirectoryInFrame(path)
             return
         self._ensure_parents(path)
+        if self._is_whiteout_name(path):
+            self._whiteout_count += 1
         self._nodes[path] = _Node(
             stat=FileStat(
                 kind=FileKind.DIRECTORY,
@@ -114,6 +131,8 @@ class VirtualFilesystem(FilesystemView):
         """Create a symlink at ``path`` pointing at ``target``."""
         path = self._norm(path)
         self._ensure_parents(path)
+        if path not in self._nodes and self._is_whiteout_name(path):
+            self._whiteout_count += 1
         self._nodes[path] = _Node(
             stat=FileStat(kind=FileKind.SYMLINK, mode=0o777),
             link_target=target,
@@ -151,6 +170,8 @@ class VirtualFilesystem(FilesystemView):
         node = self._require(path)
         for child in sorted(node.children):
             self.remove(posixpath.join(path, child))
+        if self._is_whiteout_name(path):
+            self._whiteout_count -= 1
         del self._nodes[path]
         parent = posixpath.dirname(path)
         self._nodes[parent].children.discard(posixpath.basename(path))
@@ -221,6 +242,13 @@ class VirtualFilesystem(FilesystemView):
         """Resolve symlinks in every component of ``path``; return the final
         real path.  Raises :class:`FileNotFoundInFrame` on dangling links or
         loops (after a bounded number of hops)."""
+        # Fast path: stored keys are canonical (``_ensure_parents`` refuses
+        # to create children under symlinks), so a direct dict hit on a
+        # non-symlink node needs no component-by-component resolution.
+        # This is the hot call of fleet-scale file discovery.
+        node = self._nodes.get(path)
+        if node is not None and node.link_target is None:
+            return path
         if hops > self._MAX_SYMLINK_HOPS:
             raise FileNotFoundInFrame(f"{path}: too many levels of symbolic links")
         resolved = "/"

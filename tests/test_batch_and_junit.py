@@ -92,6 +92,79 @@ class TestBatchScanner:
         assert "compliance:" in text
 
 
+class TestErrorAndNARollups:
+    """Erroring/inapplicable rules must show up on the dashboard."""
+
+    RULES = """
+config_name: Port
+file_context: ["sshd_config"]
+preferred_value: ["22"]
+---
+config_schema_name: broken_schema
+schema_parser: no_such_parser
+query_constraints: "dir = ?"
+query_constraints_value: ["/tmp"]
+query_columns: "*"
+---
+script_name: needs_docker
+script: docker HostConfig.Privileged
+preferred_value: ["false"]
+"""
+
+    @pytest.fixture(scope="class")
+    def summary(self):
+        from repro.crawler import Crawler, HostEntity
+        from repro.engine import ConfigValidator
+        from repro.fs import VirtualFilesystem
+
+        validator = ConfigValidator(resolver=lambda _path: self.RULES)
+        validator.add_manifest_text(
+            "svc: {config_search_paths: [/etc/ssh], cvl_file: svc.yaml}"
+        )
+        entities = []
+        for name, port in (("good-host", 22), ("bad-host", 2222)):
+            fs = VirtualFilesystem()
+            fs.write_file("/etc/ssh/sshd_config", f"Port {port}\n")
+            entities.append(HostEntity(name, fs))
+        frames = Crawler().crawl_many(entities)
+        return BatchScanner(validator).scan_frames(frames)
+
+    def test_error_rollup_counted(self, summary):
+        rollup = summary.rules[("svc", "broken_schema")]
+        assert rollup.errors == 2
+        assert rollup.message
+        assert rollup.checked == 0  # errors never count as pass/fail
+
+    def test_not_applicable_rollup_counted(self, summary):
+        rollup = summary.rules[("svc", "needs_docker")]
+        assert rollup.not_applicable == 2
+        assert rollup.errors == 0
+        assert rollup.checked == 0
+
+    def test_pass_fail_rollup_unaffected(self, summary):
+        rollup = summary.rules[("svc", "Port")]
+        assert (rollup.passed, rollup.failed) == (1, 1)
+        assert rollup.errors == rollup.not_applicable == 0
+
+    def test_erroring_rules_ranking(self, summary):
+        flagged = summary.erroring_rules()
+        assert [r.rule_name for r in flagged] == [
+            "broken_schema", "needs_docker"
+        ]
+
+    def test_errors_do_not_create_entity_rollups(self, summary):
+        # Only the Port rule produced pass/fail, so each entity rollup
+        # checked exactly one rule.
+        assert all(e.checked == 1 for e in summary.entities.values())
+
+    def test_render_shows_error_section(self, summary):
+        text = render_fleet_summary(summary)
+        assert "rules with errors:" in text
+        assert "svc/broken_schema" in text
+        # N/A-only rules are not errors and stay out of that section.
+        assert "svc/needs_docker" not in text
+
+
 class TestJUnitOutput:
     @pytest.fixture(scope="class")
     def report(self):

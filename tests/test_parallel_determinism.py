@@ -1,0 +1,185 @@
+"""Determinism of the parallel fleet pipeline.
+
+``scan_frames(workers=N)`` must be a pure optimization: for any worker
+count the rendered reports are byte-identical to the sequential path and
+composite rules see the identical merged cross-frame context, on a fleet
+with a real mixture of passes and findings (``misconfig_rate > 0``).
+"""
+
+import threading
+
+import pytest
+
+from repro.crawler import ContainerEntity, Crawler, DockerImageEntity
+from repro.engine import ConfigValidator, render_json, render_text
+from repro.engine.batch import BatchScanner
+from repro.engine.results import Outcome
+from repro.rules import load_builtin_validator
+from repro.workloads import FleetSpec, build_fleet, ubuntu_host_entity
+
+WORKER_COUNTS = (1, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def fleet_frames():
+    _daemon, images, containers = build_fleet(
+        FleetSpec(images=6, containers_per_image=4, misconfig_rate=0.4, seed=11)
+    )
+    entities = [DockerImageEntity(i) for i in images]
+    entities += [ContainerEntity(c) for c in containers]
+    # Host frames exercise the composite rules (they reference sysctl etc.).
+    host_entities = [
+        ubuntu_host_entity(f"det-host-{i}", hardening=0.5, seed=i,
+                           with_nginx=True, with_mysql=True)
+        for i in range(3)
+    ]
+    return Crawler().crawl_many(entities + host_entities)
+
+
+class TestValidateFramesDeterminism:
+    def test_rendered_reports_byte_identical(self, fleet_frames):
+        validator = load_builtin_validator()
+        texts, payloads = [], []
+        for workers in WORKER_COUNTS:
+            report = validator.validate_frames(fleet_frames, workers=workers)
+            texts.append(render_text(report, verbose=True))
+            payloads.append(render_json(report))
+        assert texts[0] == texts[1] == texts[2]
+        assert payloads[0] == payloads[1] == payloads[2]
+
+    def test_composite_verdicts_identical(self, fleet_frames):
+        validator = load_builtin_validator()
+        composite_runs = []
+        for workers in WORKER_COUNTS:
+            report = validator.validate_frames(fleet_frames, workers=workers)
+            composite_runs.append(
+                [
+                    (r.rule.name, r.verdict, r.detail)
+                    for r in report
+                    if r.outcome is Outcome.COMPOSITE
+                ]
+            )
+        assert composite_runs[0], "fleet must exercise composite rules"
+        assert composite_runs[0] == composite_runs[1] == composite_runs[2]
+
+    def test_fresh_validator_per_worker_count(self, fleet_frames):
+        """Determinism must not depend on a warmed shared cache."""
+        texts = [
+            render_text(
+                load_builtin_validator().validate_frames(
+                    fleet_frames, workers=workers
+                ),
+                verbose=True,
+            )
+            for workers in WORKER_COUNTS
+        ]
+        assert texts[0] == texts[1] == texts[2]
+
+    def test_scan_frames_summary_deterministic(self, fleet_frames):
+        validator = load_builtin_validator()
+        scanner = BatchScanner(validator)
+        summaries = [
+            scanner.scan_frames(fleet_frames, workers=workers)
+            for workers in WORKER_COUNTS
+        ]
+        reference = summaries[0]
+        for summary in summaries[1:]:
+            assert render_text(summary.report) == render_text(reference.report)
+            assert {
+                key: (r.passed, r.failed, r.errors, r.not_applicable)
+                for key, r in summary.rules.items()
+            } == {
+                key: (r.passed, r.failed, r.errors, r.not_applicable)
+                for key, r in reference.rules.items()
+            }
+            assert summary.tag_failures == reference.tag_failures
+
+    def test_mixed_fleet_has_findings(self, fleet_frames):
+        report = load_builtin_validator().validate_frames(fleet_frames,
+                                                          workers=4)
+        assert report.failed() and report.passed()
+
+
+class TestCrawlManyDeterminism:
+    def test_order_preserved_parallel(self):
+        _daemon, images, containers = build_fleet(
+            FleetSpec(images=4, containers_per_image=3, misconfig_rate=0.3,
+                      seed=5)
+        )
+        entities = [DockerImageEntity(i) for i in images]
+        entities += [ContainerEntity(c) for c in containers]
+        crawler = Crawler()
+        sequential = crawler.crawl_many(entities)
+        parallel = crawler.crawl_many(entities, workers=8)
+        assert [f.describe() for f in parallel] == [
+            f.describe() for f in sequential
+        ]
+
+
+class TestRulesetLoadingConcurrency:
+    """ruleset_for must be idempotent when hammered from many threads."""
+
+    RULES = """
+config_name: Port
+preferred_value: ["22"]
+"""
+
+    def _validator(self, counts):
+        def resolver(path):
+            counts[path] = counts.get(path, 0) + 1
+            return self.RULES
+
+        validator = ConfigValidator(resolver=resolver)
+        validator.add_manifest_text(
+            "\n".join(
+                f"svc{i}: {{config_search_paths: [/etc/svc{i}], "
+                f"cvl_file: svc{i}.yaml}}"
+                for i in range(6)
+            )
+        )
+        return validator
+
+    def test_single_flight_under_hammering(self):
+        counts: dict[str, int] = {}
+        validator = self._validator(counts)
+        manifests = validator.manifests()
+        rulesets: list[list] = [[] for _ in range(16)]
+        barrier = threading.Barrier(16)
+
+        def hammer(slot):
+            barrier.wait()
+            for _ in range(50):
+                for manifest in manifests:
+                    rulesets[slot].append(validator.ruleset_for(manifest))
+
+        threads = [
+            threading.Thread(target=hammer, args=(slot,)) for slot in range(16)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        # Every pack resolved exactly once, every caller saw the same object.
+        assert counts == {f"svc{i}.yaml": 1 for i in range(6)}
+        reference = {m.entity: validator.ruleset_for(m) for m in manifests}
+        for slot_results in rulesets:
+            for i, ruleset in enumerate(slot_results):
+                entity = manifests[i % len(manifests)].entity
+                assert ruleset is reference[entity]
+
+    def test_rule_count_from_threads(self):
+        counts: dict[str, int] = {}
+        validator = self._validator(counts)
+        results: list[int] = []
+
+        def count():
+            results.append(validator.rule_count())
+
+        threads = [threading.Thread(target=count) for _ in range(12)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(results)) == 1
+        assert all(value == 1 for value in counts.values())

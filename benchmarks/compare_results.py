@@ -29,7 +29,11 @@ RESULTS_DIR = BENCH_DIR / "results"
 BASELINE_PATH = RESULTS_DIR / "bench_baseline.json"
 LATEST_PATH = RESULTS_DIR / "bench_latest.json"
 
-BENCH_FILES = ("bench_fleet_throughput.py", "bench_pipeline_stages.py")
+BENCH_FILES = (
+    "bench_fleet_throughput.py",
+    "bench_pipeline_stages.py",
+    "bench_telemetry_overhead.py",
+)
 
 #: Benchmarks faster than this are no-op reporter shims
 #: (``benchmark.pedantic(lambda: None)``) whose timing is pure noise.

@@ -10,7 +10,15 @@ paper's production deployment runs:
 * ``dump``     -- parse one config file with a lens and print the tree
   (handy when writing new rules);
 * ``demo``     -- validate a synthetic host / fleet / cloud without
-  touching the real filesystem.
+  touching the real filesystem;
+* ``profile``  -- scan with telemetry on and rank the hottest /
+  most-erroring rules and lenses.
+
+Scanning commands share the telemetry flags: ``--trace-out`` (Chrome
+``trace_event`` spans for chrome://tracing / Perfetto), ``--metrics-out``
+(Prometheus text exposition), ``--metrics-port`` (one-shot scrape
+endpoint), and ``--log-level`` / ``--log-json`` (structured logs on
+stderr).  Reports on stdout are byte-identical with telemetry on or off.
 """
 
 from __future__ import annotations
@@ -38,11 +46,13 @@ from repro.workloads import FleetSpec, build_cloud_project, build_fleet, ubuntu_
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
+    telemetry = _telemetry_from_args(args)
     if args.rules_dir:
         from repro.rules.repository import load_validator_from_directory
 
         validator = load_validator_from_directory(
-            args.rules_dir, cache_size=args.cache_size, workers=args.workers
+            args.rules_dir, cache_size=args.cache_size, workers=args.workers,
+            telemetry=telemetry,
         )
         if args.targets:
             wanted = set(args.targets.split(","))
@@ -53,6 +63,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             only=args.targets.split(",") if args.targets else None,
             cache_size=args.cache_size,
             workers=args.workers,
+            telemetry=telemetry,
         )
     timings = _make_timings(args)
     entity = HostEntity(args.name, RealFilesystem(args.root))
@@ -70,6 +81,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     else:
         print(render_text(report, verbose=args.verbose,
                           only_failures=args.only_failures))
+    _emit_telemetry(args, telemetry)
     if args.fail_on:
         from repro.engine.batch import severity_rank
 
@@ -89,6 +101,55 @@ def _make_timings(args: argparse.Namespace):
     from repro.engine.stages import StageTimings
 
     return StageTimings()
+
+
+def _telemetry_from_args(args: argparse.Namespace, *, force: bool = False):
+    """Configure logging and build a Telemetry bundle when requested.
+
+    Returns None (meaning "use the default disabled bundle") unless the
+    command asked for an exporter, keeping the zero-flag path on the
+    no-op collectors.
+    """
+    from repro.telemetry import Telemetry, configure_logging
+
+    configure_logging(
+        getattr(args, "log_level", "warning"),
+        json_output=getattr(args, "log_json", False),
+    )
+    wanted = force or bool(
+        getattr(args, "trace_out", "")
+        or getattr(args, "metrics_out", "")
+        or getattr(args, "metrics_port", None) is not None
+    )
+    return Telemetry() if wanted else None
+
+
+def _emit_telemetry(args: argparse.Namespace, telemetry) -> None:
+    """Write/serve the requested exports (diagnostics go to stderr)."""
+    if telemetry is None or not telemetry.enabled:
+        return
+    from repro.telemetry.export import (
+        serve_metrics_once,
+        write_chrome_trace,
+        write_metrics,
+    )
+
+    if getattr(args, "trace_out", ""):
+        count = write_chrome_trace(telemetry.spans, args.trace_out)
+        print(f"wrote {count} spans to {args.trace_out}", file=sys.stderr)
+    if getattr(args, "metrics_out", ""):
+        count = write_metrics(telemetry.metrics, args.metrics_out)
+        print(
+            f"wrote {count} metric samples to {args.metrics_out}",
+            file=sys.stderr,
+        )
+    if getattr(args, "metrics_port", None) is not None:
+        print(
+            f"serving /metrics on 127.0.0.1:{args.metrics_port} "
+            f"for one scrape ...",
+            file=sys.stderr,
+        )
+        serve_metrics_once(telemetry.metrics, args.metrics_port)
 
 
 def _print_stage_timings(args, timings, validator) -> None:
@@ -142,8 +203,9 @@ def _cmd_dump(args: argparse.Namespace) -> int:
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
+    telemetry = _telemetry_from_args(args)
     validator = load_builtin_validator(
-        cache_size=args.cache_size, workers=args.workers
+        cache_size=args.cache_size, workers=args.workers, telemetry=telemetry
     )
     timings = _make_timings(args)
     if args.scenario == "host":
@@ -167,7 +229,53 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         report = validator.validate_entity(entity, timings=timings)
     print(render_text(report, only_failures=args.only_failures))
     _print_stage_timings(args, timings, validator)
+    _emit_telemetry(args, telemetry)
     return 0 if report.compliant else 1
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Scan with telemetry enabled and print the hot/error rankings."""
+    from repro.engine.batch import BatchScanner
+
+    telemetry = _telemetry_from_args(args, force=True)
+    validator = load_builtin_validator(
+        only=args.targets.split(",") if args.targets else None,
+        cache_size=args.cache_size,
+        workers=args.workers,
+        telemetry=telemetry,
+    )
+    if args.root:
+        entities = [HostEntity(args.name, RealFilesystem(args.root))]
+    elif args.scenario == "host":
+        entities = [
+            ubuntu_host_entity(
+                "demo-host", hardening=0.5, with_nginx=True, with_mysql=True
+            )
+        ]
+    elif args.scenario == "cloud":
+        entities = [build_cloud_project("demo", violations=True)]
+    else:  # fleet
+        _daemon, images, containers = build_fleet(
+            FleetSpec(images=args.size, containers_per_image=3,
+                      misconfig_rate=0.5)
+        )
+        entities = [ContainerEntity(c) for c in containers]
+        entities += [DockerImageEntity(i) for i in images]
+    scanner = BatchScanner(validator, workers=args.workers,
+                           telemetry=telemetry)
+    summary = scanner.scan_entities(entities, workers=args.workers)
+    print(
+        f"# profiled {summary.entities_scanned} entities, "
+        f"{len(summary.report)} checks in {summary.elapsed_s:.2f}s"
+    )
+    print()
+    print(telemetry.profiler.render(top=args.top))
+    print()
+    print("stage latency (aggregate worker-seconds):")
+    print(summary.stage_timings.render_extended())
+    print(validator.cache_stats().render())
+    _emit_telemetry(args, telemetry)
+    return 0
 
 
 def _cmd_snapshot(args: argparse.Namespace) -> int:
@@ -188,16 +296,23 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
 def _cmd_validate_frame(args: argparse.Namespace) -> int:
     from repro.crawler.serialize import load_frame
 
+    telemetry = _telemetry_from_args(args)
     with open(args.frame, "r", encoding="utf-8") as handle:
         frame = load_frame(handle.read())
     validator = load_builtin_validator(
-        only=args.targets.split(",") if args.targets else None
+        only=args.targets.split(",") if args.targets else None,
+        telemetry=telemetry,
     )
     report = validator.validate_frame(frame)
     if args.json:
         print(render_json(report))
+    elif args.junit:
+        from repro.engine.report import render_junit
+
+        print(render_junit(report), end="")
     else:
         print(render_text(report, only_failures=args.only_failures))
+    _emit_telemetry(args, telemetry)
     return 0 if report.compliant else 1
 
 
@@ -278,6 +393,41 @@ def _add_scaling_flags(subparser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_telemetry_flags(subparser: argparse.ArgumentParser) -> None:
+    """Observability exporters shared by scanning commands."""
+    group = subparser.add_argument_group("telemetry")
+    group.add_argument(
+        "--trace-out", default="", metavar="FILE",
+        help="write Chrome trace_event spans (chrome://tracing / Perfetto)",
+    )
+    group.add_argument(
+        "--metrics-out", default="", metavar="FILE",
+        help="write Prometheus text exposition after the run",
+    )
+    group.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve /metrics on 127.0.0.1:PORT for one scrape, then exit",
+    )
+    group.add_argument(
+        "--log-level", default="warning",
+        choices=["debug", "info", "warning", "error"],
+        help="structured-log threshold (stderr)",
+    )
+    group.add_argument(
+        "--log-json", action="store_true",
+        help="emit logs as one JSON object per line",
+    )
+
+
+def _add_output_format_flags(subparser: argparse.ArgumentParser) -> None:
+    """--json / --junit as a mutually exclusive pair."""
+    formats = subparser.add_mutually_exclusive_group()
+    formats.add_argument("--json", action="store_true",
+                         help="emit a machine-readable JSON report")
+    formats.add_argument("--junit", action="store_true",
+                         help="emit JUnit XML for CI systems")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="configvalidator",
@@ -292,9 +442,7 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--name", default="host", help="entity name in reports")
     validate.add_argument("--targets", default="", help="comma-separated targets")
     validate.add_argument("--tags", default="", help="only rules with these tags")
-    validate.add_argument("--json", action="store_true")
-    validate.add_argument("--junit", action="store_true",
-                          help="emit JUnit XML for CI systems")
+    _add_output_format_flags(validate)
     validate.add_argument("--rules-dir", default="",
                           help="load packs from a rules repository checkout")
     validate.add_argument("--verbose", action="store_true")
@@ -305,6 +453,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit nonzero only for failures at or above this severity",
     )
     _add_scaling_flags(validate)
+    _add_telemetry_flags(validate)
     validate.set_defaults(func=_cmd_validate)
 
     coverage = subparsers.add_parser("coverage", help="Table 1 inventory")
@@ -325,7 +474,29 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--size", type=int, default=5)
     demo.add_argument("--only-failures", action="store_true")
     _add_scaling_flags(demo)
+    _add_telemetry_flags(demo)
     demo.set_defaults(func=_cmd_demo)
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="scan with telemetry on and rank hot/erroring rules and lenses",
+    )
+    profile.add_argument("--root", default="",
+                         help="rootfs to scan (default: synthetic fleet)")
+    profile.add_argument("--name", default="host",
+                         help="entity name in reports (with --root)")
+    profile.add_argument("--targets", default="",
+                         help="comma-separated targets")
+    profile.add_argument("--scenario", choices=["host", "fleet", "cloud"],
+                         default="fleet",
+                         help="synthetic workload when --root is not given")
+    profile.add_argument("--size", type=int, default=5,
+                         help="fleet size for the synthetic scenario")
+    profile.add_argument("--top", type=int, default=10,
+                         help="rows per profile ranking")
+    _add_scaling_flags(profile)
+    _add_telemetry_flags(profile)
+    profile.set_defaults(func=_cmd_profile)
 
     snapshot = subparsers.add_parser(
         "snapshot", help="capture a directory tree as a portable frame"
@@ -341,8 +512,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     validate_frame.add_argument("frame")
     validate_frame.add_argument("--targets", default="")
-    validate_frame.add_argument("--json", action="store_true")
+    _add_output_format_flags(validate_frame)
     validate_frame.add_argument("--only-failures", action="store_true")
+    _add_telemetry_flags(validate_frame)
     validate_frame.set_defaults(func=_cmd_validate_frame)
 
     drift = subparsers.add_parser(

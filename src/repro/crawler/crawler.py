@@ -9,21 +9,27 @@ views are shared, not copied -- so frames can be produced at fleet scale
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.errors import CrawlerError, PluginError
 from repro.crawler.entities import Entity
 from repro.crawler.frame import ConfigFrame
 from repro.crawler.plugins import PluginRegistry, default_plugin_registry
+from repro.telemetry import DISABLED, Telemetry, get_logger
 
 ALL_FEATURES = ("files", "packages", "runtime", "metadata")
+
+log = get_logger("crawler")
 
 
 class Crawler:
     """Produces :class:`ConfigFrame` snapshots from entities."""
 
-    def __init__(self, plugins: PluginRegistry | None = None):
+    def __init__(self, plugins: PluginRegistry | None = None,
+                 telemetry: Telemetry | None = None):
         self._plugins = plugins or default_plugin_registry()
+        self.telemetry = telemetry or DISABLED
 
     @property
     def plugins(self) -> PluginRegistry:
@@ -35,17 +41,21 @@ class Crawler:
         features: tuple[str, ...] = ALL_FEATURES,
         *,
         strict_plugins: bool = False,
+        parent_span=None,
     ) -> ConfigFrame:
         """Snapshot ``entity``.
 
         With ``strict_plugins`` a plugin failure aborts the crawl;
         otherwise the failure is recorded in frame metadata and other
         namespaces are still extracted (a broken MySQL extractor must not
-        block sshd validation).
+        block sshd validation).  ``parent_span`` nests the crawl span
+        under a span opened on another thread (pool fan-out).
         """
         unknown = set(features) - set(ALL_FEATURES)
         if unknown:
             raise CrawlerError(f"unknown crawl features: {sorted(unknown)}")
+        telemetry = self.telemetry
+        started = time.perf_counter()
         frame = ConfigFrame(
             entity_name=entity.name,
             entity_kind=entity.kind,
@@ -68,7 +78,23 @@ class Crawler:
                             f"plugin {plugin.name!r} failed on "
                             f"{entity.kind}:{entity.name}: {exc}"
                         ) from exc
+                    log.warning(
+                        "plugin %s failed on %s:%s: %s",
+                        plugin.name, entity.kind, entity.name, exc,
+                    )
                     frame.metadata[f"plugin_error:{plugin.name}"] = str(exc)
+        if telemetry.enabled:
+            duration = time.perf_counter() - started
+            telemetry.spans.record(
+                f"{entity.kind}:{entity.name}", category="crawl",
+                start_s=started, duration_s=duration,
+                parent=parent_span, kind=entity.kind,
+            )
+            telemetry.metrics.counter(
+                "repro_entities_crawled_total",
+                "Entities snapshotted into frames, by kind.",
+                labels=("kind",),
+            ).inc(kind=entity.kind)
         return frame
 
     def crawl_many(
@@ -83,13 +109,20 @@ class Crawler:
         ``workers > 1`` fans entities out on a thread pool; the returned
         frame list still matches ``entities`` position-for-position.
         """
+        # Captured before the fan-out: pool threads have no span stack,
+        # so each crawl span is parented to the caller's span explicitly.
+        parent = self.telemetry.spans.current()
         if workers > 1 and len(entities) > 1:
             with ThreadPoolExecutor(
                 max_workers=min(workers, len(entities)),
                 thread_name_prefix="crawl",
             ) as pool:
                 return list(
-                    pool.map(lambda entity: self.crawl(entity, features),
-                             entities)
+                    pool.map(
+                        lambda entity: self.crawl(entity, features,
+                                                  parent_span=parent),
+                        entities,
+                    )
                 )
-        return [self.crawl(entity, features) for entity in entities]
+        return [self.crawl(entity, features, parent_span=parent)
+                for entity in entities]

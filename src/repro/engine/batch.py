@@ -18,8 +18,11 @@ from repro.engine.engine import ConfigValidator
 from repro.engine.parse_cache import CacheStats
 from repro.engine.results import RuleResult, ValidationReport, Verdict
 from repro.engine.stages import StageTimings
+from repro.telemetry import RuleProfiler, Telemetry, get_logger
 
 _SEVERITY_ORDER = ("informational", "low", "medium", "high", "critical")
+
+log = get_logger("batch")
 
 
 def severity_rank(severity: str) -> int:
@@ -85,6 +88,10 @@ class FleetSummary:
     stage_timings: StageTimings | None = None
     #: Parse-cache counters snapshotted at the end of the cycle.
     cache_stats: CacheStats | None = None
+    #: Per-rule / per-lens profile (None unless telemetry is enabled).
+    #: Process-cumulative: a long-running scanner's rankings sharpen
+    #: cycle over cycle.
+    profile: RuleProfiler | None = None
 
     @property
     def throughput(self) -> float:
@@ -141,9 +148,13 @@ class BatchScanner:
     """
 
     def __init__(self, validator: ConfigValidator,
-                 crawler: Crawler | None = None, *, workers: int = 1):
+                 crawler: Crawler | None = None, *, workers: int = 1,
+                 telemetry: Telemetry | None = None):
         self._validator = validator
-        self._crawler = crawler or Crawler()
+        #: Defaults to the validator's bundle so one enabled Telemetry
+        #: covers the whole cycle (crawl spans included).
+        self.telemetry = telemetry or validator.telemetry
+        self._crawler = crawler or Crawler(telemetry=self.telemetry)
         self._workers = max(1, workers)
 
     def scan_entities(self, entities: list[Entity], *,
@@ -152,14 +163,19 @@ class BatchScanner:
         """Crawl + validate ``entities`` and roll the results up."""
         workers = self._workers if workers is None else max(1, workers)
         timings = StageTimings()
+        busy_before = self._busy_seconds()
         started = time.perf_counter()
-        with timings.timer("crawl"):
-            frames = self._crawler.crawl_many(entities, workers=workers)
-        report = self._validator.validate_frames(
-            frames, tags=tags, workers=workers, timings=timings
-        )
+        with self.telemetry.spans.span("scan_cycle", category="cycle",
+                                       entities=str(len(entities)),
+                                       workers=str(workers)):
+            with timings.timer("crawl"):
+                frames = self._crawler.crawl_many(entities, workers=workers)
+            report = self._validator.validate_frames(
+                frames, tags=tags, workers=workers, timings=timings
+            )
         return self._summarize(
-            report, len(entities), time.perf_counter() - started, timings
+            report, len(entities), time.perf_counter() - started, timings,
+            workers=workers, busy_before=busy_before,
         )
 
     def scan_frames(self, frames: list[ConfigFrame], *,
@@ -168,13 +184,27 @@ class BatchScanner:
         """Validate pre-captured frames (the decoupled pipeline)."""
         workers = self._workers if workers is None else max(1, workers)
         timings = StageTimings()
+        busy_before = self._busy_seconds()
         started = time.perf_counter()
-        report = self._validator.validate_frames(
-            frames, tags=tags, workers=workers, timings=timings
-        )
+        with self.telemetry.spans.span("scan_cycle", category="cycle",
+                                       entities=str(len(frames)),
+                                       workers=str(workers)):
+            report = self._validator.validate_frames(
+                frames, tags=tags, workers=workers, timings=timings
+            )
         return self._summarize(
-            report, len(frames), time.perf_counter() - started, timings
+            report, len(frames), time.perf_counter() - started, timings,
+            workers=workers, busy_before=busy_before,
         )
+
+    def _busy_seconds(self) -> float:
+        """Current value of the cumulative worker-busy counter."""
+        if not self.telemetry.enabled:
+            return 0.0
+        return self.telemetry.metrics.counter(
+            "repro_worker_busy_seconds_total",
+            "Aggregate worker-seconds spent validating frames.",
+        ).value()
 
     def _summarize(
         self,
@@ -182,13 +212,38 @@ class BatchScanner:
         entity_count: int,
         elapsed: float,
         timings: StageTimings | None = None,
+        *,
+        workers: int = 1,
+        busy_before: float = 0.0,
     ) -> FleetSummary:
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.metrics.counter(
+                "repro_scan_cycles_total", "Completed fleet scan cycles."
+            ).inc()
+            telemetry.metrics.gauge(
+                "repro_workers", "Configured worker threads."
+            ).set(workers)
+            busy = self._busy_seconds() - busy_before
+            if elapsed > 0:
+                telemetry.metrics.gauge(
+                    "repro_worker_utilization_ratio",
+                    "Worker busy-seconds / (workers * cycle wall time) "
+                    "of the most recent scan cycle.",
+                ).set(min(1.0, busy / (workers * elapsed)))
+            if timings is not None:
+                timings.publish(telemetry.metrics)
         summary = FleetSummary(
             report=report,
             entities_scanned=entity_count,
             elapsed_s=elapsed,
             stage_timings=timings,
             cache_stats=self._validator.cache_stats(),
+            profile=telemetry.profiler if telemetry.enabled else None,
+        )
+        log.info(
+            "scan cycle: %d entities, %d checks in %.2fs",
+            entity_count, len(report), elapsed,
         )
         for result in report:
             key = (result.entity, result.rule.name)
@@ -283,4 +338,9 @@ def render_fleet_summary(summary: FleetSummary, *, top: int = 10) -> str:
     if summary.cache_stats is not None:
         lines.append("")
         lines.append(summary.cache_stats.render())
+    if summary.profile is not None and len(summary.profile):
+        lines.append("")
+        lines.append("rule/lens profile (process-cumulative):")
+        for row in summary.profile.render(top=top).splitlines():
+            lines.append(f"  {row}")
     return "\n".join(lines)

@@ -51,6 +51,13 @@ from repro.engine.results import (
     Verdict,
 )
 from repro.schema import SchemaParserRegistry
+from repro.telemetry import DISABLED, Telemetry, get_logger
+
+log = get_logger("engine")
+
+#: Enum.value goes through a descriptor; the hot flush path uses this
+#: precomputed map instead.
+_VERDICT_STR = {verdict: verdict.value for verdict in Verdict}
 
 #: Resolves a cvl_file reference to YAML text.
 Resolver = Callable[[str], str]
@@ -141,11 +148,13 @@ class ConfigValidator:
         parse_cache: ParseCache | None = None,
         cache_size: int | None = None,
         workers: int = 1,
+        telemetry: Telemetry | None = None,
     ):
         self._resolver = resolver
         self._lenses = lenses
         self._schemas = schemas
-        self._crawler = crawler or Crawler()
+        self.telemetry = telemetry or DISABLED
+        self._crawler = crawler or Crawler(telemetry=self.telemetry)
         self._manifests: dict[str, Manifest] = {}
         self._rulesets: dict[str, RuleSet] = {}
         #: Single-flight guard for lazy ruleset loading (validate_frames
@@ -155,7 +164,47 @@ class ConfigValidator:
         self.parse_cache = parse_cache or ParseCache(
             DEFAULT_CACHE_SIZE if cache_size is None else cache_size
         )
+        #: Frames' result lists awaiting scrape-time tallying into the
+        #: per-rule counter/histogram (see :meth:`_collect_rule_metrics`).
+        self._pending_rule_metrics: list[list[RuleResult]] = []
+        self._pending_rule_lock = threading.Lock()
+        if self.telemetry.enabled:
+            self.parse_cache.attach_to(self.telemetry.metrics)
+            self.telemetry.metrics.register_collector(
+                f"rule-metrics-{id(self)}", self._collect_rule_metrics
+            )
         self.workers = max(1, workers)
+
+    def _collect_rule_metrics(self) -> None:
+        """Fold pending per-rule results into counters/histograms.
+
+        Registered as a pull-style collector (like the parse-cache
+        stats): the scan cycle's hot path only appends each frame's
+        result list here, and the verdict tally plus latency histogram
+        are computed when the metrics are actually scraped or rendered.
+        """
+        with self._pending_rule_lock:
+            batches = self._pending_rule_metrics
+            self._pending_rule_metrics = []
+        if not batches:
+            return
+        rules_total = self.telemetry.metrics.counter(
+            "repro_rules_evaluated_total",
+            "Rule evaluations by terminal verdict.",
+            labels=("verdict",),
+        )
+        rule_hist = self.telemetry.metrics.histogram(
+            "repro_rule_eval_seconds", "Per-rule evaluation latency."
+        )
+        verdict_str = _VERDICT_STR
+        results = [r for batch in batches for r in batch]
+        verdicts = [verdict_str[r.verdict] for r in results]
+        # Verdict strings are shared singletons, so list.count is a
+        # C-level identity scan -- cheaper than a Python tally loop for
+        # a handful of distinct verdicts.
+        for verdict in set(verdicts):
+            rules_total.inc(verdicts.count(verdict), verdict=verdict)
+        rule_hist.observe_batch([r.duration_s for r in results])
 
     # ---- configuration ----------------------------------------------------
 
@@ -275,75 +324,174 @@ class ConfigValidator:
         as the sequential path, regardless of completion order.
         """
         workers = self.workers if workers is None else max(1, workers)
+        telemetry = self.telemetry
+        enabled = telemetry.enabled
+        spans = telemetry.spans
+        if enabled:
+            rules_total = telemetry.metrics.counter(
+                "repro_rules_evaluated_total",
+                "Rule evaluations by terminal verdict.",
+                labels=("verdict",),
+            )
+            rule_hist = telemetry.metrics.histogram(
+                "repro_rule_eval_seconds", "Per-rule evaluation latency."
+            )
+            frames_total = telemetry.metrics.counter(
+                "repro_frames_scanned_total", "Frames validated."
+            )
+            busy_total = telemetry.metrics.counter(
+                "repro_worker_busy_seconds_total",
+                "Aggregate worker-seconds spent validating frames.",
+            )
         normalizer = Normalizer(self._lenses, self._schemas,
-                                cache=self.parse_cache, timings=timings)
+                                cache=self.parse_cache, timings=timings,
+                                telemetry=telemetry)
         context = _RunContext(self, normalizer)
         target = ",".join(frame.describe() for frame in frames)
         report = ValidationReport(target=target)
+        log.debug("validating %d frame(s) with %d worker(s)",
+                  len(frames), workers)
 
-        # Composite rules are cross-entity: they belong to the run, not to
-        # any one frame, so gather them up front from every enabled pack.
-        # This also pre-loads every ruleset before the fan-out.
-        composites: list[tuple[Manifest, CompositeRule]] = []
-        for manifest in self.manifests():
-            if not manifest.enabled:
-                continue
-            for rule in self.ruleset_for(manifest).enabled_rules():
-                if isinstance(rule, CompositeRule):
-                    if tags and not any(rule.has_tag(tag) for tag in tags):
-                        continue
-                    composites.append((manifest, rule))
-
-        def validate_one(
-            frame: ConfigFrame,
-        ) -> list[tuple[Manifest, list[RuleResult]]]:
-            placements: list[tuple[Manifest, list[RuleResult]]] = []
+        with spans.span("validate_frames", category="run",
+                        frames=str(len(frames)),
+                        workers=str(workers)) as run_span:
+            # Composite rules are cross-entity: they belong to the run, not
+            # to any one frame, so gather them up front from every enabled
+            # pack.  This also pre-loads every ruleset before the fan-out.
+            composites: list[tuple[Manifest, CompositeRule]] = []
             for manifest in self.manifests():
                 if not manifest.enabled:
                     continue
-                if not manifest.applies_to_kind(frame.entity_kind):
-                    continue
-                ruleset = self.ruleset_for(manifest)
-                if not self._component_present(frame, manifest, ruleset,
-                                               normalizer):
-                    continue  # the component is not installed on this entity
-                frame_results: list[RuleResult] = []
-                for rule in ruleset.enabled_rules():
+                for rule in self.ruleset_for(manifest).enabled_rules():
                     if isinstance(rule, CompositeRule):
+                        if tags and not any(rule.has_tag(tag) for tag in tags):
+                            continue
+                        composites.append((manifest, rule))
+
+            def evaluate_rules(
+                frame: ConfigFrame,
+            ) -> list[tuple[Manifest, list[RuleResult]]]:
+                placements: list[tuple[Manifest, list[RuleResult]]] = []
+                for manifest in self.manifests():
+                    if not manifest.enabled:
                         continue
-                    if tags and not any(rule.has_tag(tag) for tag in tags):
+                    if not manifest.applies_to_kind(frame.entity_kind):
                         continue
-                    started = time.perf_counter()
-                    result = self._evaluate(rule, frame, manifest, normalizer)
-                    result.duration_s = time.perf_counter() - started
-                    if timings is not None:
-                        timings.add("evaluate", result.duration_s)
-                    frame_results.append(result)
-                placements.append((manifest, frame_results))
-            return placements
+                    ruleset = self.ruleset_for(manifest)
+                    if not self._component_present(frame, manifest, ruleset,
+                                                   normalizer):
+                        continue  # the component is not on this entity
+                    frame_results: list[RuleResult] = []
+                    for rule in ruleset.enabled_rules():
+                        if isinstance(rule, CompositeRule):
+                            continue
+                        if tags and not any(
+                            rule.has_tag(tag) for tag in tags
+                        ):
+                            continue
+                        started = time.perf_counter()
+                        result = self._evaluate(rule, frame, manifest,
+                                                normalizer)
+                        duration = time.perf_counter() - started
+                        result.duration_s = duration
+                        result.started_s = started
+                        if timings is not None:
+                            timings.add("evaluate", duration)
+                        if result.verdict is Verdict.ERROR:
+                            log.warning(
+                                "rule %s/%s errored on %s: %s",
+                                manifest.entity, rule.name,
+                                result.target, result.message,
+                            )
+                        frame_results.append(result)
+                    placements.append((manifest, frame_results))
+                return placements
 
-        if workers > 1 and len(frames) > 1:
-            with ThreadPoolExecutor(
-                max_workers=min(workers, len(frames)),
-                thread_name_prefix="validate",
-            ) as pool:
-                per_frame = list(pool.map(validate_one, frames))
-        else:
-            per_frame = [validate_one(frame) for frame in frames]
+            def flush_rule_telemetry(
+                placements: list[tuple[Manifest, list[RuleResult]]],
+            ) -> None:
+                """Three list appends per frame, nothing per rule.
 
-        # Deterministic merge barrier: document order, not completion order.
-        for frame, placements in zip(frames, per_frame):
-            for manifest, frame_results in placements:
-                context.record(manifest, frame, frame_results)
-                report.extend(frame_results)
+                The results the frame just produced already carry
+                everything telemetry needs (rule, verdict, timing), so
+                each consumer takes the frame's result list by
+                reference: the counter/histogram tally happens at scrape
+                time (:meth:`_collect_rule_metrics`), span expansion at
+                export time, profile aggregation at read time.
+                """
+                results = [
+                    result
+                    for _manifest, frame_results in placements
+                    for result in frame_results
+                ]
+                if not results:
+                    return
+                with self._pending_rule_lock:
+                    self._pending_rule_metrics.append(results)
+                telemetry.profiler.record_rules(results)
+                spans.record_rules(results)
 
-        if include_composites:
-            for manifest, rule in composites:
-                started = time.perf_counter()
-                report.add(self._evaluate_composite(rule, manifest, context,
-                                                    target))
-                if timings is not None:
-                    timings.add("composite", time.perf_counter() - started)
+            def validate_one(
+                frame: ConfigFrame,
+            ) -> list[tuple[Manifest, list[RuleResult]]]:
+                frame_started = time.perf_counter()
+                # Explicit parent: with workers > 1 this runs on a pool
+                # thread whose span stack is empty.
+                with spans.span(frame.describe(), category="frame",
+                                parent=run_span):
+                    with spans.span("evaluate", category="stage"):
+                        placements = evaluate_rules(frame)
+                        if enabled:
+                            # Inside the stage span so rule spans parent
+                            # to this frame's "evaluate".
+                            flush_rule_telemetry(placements)
+                if enabled:
+                    frames_total.inc()
+                    busy_total.inc(time.perf_counter() - frame_started)
+                return placements
+
+            if workers > 1 and len(frames) > 1:
+                with ThreadPoolExecutor(
+                    max_workers=min(workers, len(frames)),
+                    thread_name_prefix="validate",
+                ) as pool:
+                    per_frame = list(pool.map(validate_one, frames))
+            else:
+                per_frame = [validate_one(frame) for frame in frames]
+
+            # Deterministic merge barrier: document order, not completion
+            # order.
+            for frame, placements in zip(frames, per_frame):
+                for manifest, frame_results in placements:
+                    context.record(manifest, frame, frame_results)
+                    report.extend(frame_results)
+
+            if include_composites:
+                with spans.span("composite", category="stage"):
+                    for manifest, rule in composites:
+                        started = time.perf_counter()
+                        result = self._evaluate_composite(
+                            rule, manifest, context, target
+                        )
+                        duration = time.perf_counter() - started
+                        result.duration_s = duration
+                        report.add(result)
+                        if timings is not None:
+                            timings.add("composite", duration)
+                        if enabled:
+                            verdict = result.verdict.value
+                            rules_total.inc(verdict=verdict)
+                            rule_hist.observe(duration)
+                            telemetry.profiler.record(
+                                "rule", f"{manifest.entity}/{rule.name}",
+                                duration,
+                                error=result.verdict is Verdict.ERROR,
+                            )
+                            spans.record(
+                                rule.name, category="rule",
+                                start_s=started, duration_s=duration,
+                                entity=manifest.entity, verdict=verdict,
+                            )
         return report
 
     def validate_entity(

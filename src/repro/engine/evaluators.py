@@ -16,6 +16,8 @@ anywhere").
 
 from __future__ import annotations
 
+import traceback
+
 from repro.errors import (
     FileNotFoundInFrame,
     LensError,
@@ -85,6 +87,19 @@ def _absent_result(rule: Rule, entity: str, target: str,
 
 
 def _error_result(rule: Rule, entity: str, target: str, error: Exception) -> RuleResult:
+    """An ERROR verdict that keeps the full failure context.
+
+    The exception class and message become evidence and, when the
+    exception was actually raised (vs constructed for a message), the
+    traceback lands in ``detail`` -- so a fleet dashboard can answer
+    "*why* does this rule error on 400 containers" without a rerun.
+    """
+    detail = ""
+    if error.__traceback__ is not None:
+        detail = "".join(
+            traceback.format_exception(type(error), error,
+                                       error.__traceback__)
+        ).rstrip()
     return RuleResult(
         rule=rule,
         entity=entity,
@@ -92,6 +107,8 @@ def _error_result(rule: Rule, entity: str, target: str, error: Exception) -> Rul
         verdict=Verdict.ERROR,
         outcome=Outcome.EVALUATION_ERROR,
         message=f"{rule.name}: {error}",
+        evidence=[Evidence.from_exception(error)],
+        detail=detail,
     )
 
 

@@ -35,6 +35,7 @@ from repro.schema import (
     SchemaTable,
     default_schema_registry,
 )
+from repro.telemetry import DISABLED, Telemetry
 
 
 class Normalizer:
@@ -47,6 +48,7 @@ class Normalizer:
         *,
         cache: ParseCache | None = None,
         timings: StageTimings | None = None,
+        telemetry: Telemetry | None = None,
     ):
         self.lenses = lenses or default_registry()
         self.schemas = schemas or default_schema_registry()
@@ -54,6 +56,7 @@ class Normalizer:
         #: caller did not supply one).
         self.cache = cache if cache is not None else ParseCache()
         self.timings = timings
+        self.telemetry = telemetry or DISABLED
         self._tree_memo: dict[tuple[int, str, str], ConfigTree] = {}
         self._table_memo: dict[tuple[int, str, str], SchemaTable] = {}
         self._files_cache: dict[tuple[int, tuple[str, ...]], list[str]] = {}
@@ -123,14 +126,36 @@ class Normalizer:
             self._digests[key] = digest
         return digest
 
-    def _timed_parse(self, parse, content: str, path: str):
-        if self.timings is None:
+    def _timed_parse(self, parse, content: str, path: str, parser_name: str):
+        """Run a real parse (cache miss), charging the ``parse`` stage and
+        the per-lens profile; parse failures count as lens errors."""
+        telemetry = self.telemetry
+        if self.timings is None and not telemetry.enabled:
             return parse(content, source=path)
         started = time.perf_counter()
+        failed = False
         try:
             return parse(content, source=path)
+        except Exception:
+            failed = True
+            raise
         finally:
-            self.timings.add("parse", time.perf_counter() - started)
+            duration = time.perf_counter() - started
+            if self.timings is not None:
+                self.timings.add("parse", duration)
+            if telemetry.enabled:
+                telemetry.profiler.record(
+                    "lens", parser_name, duration, error=failed
+                )
+                telemetry.metrics.counter(
+                    "repro_parses_total",
+                    "Real parses executed (cache misses), by parser.",
+                    labels=("parser",),
+                ).inc(parser=parser_name)
+                telemetry.spans.record(
+                    parser_name, category="parse",
+                    start_s=started, duration_s=duration, file=path,
+                )
 
     def tree_for(
         self, frame: ConfigFrame, path: str, lens_name: str | None = None
@@ -150,7 +175,7 @@ class Normalizer:
         tree = self.cache.get_or_parse(
             cache_key,
             len(content),
-            lambda: self._timed_parse(lens.parse, content, path),
+            lambda: self._timed_parse(lens.parse, content, path, lens.name),
         )
         self._tree_memo[memo_key] = tree
         return tree
@@ -177,7 +202,8 @@ class Normalizer:
         table = self.cache.get_or_parse(
             cache_key,
             len(content),
-            lambda: self._timed_parse(parser.parse, content, path),
+            lambda: self._timed_parse(parser.parse, content, path,
+                                      parser.name),
         )
         self._table_memo[memo_key] = table
         return table

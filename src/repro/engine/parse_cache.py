@@ -121,6 +121,44 @@ class ParseCache:
                         self._evictions += 1
         return value
 
+    def attach_to(self, registry) -> None:
+        """Expose this cache's counters on a telemetry metrics registry.
+
+        Registered as a pull-style collector: samples refresh from
+        :meth:`stats` right before each scrape/render, so the parsing
+        hot path pays nothing for the metrics plumbing.  Idempotent per
+        (cache, registry) pair.
+        """
+        hits = registry.counter(
+            "repro_parse_cache_hits_total",
+            "Parse-cache lookups served without re-parsing.")
+        misses = registry.counter(
+            "repro_parse_cache_misses_total",
+            "Parse-cache lookups that ran a parser.")
+        evictions = registry.counter(
+            "repro_parse_cache_evictions_total",
+            "Artifacts dropped by the LRU bound.")
+        bytes_parsed = registry.counter(
+            "repro_parse_cache_parsed_bytes_total",
+            "Config bytes that actually went through a parser.")
+        bytes_deduped = registry.counter(
+            "repro_parse_cache_deduped_bytes_total",
+            "Config bytes served from cache instead of re-parsing.")
+        entries = registry.gauge(
+            "repro_parse_cache_entries",
+            "Parsed artifacts currently cached.")
+
+        def collect() -> None:
+            stats = self.stats()
+            hits.set(stats.hits)
+            misses.set(stats.misses)
+            evictions.set(stats.evictions)
+            bytes_parsed.set(stats.bytes_parsed)
+            bytes_deduped.set(stats.bytes_deduped)
+            entries.set(stats.entries)
+
+        registry.register_collector(f"parse_cache:{id(self)}", collect)
+
     def stats(self) -> CacheStats:
         with self._lock:
             return CacheStats(

@@ -34,6 +34,11 @@ def render_result(result: RuleResult, *, verbose: bool = False) -> str:
         rendered = item.render()
         if rendered:
             lines.append(f"        {rendered}")
+    if result.verdict is Verdict.ERROR and result.detail:
+        # The captured traceback: indented so it reads as part of the
+        # result block, prefixed so log scrapers can skip it.
+        for row in result.detail.splitlines():
+            lines.append(f"        | {row}")
     if result.failed and result.rule.suggested_action:
         lines.append(f"        action: {result.rule.suggested_action}")
     return "\n".join(lines)
@@ -76,6 +81,7 @@ def result_to_dict(result: RuleResult) -> dict:
             {"file": e.file, "location": e.location, "value": e.value}
             for e in result.evidence
         ],
+        "detail": result.detail,
     }
 
 
@@ -128,7 +134,20 @@ def render_junit(report: ValidationReport, *, suite_name: str = "configvalidator
                 f" type={quoteattr(result.outcome.value)}>{body}</failure>"
             )
         elif result.verdict is Verdict.ERROR:
-            lines.append(f"    <error>{message}</error>")
+            body = message
+            if result.detail:
+                body += "\n" + escape(result.detail)
+            error_type = next(
+                (
+                    item.location.split(":", 1)[1]
+                    for item in result.evidence
+                    if item.location.startswith("exception:")
+                ),
+                result.outcome.value,
+            )
+            lines.append(
+                f"    <error type={quoteattr(error_type)}>{body}</error>"
+            )
         else:
             lines.append(f"    <skipped>{message}</skipped>")
         lines.append("  </testcase>")

@@ -47,6 +47,19 @@ class Evidence:
     location: str = ""   # tree path, row line, runtime key, ...
     value: str = ""
 
+    @classmethod
+    def from_exception(cls, error: BaseException) -> "Evidence":
+        """Evidence for an ERROR verdict: exception class + message.
+
+        The full traceback rides on :attr:`RuleResult.detail` (it is
+        multi-line); the evidence line keeps the machine-matchable
+        ``exception:<ClassName>`` location.
+        """
+        return cls(
+            location=f"exception:{type(error).__name__}",
+            value=str(error),
+        )
+
     def render(self) -> str:
         parts = []
         if self.value != "":
@@ -71,6 +84,7 @@ class RuleResult:
     evidence: list[Evidence] = field(default_factory=list)
     detail: str = ""                 # free-form extra (composite term dump...)
     duration_s: float = 0.0          # wall time spent evaluating this rule
+    started_s: float = 0.0           # perf_counter stamp at evaluation start
 
     @property
     def passed(self) -> bool:

@@ -1,0 +1,120 @@
+"""Structured logging for the scan pipeline.
+
+All pipeline loggers live under the ``"repro"`` namespace
+(:func:`get_logger` prefixes it), so one call to
+:func:`configure_logging` governs the whole process.  Two formats:
+
+* plain -- ``LEVEL logger: message`` (human, the default);
+* JSON  -- one object per line with ``ts``/``level``/``logger``/
+  ``message``, any ``extra={...}`` fields the call site attached, and
+  ``exc_type``/``traceback`` when an exception rides along.  This is the
+  machine-readable evidence trail; it goes to stderr so reports on
+  stdout stay byte-identical whether or not logging is on.
+
+Library default is silence (a ``NullHandler`` on the namespace root), per
+stdlib convention: importing :mod:`repro` never configures logging.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+import traceback
+
+ROOT_LOGGER_NAME = "repro"
+
+#: logging.LogRecord attributes that are plumbing, not payload.
+_RESERVED = frozenset(
+    (
+        "args", "asctime", "created", "exc_info", "exc_text", "filename",
+        "funcName", "levelname", "levelno", "lineno", "message", "module",
+        "msecs", "msg", "name", "pathname", "process", "processName",
+        "relativeCreated", "stack_info", "taskName", "thread", "threadName",
+    )
+)
+
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A pipeline logger, namespaced under ``repro.``."""
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per record, key order stable."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key in _RESERVED or key in payload:
+                continue
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                value = repr(value)
+            payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc_type"] = record.exc_info[0].__name__
+            payload["traceback"] = "".join(
+                traceback.format_exception(*record.exc_info)
+            ).rstrip()
+        return json.dumps(payload, sort_keys=False)
+
+
+class PlainLogFormatter(logging.Formatter):
+    """``HH:MM:SS LEVEL logger: message`` with indented tracebacks."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        stamp = time.strftime("%H:%M:%S", time.localtime(record.created))
+        line = (
+            f"{stamp} {record.levelname:<7} {record.name}: "
+            f"{record.getMessage()}"
+        )
+        if record.exc_info and record.exc_info[0] is not None:
+            trace = "".join(
+                traceback.format_exception(*record.exc_info)
+            ).rstrip()
+            line += "\n" + "\n".join(
+                f"    {row}" for row in trace.splitlines()
+            )
+        return line
+
+
+def configure_logging(
+    level: str = "warning",
+    *,
+    json_output: bool = False,
+    stream=None,
+) -> logging.Logger:
+    """(Re)configure the ``repro`` logging namespace.
+
+    Idempotent: previous handlers installed by this function are
+    replaced, so CLI entry points and tests can call it freely.  Returns
+    the namespace root logger.
+    """
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    numeric = getattr(logging, level.upper(), None)
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level {level!r}")
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(
+        JsonLogFormatter() if json_output else PlainLogFormatter()
+    )
+    handler.set_name("repro-telemetry")
+    for existing in list(root.handlers):
+        if existing.get_name() == "repro-telemetry":
+            root.removeHandler(existing)
+    root.addHandler(handler)
+    root.setLevel(numeric)
+    root.propagate = False
+    return root

@@ -11,8 +11,10 @@ test:
 bench:
 	pytest benchmarks/ --benchmark-only
 
-# Regression gate: re-run the fleet/pipeline benchmarks and fail on a
-# >25% throughput drop vs benchmarks/results/bench_baseline.json.
+# Regression gate: re-run the fleet/pipeline/incremental benchmarks and
+# fail on a >25% throughput drop vs benchmarks/results/bench_baseline.json.
+# bench_incremental.py additionally asserts the incremental-revalidation
+# gates: >= 5x unchanged-fleet speedup, bounded cold-cycle overhead.
 bench-check:
 	python benchmarks/compare_results.py
 

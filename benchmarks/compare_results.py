@@ -33,6 +33,9 @@ BENCH_FILES = (
     "bench_fleet_throughput.py",
     "bench_pipeline_stages.py",
     "bench_telemetry_overhead.py",
+    # Also enforces its own absolute gates (>= 5x unchanged-fleet
+    # speedup, bounded cold-cycle overhead) via in-test assertions.
+    "bench_incremental.py",
 )
 
 #: Benchmarks faster than this are no-op reporter shims

@@ -172,13 +172,9 @@ class PathExpression:
             current = self._step(current, segment)
             if not current:
                 return []
-        seen: set[int] = set()
-        unique: list[ConfigNode] = []
-        for node in current:
-            if id(node) not in seen:
-                seen.add(id(node))
-                unique.append(node)
-        return unique
+        # Nodes hash by identity, so dict.fromkeys is an order-preserving
+        # identity dedup with no per-node set bookkeeping.
+        return list(dict.fromkeys(current))
 
     def _step(self, nodes: list[ConfigNode], segment: Segment) -> list[ConfigNode]:
         if segment.name == "**":

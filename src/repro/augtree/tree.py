@@ -15,13 +15,20 @@ from typing import Callable, Iterator
 class ConfigNode:
     """One node of a config tree."""
 
-    __slots__ = ("label", "value", "children", "parent")
+    __slots__ = ("label", "value", "children", "parent",
+                 "_label_index", "_indexed_count")
 
     def __init__(self, label: str, value: str | None = None):
         self.label = label
         self.value = value
         self.children: list[ConfigNode] = []
         self.parent: ConfigNode | None = None
+        #: Lazy label -> children map; built on the first ``children_named``
+        #: and kept current by ``add``/``attach``.  ``_indexed_count``
+        #: guards against direct ``children`` mutation: a length mismatch
+        #: forces a rebuild.
+        self._label_index: dict[str, list[ConfigNode]] | None = None
+        self._indexed_count = 0
 
     # ---- construction ----------------------------------------------------
 
@@ -30,26 +37,47 @@ class ConfigNode:
         child = ConfigNode(label, value)
         child.parent = self
         self.children.append(child)
+        index = self._label_index
+        if index is not None:
+            index.setdefault(label, []).append(child)
+            self._indexed_count += 1
         return child
 
     def attach(self, node: "ConfigNode") -> "ConfigNode":
         """Append an existing node as a child and return it."""
         node.parent = self
         self.children.append(node)
+        index = self._label_index
+        if index is not None:
+            index.setdefault(node.label, []).append(node)
+            self._indexed_count += 1
         return node
 
     # ---- navigation --------------------------------------------------------
 
+    def _index(self) -> dict[str, list["ConfigNode"]]:
+        index = self._label_index
+        if index is None or self._indexed_count != len(self.children):
+            index = {}
+            for node in self.children:
+                index.setdefault(node.label, []).append(node)
+            self._label_index = index
+            self._indexed_count = len(self.children)
+        return index
+
     def child(self, label: str) -> "ConfigNode | None":
         """First child with ``label`` (or None)."""
-        for node in self.children:
-            if node.label == label:
-                return node
-        return None
+        nodes = self._index().get(label)
+        return nodes[0] if nodes else None
 
     def children_named(self, label: str) -> list["ConfigNode"]:
-        """All children with ``label``, in document order."""
-        return [node for node in self.children if node.label == label]
+        """All children with ``label``, in document order.
+
+        Returns the index's own list -- callers must treat it as
+        read-only (path matching calls this once per candidate parent,
+        and copying dominated ``**`` traversals on large trees).
+        """
+        return self._index().get(label) or []
 
     def get(self, label: str) -> str | None:
         """Value of the first child named ``label`` (or None)."""

@@ -47,12 +47,13 @@ from repro.workloads import FleetSpec, build_cloud_project, build_fleet, ubuntu_
 
 def _cmd_validate(args: argparse.Namespace) -> int:
     telemetry = _telemetry_from_args(args)
+    store, state_dir = _verdict_store_from_args(args)
     if args.rules_dir:
         from repro.rules.repository import load_validator_from_directory
 
         validator = load_validator_from_directory(
             args.rules_dir, cache_size=args.cache_size, workers=args.workers,
-            telemetry=telemetry,
+            telemetry=telemetry, verdict_store=store,
         )
         if args.targets:
             wanted = set(args.targets.split(","))
@@ -64,6 +65,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             cache_size=args.cache_size,
             workers=args.workers,
             telemetry=telemetry,
+            verdict_store=store,
         )
     timings = _make_timings(args)
     entity = HostEntity(args.name, RealFilesystem(args.root))
@@ -71,6 +73,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         entity, tags=args.tags.split(",") if args.tags else None,
         timings=timings,
     )
+    _finish_incremental(report, store, state_dir)
     _print_stage_timings(args, timings, validator)
     if args.json:
         print(render_json(report))
@@ -93,6 +96,39 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         ]
         return 1 if blocking or report.errors() else 0
     return 0 if report.compliant else 1
+
+
+def _verdict_store_from_args(args: argparse.Namespace):
+    """(store, state_dir) from the incremental flags; (None, "") = full.
+
+    ``--state-dir`` implies incremental mode and loads the persisted
+    store; bare ``--incremental`` uses an in-memory store (useful inside
+    one long-running process); ``--no-incremental`` wins over both.
+    """
+    if getattr(args, "no_incremental", False):
+        return None, ""
+    state_dir = getattr(args, "state_dir", "")
+    if state_dir:
+        from repro.engine.incremental import VerdictStore
+
+        return VerdictStore.load(state_dir), state_dir
+    if getattr(args, "incremental", False):
+        from repro.engine.incremental import VerdictStore
+
+        return VerdictStore(), ""
+    return None, ""
+
+
+def _finish_incremental(report, store, state_dir: str) -> None:
+    """Persist the verdict store and print replay stats on stderr."""
+    if store is None:
+        return
+    if state_dir:
+        path = store.save(state_dir)
+        print(f"verdict store saved to {path}", file=sys.stderr)
+    stats = getattr(report, "incremental", None)
+    if stats is not None:
+        print(stats.render(), file=sys.stderr)
 
 
 def _make_timings(args: argparse.Namespace):
@@ -204,8 +240,10 @@ def _cmd_dump(args: argparse.Namespace) -> int:
 
 def _cmd_demo(args: argparse.Namespace) -> int:
     telemetry = _telemetry_from_args(args)
+    store, state_dir = _verdict_store_from_args(args)
     validator = load_builtin_validator(
-        cache_size=args.cache_size, workers=args.workers, telemetry=telemetry
+        cache_size=args.cache_size, workers=args.workers, telemetry=telemetry,
+        verdict_store=store,
     )
     timings = _make_timings(args)
     if args.scenario == "host":
@@ -228,6 +266,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         entity = build_cloud_project("demo", violations=args.hardening < 1.0)
         report = validator.validate_entity(entity, timings=timings)
     print(render_text(report, only_failures=args.only_failures))
+    _finish_incremental(report, store, state_dir)
     _print_stage_timings(args, timings, validator)
     _emit_telemetry(args, telemetry)
     return 0 if report.compliant else 1
@@ -297,13 +336,16 @@ def _cmd_validate_frame(args: argparse.Namespace) -> int:
     from repro.crawler.serialize import load_frame
 
     telemetry = _telemetry_from_args(args)
+    store, state_dir = _verdict_store_from_args(args)
     with open(args.frame, "r", encoding="utf-8") as handle:
         frame = load_frame(handle.read())
     validator = load_builtin_validator(
         only=args.targets.split(",") if args.targets else None,
         telemetry=telemetry,
+        verdict_store=store,
     )
     report = validator.validate_frame(frame)
+    _finish_incremental(report, store, state_dir)
     if args.json:
         print(render_json(report))
     elif args.junit:
@@ -393,6 +435,25 @@ def _add_scaling_flags(subparser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_incremental_flags(subparser: argparse.ArgumentParser) -> None:
+    """Cross-cycle revalidation knobs shared by scanning commands."""
+    group = subparser.add_argument_group("incremental revalidation")
+    group.add_argument(
+        "--incremental", action="store_true",
+        help="replay verdicts whose recorded dependencies are unchanged "
+             "(in-memory verdict store)",
+    )
+    group.add_argument(
+        "--state-dir", default="", metavar="DIR",
+        help="persist the verdict store under DIR across invocations "
+             "(implies --incremental)",
+    )
+    group.add_argument(
+        "--no-incremental", action="store_true",
+        help="force a full revalidation even when --state-dir is set",
+    )
+
+
 def _add_telemetry_flags(subparser: argparse.ArgumentParser) -> None:
     """Observability exporters shared by scanning commands."""
     group = subparser.add_argument_group("telemetry")
@@ -453,6 +514,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit nonzero only for failures at or above this severity",
     )
     _add_scaling_flags(validate)
+    _add_incremental_flags(validate)
     _add_telemetry_flags(validate)
     validate.set_defaults(func=_cmd_validate)
 
@@ -474,6 +536,7 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--size", type=int, default=5)
     demo.add_argument("--only-failures", action="store_true")
     _add_scaling_flags(demo)
+    _add_incremental_flags(demo)
     _add_telemetry_flags(demo)
     demo.set_defaults(func=_cmd_demo)
 
@@ -514,6 +577,7 @@ def build_parser() -> argparse.ArgumentParser:
     validate_frame.add_argument("--targets", default="")
     _add_output_format_flags(validate_frame)
     validate_frame.add_argument("--only-failures", action="store_true")
+    _add_incremental_flags(validate_frame)
     _add_telemetry_flags(validate_frame)
     validate_frame.set_defaults(func=_cmd_validate_frame)
 

@@ -42,6 +42,27 @@ class ConfigFrame:
         default_factory=lambda: next(_frame_tokens),
         init=False, repr=False, compare=False,
     )
+    #: Lazily-built dependency-digest memo (see :meth:`fingerprint`).
+    _fingerprint: object = field(
+        default=None, init=False, repr=False, compare=False,
+    )
+    #: Memoized :meth:`describe` -- built per dependency-tape record.
+    _describe: str = field(
+        default="", init=False, repr=False, compare=False,
+    )
+
+    def fingerprint(self):
+        """This frame's dependency-digest memo (built on first use).
+
+        Frames are immutable snapshots, so one
+        :class:`~repro.crawler.fingerprint.FrameFingerprint` per frame is
+        shared by every incremental lookup that touches it.
+        """
+        if self._fingerprint is None:
+            from repro.crawler.fingerprint import FrameFingerprint
+
+            self._fingerprint = FrameFingerprint(self)
+        return self._fingerprint
 
     def read_config(self, path: str) -> str:
         """Text of the config file at ``path`` (raises if absent)."""
@@ -59,4 +80,6 @@ class ConfigFrame:
 
     def describe(self) -> str:
         """One-line provenance string used in reports."""
-        return f"{self.entity_kind}:{self.entity_name}"
+        if not self._describe:
+            self._describe = f"{self.entity_kind}:{self.entity_name}"
+        return self._describe

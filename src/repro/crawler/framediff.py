@@ -17,6 +17,12 @@ from dataclasses import dataclass, field
 
 from repro.crawler.frame import ConfigFrame
 
+#: Above this many lines on either side, skip the line-level diff --
+#: ``difflib.SequenceMatcher`` is quadratic, and a dirty-set oracle must
+#: never cost more than the revalidation work it saves.  Large files get
+#: a size + first-divergence summary instead.
+LARGE_DIFF_THRESHOLD_LINES = 2000
+
 
 @dataclass(frozen=True)
 class FileChange:
@@ -86,12 +92,12 @@ def diff_frames(baseline: ConfigFrame, current: ConfigFrame) -> FrameDiff:
             old_content, old_mode, old_owner = before[path]
             new_content, new_mode, new_owner = after[path]
             if old_content != new_content:
-                changed_lines = _count_changed_lines(old_content, new_content)
                 diff.files.append(
                     FileChange(
                         path=path,
                         change="content",
-                        detail=f"{changed_lines} line(s) differ",
+                        detail=_content_change_detail(old_content,
+                                                      new_content),
                     )
                 )
             if (old_mode, old_owner) != (new_mode, new_owner):
@@ -131,15 +137,63 @@ def diff_frames(baseline: ConfigFrame, current: ConfigFrame) -> FrameDiff:
     return diff
 
 
-def _count_changed_lines(old: str, new: str) -> int:
+def _content_change_detail(old: str, new: str) -> str:
+    """Human detail for a content change, capped for large files."""
+    old_lines = old.splitlines()
+    new_lines = new.splitlines()
+    if max(len(old_lines), len(new_lines)) > LARGE_DIFF_THRESHOLD_LINES:
+        divergence = _first_divergence(old_lines, new_lines)
+        return (
+            f"large file: {len(old):,} -> {len(new):,} bytes, "
+            f"first divergence at line {divergence}"
+        )
+    changed = _count_changed_lines(old_lines, new_lines)
+    return f"{changed} line(s) differ"
+
+
+def _first_divergence(old_lines: list[str], new_lines: list[str]) -> int:
+    """1-based index of the first differing line (linear scan)."""
+    for i, (old_line, new_line) in enumerate(zip(old_lines, new_lines)):
+        if old_line != new_line:
+            return i + 1
+    return min(len(old_lines), len(new_lines)) + 1
+
+
+def _count_changed_lines(old_lines: list[str], new_lines: list[str]) -> int:
     matcher = difflib.SequenceMatcher(
-        a=old.splitlines(), b=new.splitlines(), autojunk=False
+        a=old_lines, b=new_lines, autojunk=False
     )
     changed = 0
     for tag, i1, i2, j1, j2 in matcher.get_opcodes():
         if tag != "equal":
             changed += max(i2 - i1, j2 - j1)
     return changed
+
+
+def diff_dependencies(diff: FrameDiff) -> set[tuple[str, str]]:
+    """The dependency keys a :class:`FrameDiff` dirties.
+
+    This is the frame-level dirty-set oracle for incremental
+    revalidation: a stored verdict whose recorded dependency slice (see
+    :mod:`repro.crawler.fingerprint`) intersects this set cannot replay.
+    Useful for explaining *why* a rule re-ran on an "unchanged" entity.
+    """
+    from repro.crawler import fingerprint as fp
+
+    dirty: set[tuple[str, str]] = set()
+    for change in diff.files:
+        if change.change in ("added", "removed"):
+            dirty.add((fp.FILE, change.path))
+            dirty.add((fp.FILEMETA, change.path))
+        elif change.change == "content":
+            dirty.add((fp.FILE, change.path))
+        elif change.change == "metadata":
+            dirty.add((fp.FILEMETA, change.path))
+    if diff.packages_added or diff.packages_removed or diff.packages_changed:
+        dirty.add((fp.PACKAGES, ""))
+    for namespace in diff.runtime_changed:
+        dirty.add((fp.RUNTIME, namespace))
+    return dirty
 
 
 def render_frame_diff(diff: FrameDiff, *, unified_for: list[str] | None = None,

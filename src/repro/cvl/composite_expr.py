@@ -380,6 +380,18 @@ def referenced_entities(expression: str) -> set[str]:
     return entities
 
 
+def referenced_pairs(expression: str) -> set[tuple[str, str]]:
+    """All ``(entity, config)`` pairs an expression touches (the keys
+    incremental revalidation watches for recomputed per-entity verdicts)."""
+    terms: list = []
+    _collect_terms(parse_composite(expression), terms)
+    pairs: set[tuple[str, str]] = set()
+    for term in terms:
+        reference = term.reference if isinstance(term, Comparison) else term
+        pairs.add((reference.entity, reference.config))
+    return pairs
+
+
 def evaluate_composite(expression: str, context: CompositeContext) -> CompositeResult:
     """Evaluate ``expression`` and report per-term outcomes."""
     ast = parse_composite(expression)

@@ -1,6 +1,13 @@
 """The rule engine and output processing (paper Fig. 1, right half)."""
 
 from repro.engine.engine import ConfigValidator
+from repro.engine.incremental import (
+    DependencyRecorder,
+    IncrementalRunStats,
+    StoreStats,
+    VerdictStore,
+    ruleset_digest,
+)
 from repro.engine.normalizer import Normalizer
 from repro.engine.parse_cache import CacheStats, ParseCache
 from repro.engine.stages import StageTimings
@@ -29,9 +36,14 @@ __all__ = [
     "DriftReport",
     "diff_reports",
     "render_drift",
+    "DependencyRecorder",
     "Evidence",
+    "IncrementalRunStats",
     "Normalizer",
     "Outcome",
+    "StoreStats",
+    "VerdictStore",
+    "ruleset_digest",
     "RuleResult",
     "ValidationReport",
     "Verdict",

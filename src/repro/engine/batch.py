@@ -92,6 +92,10 @@ class FleetSummary:
     #: Process-cumulative: a long-running scanner's rankings sharpen
     #: cycle over cycle.
     profile: RuleProfiler | None = None
+    #: Incremental-revalidation stats for this cycle
+    #: (:class:`repro.engine.incremental.IncrementalRunStats`); None when
+    #: the validator has no verdict store.
+    incremental: object | None = None
 
     @property
     def throughput(self) -> float:
@@ -240,6 +244,7 @@ class BatchScanner:
             stage_timings=timings,
             cache_stats=self._validator.cache_stats(),
             profile=telemetry.profiler if telemetry.enabled else None,
+            incremental=report.incremental,
         )
         log.info(
             "scan cycle: %d entities, %d checks in %.2fs",
@@ -338,6 +343,9 @@ def render_fleet_summary(summary: FleetSummary, *, top: int = 10) -> str:
     if summary.cache_stats is not None:
         lines.append("")
         lines.append(summary.cache_stats.render())
+    if summary.incremental is not None:
+        lines.append("")
+        lines.append(summary.incremental.render())
     if summary.profile is not None and len(summary.profile):
         lines.append("")
         lines.append("rule/lens profile (process-cumulative):")

@@ -17,12 +17,17 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable
 
-from repro.errors import EngineError, EntityNotFound
+from repro.errors import EngineError, EntityNotFound, ReproError
 from repro.augtree.lenses import LensRegistry
 from repro.crawler.crawler import Crawler
 from repro.crawler.entities import Entity
+from repro.crawler.fingerprint import FrameFingerprint
 from repro.crawler.frame import ConfigFrame
-from repro.cvl.composite_expr import evaluate_composite, referenced_entities
+from repro.cvl.composite_expr import (
+    evaluate_composite,
+    referenced_entities,
+    referenced_pairs,
+)
 from repro.cvl.loader import load_rules
 from repro.cvl.manifest import Manifest, load_manifests
 from repro.cvl.model import (
@@ -39,6 +44,12 @@ from repro.engine.evaluators import (
     evaluate_schema,
     evaluate_script,
     evaluate_tree,
+)
+from repro.engine.incremental import (
+    DependencyRecorder,
+    IncrementalRunStats,
+    VerdictStore,
+    ruleset_digest,
 )
 from repro.engine.normalizer import Normalizer
 from repro.engine.parse_cache import DEFAULT_CACHE_SIZE, CacheStats, ParseCache
@@ -129,6 +140,9 @@ class _RunContext:
                 return node.value if node.value is not None else ""
         # Fall back to plugin runtime state under the component's namespace
         # (lets composites reference live state, e.g. sysctl values).
+        recorder = self._normalizer.recorder
+        if recorder is not None:
+            recorder.record_runtime(frame, manifest.entity)
         namespace = frame.runtime.get(manifest.entity)
         if namespace is not None:
             return namespace.get(config)
@@ -149,6 +163,7 @@ class ConfigValidator:
         cache_size: int | None = None,
         workers: int = 1,
         telemetry: Telemetry | None = None,
+        verdict_store: VerdictStore | None = None,
     ):
         self._resolver = resolver
         self._lenses = lenses
@@ -168,11 +183,16 @@ class ConfigValidator:
         #: per-rule counter/histogram (see :meth:`_collect_rule_metrics`).
         self._pending_rule_metrics: list[list[RuleResult]] = []
         self._pending_rule_lock = threading.Lock()
+        #: Cross-cycle verdict store; None means every run is a full
+        #: revalidation (the default).
+        self.verdict_store = verdict_store
         if self.telemetry.enabled:
             self.parse_cache.attach_to(self.telemetry.metrics)
             self.telemetry.metrics.register_collector(
                 f"rule-metrics-{id(self)}", self._collect_rule_metrics
             )
+            if verdict_store is not None:
+                verdict_store.attach_to(self.telemetry.metrics)
         self.workers = max(1, workers)
 
     def _collect_rule_metrics(self) -> None:
@@ -343,9 +363,50 @@ class ConfigValidator:
                 "repro_worker_busy_seconds_total",
                 "Aggregate worker-seconds spent validating frames.",
             )
+        # ---- incremental setup (no-ops without a verdict store) ----------
+        store = self.verdict_store
+        recorder: DependencyRecorder | None = None
+        inc_stats: IncrementalRunStats | None = None
+        fingerprints: dict[str, FrameFingerprint] = {}
+        clean_frames: frozenset[str] = frozenset()
+        if store is not None:
+            inc_stats = IncrementalRunStats()
+            frame_keys = [frame.describe() for frame in frames]
+            if len(set(frame_keys)) != len(frame_keys):
+                # Two frames sharing an identity would alias each other's
+                # stored verdicts; run a plain full validation instead.
+                inc_stats.active = False
+                inc_stats.reason = (
+                    "duplicate frame identities in run; ran full validation"
+                )
+                log.warning(
+                    "incremental disabled for this run: duplicate frame "
+                    "identities"
+                )
+                store = None
+            else:
+                recorder = DependencyRecorder()
+                fingerprints = {
+                    key: frame.fingerprint()
+                    for key, frame in zip(frame_keys, frames)
+                }
+                # One whole-frame digest per frame: frames it proves
+                # unchanged skip all per-dependency verification below.
+                clean_frames = store.begin_cycle({
+                    key: fingerprints[key].frame_digest()
+                    for key in frame_keys
+                })
+                store.sync_rulesets({
+                    manifest.entity: ruleset_digest(
+                        manifest, self.ruleset_for(manifest)
+                    )
+                    for manifest in self.manifests()
+                    if manifest.enabled
+                })
+
         normalizer = Normalizer(self._lenses, self._schemas,
                                 cache=self.parse_cache, timings=timings,
-                                telemetry=telemetry)
+                                telemetry=telemetry, recorder=recorder)
         context = _RunContext(self, normalizer)
         target = ",".join(frame.describe() for frame in frames)
         report = ValidationReport(target=target)
@@ -368,18 +429,52 @@ class ConfigValidator:
                             continue
                         composites.append((manifest, rule))
 
-            def evaluate_rules(
-                frame: ConfigFrame,
-            ) -> list[tuple[Manifest, list[RuleResult]]]:
+            def evaluate_rules(frame: ConfigFrame) -> tuple[
+                list[tuple[Manifest, list[RuleResult]]],
+                list[RuleResult],
+                int,
+                set[tuple[str, str]],
+            ]:
                 placements: list[tuple[Manifest, list[RuleResult]]] = []
+                #: Freshly evaluated results only -- replays carry no new
+                #: timing or verdict information for telemetry.
+                fresh: list[RuleResult] = []
+                replayed = 0
+                recomputed: set[tuple[str, str]] = set()
+                frame_key = frame.describe()
                 for manifest in self.manifests():
                     if not manifest.enabled:
                         continue
                     if not manifest.applies_to_kind(frame.entity_kind):
                         continue
                     ruleset = self.ruleset_for(manifest)
-                    if not self._component_present(frame, manifest, ruleset,
-                                                   normalizer):
+                    present = None
+                    if store is not None:
+                        present = store.fresh_presence(
+                            frame_key, manifest.entity, fingerprints,
+                            clean_frames,
+                        )
+                    if present is None:
+                        if store is not None:
+                            # Presence reads the search-path listing (via
+                            # the normalizer hook) and the runtime
+                            # namespace set; record both so the decision
+                            # replays next cycle.
+                            tape, previous = recorder.begin()
+                            try:
+                                recorder.record_runtime_keys(frame)
+                                present = self._component_present(
+                                    frame, manifest, ruleset, normalizer
+                                )
+                            finally:
+                                recorder.end(previous)
+                            store.put_presence(frame_key, manifest.entity,
+                                               tape, fingerprints, present)
+                        else:
+                            present = self._component_present(
+                                frame, manifest, ruleset, normalizer
+                            )
+                    if not present:
                         continue  # the component is not on this entity
                     frame_results: list[RuleResult] = []
                     for rule in ruleset.enabled_rules():
@@ -389,12 +484,36 @@ class ConfigValidator:
                             rule.has_tag(tag) for tag in tags
                         ):
                             continue
+                        if store is not None:
+                            cached = store.fresh_result(
+                                frame_key, manifest.entity, rule,
+                                fingerprints, clean_frames,
+                            )
+                            if cached is not None:
+                                frame_results.append(cached)
+                                replayed += 1
+                                continue
                         started = time.perf_counter()
-                        result = self._evaluate(rule, frame, manifest,
-                                                normalizer)
+                        if recorder is not None:
+                            tape, previous = recorder.begin()
+                            try:
+                                self._record_intrinsic_deps(
+                                    recorder, rule, frame
+                                )
+                                result = self._evaluate(rule, frame,
+                                                        manifest, normalizer)
+                            finally:
+                                recorder.end(previous)
+                        else:
+                            result = self._evaluate(rule, frame, manifest,
+                                                    normalizer)
                         duration = time.perf_counter() - started
                         result.duration_s = duration
                         result.started_s = started
+                        if store is not None:
+                            store.put(frame_key, manifest.entity, rule.name,
+                                      tape, fingerprints, result)
+                            recomputed.add((manifest.entity, rule.name))
                         if timings is not None:
                             timings.add("evaluate", duration)
                         if result.verdict is Verdict.ERROR:
@@ -404,12 +523,11 @@ class ConfigValidator:
                                 result.target, result.message,
                             )
                         frame_results.append(result)
+                        fresh.append(result)
                     placements.append((manifest, frame_results))
-                return placements
+                return placements, fresh, replayed, recomputed
 
-            def flush_rule_telemetry(
-                placements: list[tuple[Manifest, list[RuleResult]]],
-            ) -> None:
+            def flush_rule_telemetry(results: list[RuleResult]) -> None:
                 """Three list appends per frame, nothing per rule.
 
                 The results the frame just produced already carry
@@ -419,11 +537,6 @@ class ConfigValidator:
                 time (:meth:`_collect_rule_metrics`), span expansion at
                 export time, profile aggregation at read time.
                 """
-                results = [
-                    result
-                    for _manifest, frame_results in placements
-                    for result in frame_results
-                ]
                 if not results:
                     return
                 with self._pending_rule_lock:
@@ -431,24 +544,28 @@ class ConfigValidator:
                 telemetry.profiler.record_rules(results)
                 spans.record_rules(results)
 
-            def validate_one(
-                frame: ConfigFrame,
-            ) -> list[tuple[Manifest, list[RuleResult]]]:
+            def validate_one(frame: ConfigFrame) -> tuple[
+                list[tuple[Manifest, list[RuleResult]]],
+                int,
+                set[tuple[str, str]],
+            ]:
                 frame_started = time.perf_counter()
                 # Explicit parent: with workers > 1 this runs on a pool
                 # thread whose span stack is empty.
                 with spans.span(frame.describe(), category="frame",
                                 parent=run_span):
                     with spans.span("evaluate", category="stage"):
-                        placements = evaluate_rules(frame)
+                        placements, fresh, replayed, recomputed = (
+                            evaluate_rules(frame)
+                        )
                         if enabled:
                             # Inside the stage span so rule spans parent
                             # to this frame's "evaluate".
-                            flush_rule_telemetry(placements)
+                            flush_rule_telemetry(fresh)
                 if enabled:
                     frames_total.inc()
                     busy_total.inc(time.perf_counter() - frame_started)
-                return placements
+                return placements, replayed, recomputed
 
             if workers > 1 and len(frames) > 1:
                 with ThreadPoolExecutor(
@@ -461,20 +578,63 @@ class ConfigValidator:
 
             # Deterministic merge barrier: document order, not completion
             # order.
-            for frame, placements in zip(frames, per_frame):
+            recomputed_pairs: set[tuple[str, str]] = set()
+            for frame, (placements, replayed, recomputed) in zip(
+                frames, per_frame
+            ):
                 for manifest, frame_results in placements:
                     context.record(manifest, frame, frame_results)
                     report.extend(frame_results)
+                if store is not None:
+                    recomputed_pairs |= recomputed
+                    inc_stats.rules_replayed += replayed
+                    inc_stats.rules_evaluated += (
+                        sum(len(fr) for _m, fr in placements) - replayed
+                    )
+                    if recomputed:
+                        inc_stats.frames_dirty += 1
+                    else:
+                        inc_stats.frames_clean += 1
 
             if include_composites:
                 with spans.span("composite", category="stage"):
                     for manifest, rule in composites:
+                        if store is not None:
+                            cached = store.fresh_composite(
+                                manifest.entity, rule,
+                                target=target, context=context,
+                                fingerprints=fingerprints,
+                                recomputed=recomputed_pairs,
+                                clean_frames=clean_frames,
+                            )
+                            if cached is not None:
+                                report.add(cached)
+                                inc_stats.composites_replayed += 1
+                                continue
                         started = time.perf_counter()
-                        result = self._evaluate_composite(
-                            rule, manifest, context, target
-                        )
+                        if recorder is not None:
+                            # Record the value lookups the expression
+                            # performs (they may read files no per-entity
+                            # rule touches).
+                            with recorder.recording() as tape:
+                                result = self._evaluate_composite(
+                                    rule, manifest, context, target
+                                )
+                        else:
+                            result = self._evaluate_composite(
+                                rule, manifest, context, target
+                            )
                         duration = time.perf_counter() - started
                         result.duration_s = duration
+                        if store is not None:
+                            store.put_composite(
+                                manifest.entity, rule,
+                                target=target, context=context,
+                                pairs=referenced_pairs(rule.expression),
+                                tape=tape, fingerprints=fingerprints,
+                                result=result,
+                            )
+                            inc_stats.composites_evaluated += 1
                         report.add(result)
                         if timings is not None:
                             timings.add("composite", duration)
@@ -492,6 +652,32 @@ class ConfigValidator:
                                 start_s=started, duration_s=duration,
                                 entity=manifest.entity, verdict=verdict,
                             )
+
+        if inc_stats is not None:
+            if store is not None:
+                inc_stats.store = store.stats()
+            report.incremental = inc_stats
+            if enabled:
+                metrics = telemetry.metrics
+                metrics.counter(
+                    "repro_rules_skipped_total",
+                    "Rule evaluations replayed from the verdict store.",
+                ).inc(inc_stats.rules_replayed + inc_stats.composites_replayed)
+                metrics.counter(
+                    "repro_frames_dirty_total",
+                    "Frames with at least one freshly evaluated rule.",
+                ).inc(inc_stats.frames_dirty)
+                metrics.counter(
+                    "repro_frames_clean_total",
+                    "Frames fully replayed from the verdict store.",
+                ).inc(inc_stats.frames_clean)
+                spans.record(
+                    "incremental", category="stage",
+                    start_s=time.perf_counter(), duration_s=0.0,
+                    rules_replayed=str(inc_stats.rules_replayed),
+                    frames_dirty=str(inc_stats.frames_dirty),
+                    frames_clean=str(inc_stats.frames_clean),
+                )
         return report
 
     def validate_entity(
@@ -547,6 +733,24 @@ class ConfigValidator:
                 if plugin in frame.runtime:
                     return True
         return False
+
+    @staticmethod
+    def _record_intrinsic_deps(
+        recorder: DependencyRecorder, rule: Rule, frame: ConfigFrame
+    ) -> None:
+        """Dependencies the evaluators read directly off the frame, not
+        through the normalizer: path rules stat their path, script rules
+        read one runtime namespace.  A malformed script spec records no
+        deps -- its ERROR verdict is frame-independent and replays until
+        the pack is edited (ruleset digest)."""
+        if isinstance(rule, PathRule):
+            recorder.record_filemeta(frame, rule.name)
+        elif isinstance(rule, ScriptRule):
+            try:
+                plugin, _key = rule.plugin_and_key()
+            except ReproError:
+                return
+            recorder.record_runtime(frame, plugin)
 
     def _evaluate(
         self,

@@ -203,16 +203,13 @@ def evaluate_tree(
 def _scopes(tree, config_path: list[str]) -> list[ConfigNode]:
     """Parent nodes the config key is searched under: the union over the
     rule's path alternatives; an empty alternative means the tree root."""
-    scopes: list[ConfigNode] = []
-    seen: set[int] = set()
+    scopes: dict[ConfigNode, None] = {}
     for alternative in config_path or [""]:
         alternative = alternative.strip()
         nodes = [tree.root] if not alternative else tree.match(alternative)
-        for node in nodes:
-            if id(node) not in seen:
-                seen.add(id(node))
-                scopes.append(node)
-    return scopes
+        # Identity-hashed nodes: the dict is an order-preserving dedup.
+        scopes.update(dict.fromkeys(nodes))
+    return list(scopes)
 
 
 def _split_values(values: list[str], separator: str | None) -> list[str]:

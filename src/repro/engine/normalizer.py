@@ -49,6 +49,7 @@ class Normalizer:
         cache: ParseCache | None = None,
         timings: StageTimings | None = None,
         telemetry: Telemetry | None = None,
+        recorder=None,
     ):
         self.lenses = lenses or default_registry()
         self.schemas = schemas or default_schema_registry()
@@ -57,6 +58,12 @@ class Normalizer:
         self.cache = cache if cache is not None else ParseCache()
         self.timings = timings
         self.telemetry = telemetry or DISABLED
+        #: Incremental-mode dependency recorder (None outside incremental
+        #: runs).  Hooks sit at method *entry*, before the memo checks:
+        #: a memo hit still reads the frame conceptually, and a rule
+        #: whose read was only recorded on the cold call would replay
+        #: with an incomplete dependency slice.
+        self.recorder = recorder
         self._tree_memo: dict[tuple[int, str, str], ConfigTree] = {}
         self._table_memo: dict[tuple[int, str, str], SchemaTable] = {}
         self._files_cache: dict[tuple[int, tuple[str, ...]], list[str]] = {}
@@ -72,6 +79,8 @@ class Normalizer:
         Returns the cached list itself -- callers must treat it as
         read-only (copying it per call was measurable at fleet scale).
         """
+        if self.recorder is not None:
+            self.recorder.record_listing(frame, search_paths)
         key = (frame.cache_token, tuple(search_paths))
         cached = self._files_cache.get(key)
         if cached is None:
@@ -162,6 +171,8 @@ class Normalizer:
     ) -> ConfigTree:
         """Parse ``path`` with the named lens (or by filename pattern,
         falling back to the generic key-value lens)."""
+        if self.recorder is not None:
+            self.recorder.record_file(frame, path)
         if lens_name:
             lens = self.lenses.get(lens_name)
         else:
@@ -184,6 +195,8 @@ class Normalizer:
         self, frame: ConfigFrame, path: str, parser_name: str | None = None
     ) -> SchemaTable:
         """Parse ``path`` with the named schema parser (or by pattern)."""
+        if self.recorder is not None:
+            self.recorder.record_file(frame, path)
         if parser_name:
             parser = self.schemas.get(parser_name)
         else:

@@ -110,6 +110,10 @@ class ValidationReport:
 
     target: str
     results: list[RuleResult] = field(default_factory=list)
+    #: Incremental-run statistics
+    #: (:class:`repro.engine.incremental.IncrementalRunStats`; untyped here
+    #: to keep this module free of engine imports).  None on full runs.
+    incremental: object = field(default=None, repr=False, compare=False)
 
     def add(self, result: RuleResult) -> None:
         self.results.append(result)

@@ -49,6 +49,10 @@ class VirtualFilesystem(FilesystemView):
         #: views consult this to skip per-path whiteout probing entirely on
         #: the common layer that deletes nothing.
         self._whiteout_count = 0
+        #: Count of symlink nodes.  :meth:`flat_nodes` only offers the raw
+        #: bulk-read path when this is zero, because symlink resolution can
+        #: make a walk observe paths that no stored node carries.
+        self._symlink_count = 0
 
     @property
     def whiteout_count(self) -> int:
@@ -81,6 +85,8 @@ class VirtualFilesystem(FilesystemView):
             raise IsADirectoryInFrame(path)
         if existing is None and self._is_whiteout_name(path):
             self._whiteout_count += 1
+        if existing is not None and existing.link_target is not None:
+            self._symlink_count -= 1
         self._nodes[path] = _Node(
             stat=FileStat(
                 kind=FileKind.FILE,
@@ -131,8 +137,11 @@ class VirtualFilesystem(FilesystemView):
         """Create a symlink at ``path`` pointing at ``target``."""
         path = self._norm(path)
         self._ensure_parents(path)
-        if path not in self._nodes and self._is_whiteout_name(path):
+        existing = self._nodes.get(path)
+        if existing is None and self._is_whiteout_name(path):
             self._whiteout_count += 1
+        if existing is None or existing.link_target is None:
+            self._symlink_count += 1
         self._nodes[path] = _Node(
             stat=FileStat(kind=FileKind.SYMLINK, mode=0o777),
             link_target=target,
@@ -172,6 +181,8 @@ class VirtualFilesystem(FilesystemView):
             self.remove(posixpath.join(path, child))
         if self._is_whiteout_name(path):
             self._whiteout_count -= 1
+        if node.link_target is not None:
+            self._symlink_count -= 1
         del self._nodes[path]
         parent = posixpath.dirname(path)
         self._nodes[parent].children.discard(posixpath.basename(path))
@@ -223,6 +234,22 @@ class VirtualFilesystem(FilesystemView):
     def paths(self) -> list[str]:
         """Every path in the filesystem, sorted (used by overlay + tests)."""
         return sorted(self._nodes)
+
+    def flat_nodes(self) -> list[tuple[str, FileStat, str]] | None:
+        """``(path, stat, content)`` for every node, sorted by path.
+
+        Returns ``None`` when the tree contains symlinks: resolution can
+        make a walk observe paths no stored node carries, so callers must
+        fall back to a real traversal.  With no symlinks the stored nodes
+        *are* the observable filesystem, which lets whole-frame
+        fingerprinting skip per-path symlink resolution entirely.
+        """
+        if self._symlink_count:
+            return None
+        return [
+            (path, node.stat, node.content)
+            for path, node in sorted(self._nodes.items())
+        ]
 
     # ---- internals --------------------------------------------------------
 

@@ -1,0 +1,150 @@
+"""History-store write-overhead benchmark (ISSUE 4 acceptance gate).
+
+The monitor's promise is that durable history is observation, not tax:
+appending a cycle (rollup row + one verdict row per (target, entity,
+rule) + per-frame rollups, one SQLite transaction in WAL mode) must cost
+**< 5% of the scan cycle it records**.  The gate measures a realistic
+fleet cycle through :class:`~repro.engine.batch.BatchScanner` and the
+:meth:`~repro.history.store.HistoryStore.record_cycle` call that
+persists it, and fails if the ratio crosses the budget.
+
+A stats JSON is written to ``benchmarks/results/history_overhead.json``
+for the CI artifact.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.crawler import ContainerEntity, DockerImageEntity
+from repro.engine.batch import BatchScanner
+from repro.history import HistoryStore
+from repro.rules import load_builtin_validator
+from repro.workloads import FleetSpec, build_fleet, ubuntu_host_entity
+
+from conftest import emit
+
+#: The <5% budget from ISSUE 4.
+_OVERHEAD_BUDGET = 0.05
+
+#: Same canonical fleet shape as ``bench_incremental.py`` (40 entities,
+#: ~2100 verdict rows per cycle).
+_SPEC = FleetSpec(images=6, containers_per_image=4, misconfig_rate=0.3,
+                  seed=42)
+_HOSTS = 10
+
+_STATS_PATH = (
+    pathlib.Path(__file__).parent / "results" / "history_overhead.json"
+)
+
+
+def _entities() -> list:
+    _daemon, images, containers = build_fleet(_SPEC)
+    entities = [DockerImageEntity(i) for i in images] + [
+        ContainerEntity(c) for c in containers
+    ]
+    entities += [
+        ubuntu_host_entity(f"hist-host-{i}", hardening=0.6, seed=i,
+                           with_nginx=True, with_mysql=True)
+        for i in range(_HOSTS)
+    ]
+    return entities
+
+
+def _scan(entities, scanner):
+    """One monitor cycle exactly as FleetMonitor runs it: re-crawl the
+    fleet and validate it (warm parse cache -- the steady state)."""
+    started = time.perf_counter()
+    summary = scanner.scan_entities(entities, workers=1)
+    return time.perf_counter() - started, summary
+
+
+def _best_of(cycles: int, run):
+    """Best-of-N with GC parked outside the timed window -- at the
+    millisecond scale of one append, a collection pause is 2x noise."""
+    best, kept = float("inf"), None
+    for _ in range(cycles):
+        gc.collect()
+        gc.disable()
+        try:
+            elapsed, result = run()
+        finally:
+            gc.enable()
+        if elapsed < best:
+            best, kept = elapsed, result
+    return best, kept
+
+
+@pytest.mark.benchmark(group="history")
+def test_record_cycle_throughput(benchmark, tmp_path):
+    """Raw append cost of one cycle's rows against an on-disk store."""
+    entities = _entities()
+    scanner = BatchScanner(load_builtin_validator())
+    _elapsed, summary = _scan(entities, scanner)
+    with HistoryStore(str(tmp_path / "bench.sqlite")) as store:
+        benchmark(store.record_cycle, summary)
+        assert store.cycle_count() > 0
+
+
+def test_history_write_overhead_gate(benchmark, tmp_path):
+    benchmark.pedantic(lambda: None, rounds=1)  # reporter shim
+    entities = _entities()
+    scanner = BatchScanner(load_builtin_validator())
+    _scan(entities, scanner)  # warm the parse cache (steady state)
+
+    cycle_time, summary = _best_of(3, lambda: _scan(entities, scanner))
+    verdict_rows = len(summary.report)
+
+    with HistoryStore(str(tmp_path / "bench.sqlite")) as store:
+        # First append pays the one-time series-dimension population;
+        # steady state (what the monitor runs) starts at cycle 2.
+        store.record_cycle(summary)
+        write_time, _ = _best_of(
+            7, lambda: (_timed_record(store, summary), None)
+        )
+        db_bytes = store.stats().db_bytes
+
+    ratio = write_time / cycle_time
+    lines = [
+        f"History store write overhead, {summary.entities_scanned}-entity"
+        f" fleet ({verdict_rows} verdict rows/cycle, best-of timings)",
+        f"{'scan cycle (no store)':<36}{cycle_time:>10.4f}s",
+        f"{'record_cycle append':<36}{write_time:>10.4f}s",
+        f"{'overhead':<36}{ratio:>10.2%}  (budget "
+        f"{_OVERHEAD_BUDGET:.0%})",
+    ]
+    emit("history_overhead", "\n".join(lines))
+
+    _STATS_PATH.parent.mkdir(exist_ok=True)
+    _STATS_PATH.write_text(
+        json.dumps(
+            {
+                "fleet_entities": summary.entities_scanned,
+                "verdict_rows_per_cycle": verdict_rows,
+                "scan_cycle_s": round(cycle_time, 5),
+                "record_cycle_s": round(write_time, 5),
+                "overhead_ratio": round(ratio, 5),
+                "budget": _OVERHEAD_BUDGET,
+                "db_bytes": db_bytes,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    assert ratio < _OVERHEAD_BUDGET, (
+        f"history write overhead {ratio:.2%} exceeds the "
+        f"{_OVERHEAD_BUDGET:.0%} budget "
+        f"({write_time:.4f}s write vs {cycle_time:.4f}s cycle)"
+    )
+
+
+def _timed_record(store, summary) -> float:
+    started = time.perf_counter()
+    store.record_cycle(summary)
+    return time.perf_counter() - started

@@ -36,6 +36,9 @@ BENCH_FILES = (
     # Also enforces its own absolute gates (>= 5x unchanged-fleet
     # speedup, bounded cold-cycle overhead) via in-test assertions.
     "bench_incremental.py",
+    # Enforces the <5% history-store write-overhead budget (ISSUE 4)
+    # via an in-test assertion.
+    "bench_history.py",
 )
 
 #: Benchmarks faster than this are no-op reporter shims
@@ -44,20 +47,40 @@ MIN_MEANINGFUL_MEAN_S = 1e-4
 
 
 def run_benchmarks(json_path: pathlib.Path) -> None:
-    """Run the benchmark files, dumping pytest-benchmark JSON."""
-    command = [
-        sys.executable,
-        "-m",
-        "pytest",
-        *(str(BENCH_DIR / name) for name in BENCH_FILES),
-        "--benchmark-only",
-        f"--benchmark-json={json_path}",
-        "-q",
-    ]
-    print(f"$ {' '.join(command)}")
-    completed = subprocess.run(command, cwd=REPO_ROOT)
-    if completed.returncode != 0:
-        sys.exit(f"benchmark run failed (exit {completed.returncode})")
+    """Run each benchmark file in its own interpreter, merging the
+    pytest-benchmark JSON.
+
+    Process isolation keeps one file's heap growth and GC state from
+    skewing another's timings -- the in-test gates (telemetry,
+    incremental, history) measure millisecond windows that a shared
+    long-running process visibly distorts.
+    """
+    merged: dict | None = None
+    for name in BENCH_FILES:
+        part_path = RESULTS_DIR / f".bench_part_{name}.json"
+        command = [
+            sys.executable,
+            "-m",
+            "pytest",
+            str(BENCH_DIR / name),
+            "--benchmark-only",
+            f"--benchmark-json={part_path}",
+            "-q",
+        ]
+        print(f"$ {' '.join(command)}")
+        completed = subprocess.run(command, cwd=REPO_ROOT)
+        if completed.returncode != 0:
+            sys.exit(
+                f"benchmark run failed for {name} "
+                f"(exit {completed.returncode})"
+            )
+        payload = json.loads(part_path.read_text())
+        part_path.unlink()
+        if merged is None:
+            merged = payload
+        else:
+            merged["benchmarks"].extend(payload.get("benchmarks", []))
+    json_path.write_text(json.dumps(merged, indent=2))
 
 
 def load_ops(json_path: pathlib.Path) -> dict[str, float]:

@@ -12,13 +12,19 @@ paper's production deployment runs:
 * ``demo``     -- validate a synthetic host / fleet / cloud without
   touching the real filesystem;
 * ``profile``  -- scan with telemetry on and rank the hottest /
-  most-erroring rules and lenses.
+  most-erroring rules and lenses;
+* ``monitor``  -- run scan cycles on an interval with durable verdict
+  history, a live HTTP endpoint, and a health event stream;
+* ``history`` / ``flaps`` -- offline views over a monitor's history
+  store (cycle table, per-entity trends, flapping rules).
 
 Scanning commands share the telemetry flags: ``--trace-out`` (Chrome
 ``trace_event`` spans for chrome://tracing / Perfetto), ``--metrics-out``
-(Prometheus text exposition), ``--metrics-port`` (one-shot scrape
-endpoint), and ``--log-level`` / ``--log-json`` (structured logs on
-stderr).  Reports on stdout are byte-identical with telemetry on or off.
+(Prometheus text exposition), ``--metrics-port`` (threaded scrape
+endpoint served for the duration of the run; ``--metrics-oneshot``
+restores the block-for-one-scrape behavior), and ``--log-level`` /
+``--log-json`` (structured logs on stderr).  Reports on stdout are
+byte-identical with telemetry on or off.
 """
 
 from __future__ import annotations
@@ -68,6 +74,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             verdict_store=store,
         )
     timings = _make_timings(args)
+    server = _start_metrics_server(args, telemetry)
     entity = HostEntity(args.name, RealFilesystem(args.root))
     report = validator.validate_entity(
         entity, tags=args.tags.split(",") if args.tags else None,
@@ -84,7 +91,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     else:
         print(render_text(report, verbose=args.verbose,
                           only_failures=args.only_failures))
-    _emit_telemetry(args, telemetry)
+    _emit_telemetry(args, telemetry, server)
     if args.fail_on:
         from repro.engine.batch import severity_rank
 
@@ -160,9 +167,36 @@ def _telemetry_from_args(args: argparse.Namespace, *, force: bool = False):
     return Telemetry() if wanted else None
 
 
-def _emit_telemetry(args: argparse.Namespace, telemetry) -> None:
+def _start_metrics_server(args: argparse.Namespace, telemetry):
+    """Start the threaded ``/metrics`` endpoint for the run.
+
+    Called right after the telemetry bundle exists, so the endpoint is
+    scrapeable *during* the scan, not just after it.  Returns None when
+    no port was requested or ``--metrics-oneshot`` asked for the legacy
+    single-scrape-at-exit behavior (handled by :func:`_emit_telemetry`).
+    """
+    if telemetry is None or not telemetry.enabled:
+        return None
+    port = getattr(args, "metrics_port", None)
+    if port is None or getattr(args, "metrics_oneshot", False):
+        return None
+    from repro.telemetry.export import MetricsServer
+
+    server = MetricsServer(telemetry.metrics, port)
+    print(
+        f"serving /metrics on 127.0.0.1:{server.port} for the duration "
+        f"of the run",
+        file=sys.stderr,
+    )
+    return server
+
+
+def _emit_telemetry(args: argparse.Namespace, telemetry,
+                    server=None) -> None:
     """Write/serve the requested exports (diagnostics go to stderr)."""
     if telemetry is None or not telemetry.enabled:
+        if server is not None:
+            server.close()
         return
     from repro.telemetry.export import (
         serve_metrics_once,
@@ -179,7 +213,11 @@ def _emit_telemetry(args: argparse.Namespace, telemetry) -> None:
             f"wrote {count} metric samples to {args.metrics_out}",
             file=sys.stderr,
         )
-    if getattr(args, "metrics_port", None) is not None:
+    if server is not None:
+        server.close()
+        print("metrics endpoint closed", file=sys.stderr)
+    elif (getattr(args, "metrics_port", None) is not None
+          and getattr(args, "metrics_oneshot", False)):
         print(
             f"serving /metrics on 127.0.0.1:{args.metrics_port} "
             f"for one scrape ...",
@@ -246,6 +284,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         verdict_store=store,
     )
     timings = _make_timings(args)
+    server = _start_metrics_server(args, telemetry)
     if args.scenario == "host":
         entity = ubuntu_host_entity(
             "demo-host", hardening=args.hardening,
@@ -268,7 +307,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     print(render_text(report, only_failures=args.only_failures))
     _finish_incremental(report, store, state_dir)
     _print_stage_timings(args, timings, validator)
-    _emit_telemetry(args, telemetry)
+    _emit_telemetry(args, telemetry, server)
     return 0 if report.compliant else 1
 
 
@@ -300,6 +339,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         )
         entities = [ContainerEntity(c) for c in containers]
         entities += [DockerImageEntity(i) for i in images]
+    server = _start_metrics_server(args, telemetry)
     scanner = BatchScanner(validator, workers=args.workers,
                            telemetry=telemetry)
     summary = scanner.scan_entities(entities, workers=args.workers)
@@ -313,7 +353,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     print("stage latency (aggregate worker-seconds):")
     print(summary.stage_timings.render_extended())
     print(validator.cache_stats().render())
-    _emit_telemetry(args, telemetry)
+    _emit_telemetry(args, telemetry, server)
     return 0
 
 
@@ -337,6 +377,7 @@ def _cmd_validate_frame(args: argparse.Namespace) -> int:
 
     telemetry = _telemetry_from_args(args)
     store, state_dir = _verdict_store_from_args(args)
+    server = _start_metrics_server(args, telemetry)
     with open(args.frame, "r", encoding="utf-8") as handle:
         frame = load_frame(handle.read())
     validator = load_builtin_validator(
@@ -354,13 +395,15 @@ def _cmd_validate_frame(args: argparse.Namespace) -> int:
         print(render_junit(report), end="")
     else:
         print(render_text(report, only_failures=args.only_failures))
-    _emit_telemetry(args, telemetry)
+    _emit_telemetry(args, telemetry, server)
     return 0 if report.compliant else 1
 
 
 def _cmd_drift(args: argparse.Namespace) -> int:
+    import json
+
     from repro.crawler.serialize import load_frame
-    from repro.engine.drift import diff_reports, render_drift
+    from repro.engine.drift import diff_reports, drift_to_dict, render_drift
 
     validator = load_builtin_validator(
         only=args.targets.split(",") if args.targets else None
@@ -370,8 +413,256 @@ def _cmd_drift(args: argparse.Namespace) -> int:
         with open(frame_path, "r", encoding="utf-8") as handle:
             reports.append(validator.validate_frame(load_frame(handle.read())))
     drift = diff_reports(reports[0], reports[1])
-    print(render_drift(drift))
+    if args.json:
+        print(json.dumps(drift_to_dict(drift), indent=2))
+    else:
+        print(render_drift(drift))
+    if args.fail_on:
+        # Same exit-code semantics as `validate --fail-on`: nonzero only
+        # for regressions at or above the threshold severity.
+        return 1 if drift.regressions_at_least(args.fail_on) else 0
     return 0 if drift.clean else 1
+
+
+def _monitor_entities(args: argparse.Namespace) -> list:
+    """The fleet one monitor cycle scans (re-crawled every cycle)."""
+    if args.root:
+        return [HostEntity(args.name, RealFilesystem(args.root))]
+    if args.scenario == "host":
+        return [ubuntu_host_entity("demo-host", hardening=args.hardening,
+                                   with_nginx=True, with_mysql=True)]
+    if args.scenario == "cloud":
+        return [build_cloud_project("demo",
+                                    violations=args.hardening < 1.0)]
+    _daemon, images, containers = build_fleet(
+        FleetSpec(images=args.size, containers_per_image=3,
+                  misconfig_rate=1.0 - args.hardening)
+    )
+    entities = [ContainerEntity(c) for c in containers]
+    entities += [DockerImageEntity(i) for i in images]
+    return entities
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from repro.engine.batch import BatchScanner
+    from repro.history import (
+        EventLog,
+        FleetMonitor,
+        HistoryStore,
+        MonitorConfig,
+        WebhookSink,
+    )
+
+    telemetry = _telemetry_from_args(args, force=True)
+    verdict_store, state_dir = _verdict_store_from_args(args)
+    validator = load_builtin_validator(
+        only=args.targets.split(",") if args.targets else None,
+        cache_size=args.cache_size,
+        workers=args.workers,
+        telemetry=telemetry,
+        verdict_store=verdict_store,
+    )
+    scanner = BatchScanner(validator, workers=args.workers,
+                           telemetry=telemetry)
+    entities = _monitor_entities(args)
+    history = HistoryStore(args.history_db,
+                           retain_cycles=args.retain_cycles)
+    sinks = []
+    event_log = None
+    if args.events_out:
+        event_log = EventLog(args.events_out)
+        sinks.append(event_log)
+    if args.webhook:
+        sinks.append(WebhookSink(args.webhook,
+                                 timeout=args.webhook_timeout))
+    config = MonitorConfig(
+        interval_s=args.interval,
+        max_cycles=args.max_cycles,
+        tags=args.tags.split(",") if args.tags else None,
+        workers=args.workers,
+        flap_window=args.flap_window,
+        flap_min_transitions=args.flap_min_transitions,
+        status_cycles=args.status_cycles,
+    )
+
+    def on_cycle(cycle_no, cycle_id, summary, events) -> None:
+        if summary is None:
+            print(f"cycle {cycle_no} (id {cycle_id}): SCAN ERROR",
+                  file=sys.stderr)
+        else:
+            counts = summary.report.counts()
+            print(
+                f"cycle {cycle_no} (id {cycle_id}): "
+                f"{summary.entities_scanned} entities, "
+                f"{counts['total']} checks "
+                f"({counts['noncompliant']} fail / {counts['error']} err), "
+                f"{len(events)} event(s) in {summary.elapsed_s:.2f}s",
+                file=sys.stderr,
+            )
+        for event in events:
+            print(f"  {event.render()}", file=sys.stderr)
+
+    monitor = FleetMonitor(scanner, history, entities=entities,
+                           config=config, sinks=tuple(sinks),
+                           on_cycle=on_cycle)
+    server = None
+    if args.port is not None:
+        server = monitor.serve(args.port)
+        print(
+            f"serving /metrics /healthz /readyz /status /history on "
+            f"http://127.0.0.1:{server.port}",
+            file=sys.stderr,
+        )
+        if args.port_file:
+            with open(args.port_file, "w", encoding="utf-8") as handle:
+                handle.write(f"{server.port}\n")
+    try:
+        stats = monitor.run()
+    except KeyboardInterrupt:
+        monitor.request_stop()
+        stats = monitor.stats
+        print("interrupted; shutting down", file=sys.stderr)
+    finally:
+        if server is not None:
+            server.close()
+        if event_log is not None:
+            event_log.close()
+    if args.report_out and monitor.last_summary is not None:
+        # The final cycle's machine-readable report: byte-identical to
+        # `repro validate --json` of the same fleet state.
+        with open(args.report_out, "w", encoding="utf-8") as handle:
+            handle.write(render_json(monitor.last_summary.report) + "\n")
+        print(f"final report written to {args.report_out}",
+              file=sys.stderr)
+    if verdict_store is not None and state_dir:
+        path = verdict_store.save(state_dir)
+        print(f"verdict store saved to {path}", file=sys.stderr)
+    print(stats.render())
+    print(history.stats().render(), file=sys.stderr)
+    history.close()
+    _emit_telemetry(args, telemetry)
+    return 1 if stats.scan_errors else 0
+
+
+def _format_cycle_time(stamp: float) -> str:
+    import datetime
+
+    return datetime.datetime.fromtimestamp(stamp).strftime(
+        "%Y-%m-%d %H:%M:%S"
+    )
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.history import HistoryStore
+
+    store = HistoryStore(args.db)
+    try:
+        if args.entity:
+            rows = [row.to_dict()
+                    for row in store.entity_trend(args.entity,
+                                                  last=args.last)]
+            if args.json:
+                print(json.dumps({"entity": args.entity, "trend": rows},
+                                 indent=2))
+            else:
+                print(f"# entity trend: {args.entity}")
+                print(f"{'cycle':>6}  {'when':<19} {'pass':>6} {'fail':>6}"
+                      f"  worst")
+                for row in rows:
+                    print(
+                        f"{row['cycle_id']:>6}  "
+                        f"{_format_cycle_time(row['started_at']):<19} "
+                        f"{row['passed']:>6} {row['failed']:>6}  "
+                        f"{row['worst_severity'] or '-'}"
+                    )
+            if not rows:
+                print(f"no history for entity {args.entity!r}",
+                      file=sys.stderr)
+                return 1
+            return 0
+        rows = [row.to_dict() for row in store.cycles(last=args.last)]
+        if args.json:
+            print(json.dumps({"cycles": rows}, indent=2))
+        else:
+            print(
+                f"{'cycle':>6}  {'when':<19} {'ent':>4} {'checks':>7} "
+                f"{'fail':>5} {'err':>4} {'compl':>7} {'secs':>7} "
+                f"{'skip':>6} {'clean/dirty':>11} {'cache':>6}"
+            )
+            for row in rows:
+                if row["scan_error"]:
+                    print(
+                        f"{row['cycle_id']:>6}  "
+                        f"{_format_cycle_time(row['started_at']):<19} "
+                        f"SCAN ERROR: {row['scan_error']}"
+                    )
+                    continue
+                print(
+                    f"{row['cycle_id']:>6}  "
+                    f"{_format_cycle_time(row['started_at']):<19} "
+                    f"{row['entities']:>4} {row['checks']:>7} "
+                    f"{row['noncompliant']:>5} {row['errors']:>4} "
+                    f"{row['compliance']:>6.1%} {row['elapsed_s']:>7.2f} "
+                    f"{row['rules_skipped']:>6} "
+                    f"{row['frames_clean']:>5}/{row['frames_dirty']:<5} "
+                    f"{row['parse_hit_rate']:>5.0%}"
+                )
+        if not rows:
+            print("history store is empty", file=sys.stderr)
+            return 1
+        return 0
+    finally:
+        store.close()
+
+
+def _cmd_flaps(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.history import HealthAnalyzer, HistoryStore
+
+    store = HistoryStore(args.db)
+    try:
+        analyzer = HealthAnalyzer(
+            store, flap_window=args.window,
+            flap_min_transitions=args.min_transitions,
+        )
+        flapping = analyzer.flapping_details()
+        regressing = [
+            {"target": key[0], "entity": key[1], "rule": key[2],
+             "regressions": count}
+            for key, count in analyzer.regression_counts(args.window)
+        ]
+        if args.json:
+            print(json.dumps(
+                {"window": args.window,
+                 "min_transitions": args.min_transitions,
+                 "flapping": flapping,
+                 "top_regressing": regressing[:args.top]},
+                indent=2,
+            ))
+            return 0
+        print(
+            f"# flapping rules (>= {args.min_transitions} transitions in "
+            f"last {args.window} cycles): {len(flapping)}"
+        )
+        for item in flapping:
+            series = " -> ".join(item["series"])
+            print(
+                f"  {item['transitions']} transitions  "
+                f"{item['target']}/{item['entity']}/{item['rule']}: {series}"
+            )
+        if regressing:
+            print(f"\ntop regressing rules (last {args.window} cycles):")
+            for item in regressing[:args.top]:
+                print(
+                    f"  {item['regressions']:>3}x  "
+                    f"{item['target']}/{item['entity']}/{item['rule']}"
+                )
+        return 0
+    finally:
+        store.close()
 
 
 def _cmd_framediff(args: argparse.Namespace) -> int:
@@ -467,7 +758,13 @@ def _add_telemetry_flags(subparser: argparse.ArgumentParser) -> None:
     )
     group.add_argument(
         "--metrics-port", type=int, default=None, metavar="PORT",
-        help="serve /metrics on 127.0.0.1:PORT for one scrape, then exit",
+        help="serve /metrics on 127.0.0.1:PORT on a daemon thread for "
+             "the duration of the run (0 picks an ephemeral port)",
+    )
+    group.add_argument(
+        "--metrics-oneshot", action="store_true",
+        help="with --metrics-port: block for exactly one scrape after "
+             "the run instead of serving throughout it",
     )
     group.add_argument(
         "--log-level", default="warning",
@@ -587,7 +884,110 @@ def build_parser() -> argparse.ArgumentParser:
     drift.add_argument("baseline", help="earlier frame file")
     drift.add_argument("current", help="later frame file")
     drift.add_argument("--targets", default="")
+    drift.add_argument("--json", action="store_true",
+                       help="emit the drift report as JSON")
+    drift.add_argument(
+        "--fail-on", "--fail-level", dest="fail_on", default="",
+        choices=["", "informational", "low", "medium", "high", "critical"],
+        help="exit nonzero only for regressions at or above this "
+             "severity (same semantics as `validate --fail-on`)",
+    )
     drift.set_defaults(func=_cmd_drift)
+
+    monitor = subparsers.add_parser(
+        "monitor",
+        help="run scan cycles on an interval with durable history, "
+             "a live HTTP endpoint, and a health event stream",
+    )
+    monitor.add_argument("--root", default="",
+                         help="rootfs to rescan each cycle "
+                              "(default: synthetic fleet)")
+    monitor.add_argument("--name", default="host",
+                         help="entity name in reports (with --root)")
+    monitor.add_argument("--targets", default="",
+                         help="comma-separated targets")
+    monitor.add_argument("--tags", default="",
+                         help="only rules with these tags")
+    monitor.add_argument("--scenario", choices=["host", "fleet", "cloud"],
+                         default="fleet",
+                         help="synthetic workload when --root is not given")
+    monitor.add_argument("--size", type=int, default=5,
+                         help="fleet size for the synthetic scenario")
+    monitor.add_argument("--hardening", type=float, default=0.5,
+                         help="hardening rate of the synthetic workload")
+    monitor.add_argument("--interval", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="sleep between scan cycles")
+    monitor.add_argument("--max-cycles", type=int, default=None,
+                         metavar="N",
+                         help="stop after N cycles (default: run forever)")
+    monitor.add_argument("--history-db", default="repro-history.sqlite",
+                         metavar="PATH",
+                         help="SQLite fleet-health history store")
+    monitor.add_argument("--retain-cycles", type=int, default=None,
+                         metavar="N",
+                         help="prune history beyond the newest N cycles")
+    monitor.add_argument("--events-out", default="", metavar="FILE",
+                         help="append health events as NDJSON")
+    monitor.add_argument("--webhook", default="", metavar="URL",
+                         help="POST each cycle's events as JSON "
+                              "(best-effort, bounded retry)")
+    monitor.add_argument("--webhook-timeout", type=float, default=3.0,
+                         metavar="SECONDS")
+    monitor.add_argument("--flap-window", type=int, default=6,
+                         metavar="CYCLES",
+                         help="sliding window for flap detection")
+    monitor.add_argument("--flap-min-transitions", type=int, default=3,
+                         metavar="N",
+                         help="verdict changes within the window that "
+                              "classify a rule as flapping")
+    monitor.add_argument("--port", type=int, default=None, metavar="PORT",
+                         help="serve /metrics /healthz /readyz /status "
+                              "/history on 127.0.0.1:PORT (0 = ephemeral)")
+    monitor.add_argument("--port-file", default="", metavar="FILE",
+                         help="write the bound endpoint port to FILE")
+    monitor.add_argument("--status-cycles", type=int, default=20,
+                         metavar="N",
+                         help="cycle rollups returned by /history")
+    monitor.add_argument("--report-out", default="", metavar="FILE",
+                         help="write the final cycle's JSON report "
+                              "(byte-identical to `validate --json`)")
+    _add_scaling_flags(monitor)
+    _add_incremental_flags(monitor)
+    _add_telemetry_flags(monitor)
+    monitor.set_defaults(func=_cmd_monitor)
+
+    history = subparsers.add_parser(
+        "history",
+        help="inspect a monitor's history store (cycle table, trends)",
+    )
+    history.add_argument("--db", default="repro-history.sqlite",
+                         metavar="PATH", help="history store to read")
+    history.add_argument("--last", type=int, default=None, metavar="N",
+                         help="only the newest N cycles")
+    history.add_argument("--entity", default="", metavar="TARGET",
+                         help="per-entity trend instead of the cycle table")
+    history.add_argument("--json", action="store_true",
+                         help="emit machine-readable JSON")
+    history.set_defaults(func=_cmd_history)
+
+    flaps = subparsers.add_parser(
+        "flaps",
+        help="flapping and top-regressing rules from a history store",
+    )
+    flaps.add_argument("--db", default="repro-history.sqlite",
+                       metavar="PATH", help="history store to read")
+    flaps.add_argument("--window", type=int, default=6, metavar="CYCLES",
+                       help="sliding window for flap detection")
+    flaps.add_argument("--min-transitions", type=int, default=3,
+                       metavar="N",
+                       help="verdict changes within the window that "
+                            "classify a rule as flapping")
+    flaps.add_argument("--top", type=int, default=10,
+                       help="rows in the top-regressing ranking")
+    flaps.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON")
+    flaps.set_defaults(func=_cmd_flaps)
 
     framediff = subparsers.add_parser(
         "framediff", help="diff two captured frames (files/packages/runtime)"

@@ -81,6 +81,9 @@ class FleetSummary:
     report: ValidationReport
     entities_scanned: int
     elapsed_s: float
+    #: Wall-clock (``time.time``) stamp at cycle start -- the time axis
+    #: of the fleet-health history store.
+    started_at: float = 0.0
     rules: dict[tuple[str, str], RuleRollup] = field(default_factory=dict)
     entities: dict[str, EntityRollup] = field(default_factory=dict)
     tag_failures: dict[str, int] = field(default_factory=dict)
@@ -168,6 +171,7 @@ class BatchScanner:
         workers = self._workers if workers is None else max(1, workers)
         timings = StageTimings()
         busy_before = self._busy_seconds()
+        started_at = time.time()
         started = time.perf_counter()
         with self.telemetry.spans.span("scan_cycle", category="cycle",
                                        entities=str(len(entities)),
@@ -179,7 +183,7 @@ class BatchScanner:
             )
         return self._summarize(
             report, len(entities), time.perf_counter() - started, timings,
-            workers=workers, busy_before=busy_before,
+            workers=workers, busy_before=busy_before, started_at=started_at,
         )
 
     def scan_frames(self, frames: list[ConfigFrame], *,
@@ -189,6 +193,7 @@ class BatchScanner:
         workers = self._workers if workers is None else max(1, workers)
         timings = StageTimings()
         busy_before = self._busy_seconds()
+        started_at = time.time()
         started = time.perf_counter()
         with self.telemetry.spans.span("scan_cycle", category="cycle",
                                        entities=str(len(frames)),
@@ -198,7 +203,7 @@ class BatchScanner:
             )
         return self._summarize(
             report, len(frames), time.perf_counter() - started, timings,
-            workers=workers, busy_before=busy_before,
+            workers=workers, busy_before=busy_before, started_at=started_at,
         )
 
     def _busy_seconds(self) -> float:
@@ -219,6 +224,7 @@ class BatchScanner:
         *,
         workers: int = 1,
         busy_before: float = 0.0,
+        started_at: float = 0.0,
     ) -> FleetSummary:
         telemetry = self.telemetry
         if telemetry.enabled:
@@ -241,6 +247,7 @@ class BatchScanner:
             report=report,
             entities_scanned=entity_count,
             elapsed_s=elapsed,
+            started_at=started_at or time.time() - elapsed,
             stage_timings=timings,
             cache_stats=self._validator.cache_stats(),
             profile=telemetry.profiler if telemetry.enabled else None,

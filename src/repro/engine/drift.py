@@ -3,8 +3,15 @@
 Production usage (paper §5) scans entities continuously; what operators
 act on is the *delta* -- which checks regressed since the last scan, or
 how a running container diverges from the image it was started from.
-:func:`diff_reports` aligns two reports by (entity, rule) and buckets the
-changes; :func:`render_drift` prints the operator-facing summary.
+:func:`diff_reports` aligns two reports by (target, entity, rule) and
+buckets the changes; :func:`render_drift` prints the operator-facing
+summary and :func:`drift_to_dict` the machine-readable one (``repro
+drift --json``, the monitor's event stream).
+
+The target participates in the alignment key so fleet-wide reports --
+where many frames carry the same component (six nginx containers all
+produce an ``nginx`` entity) -- diff per frame instead of collapsing
+onto one another.  For single-entity reports the behavior is unchanged.
 """
 
 from __future__ import annotations
@@ -13,16 +20,21 @@ from dataclasses import dataclass, field
 
 from repro.engine.results import RuleResult, ValidationReport, Verdict
 
+#: Alignment key of one rule evaluation across runs.
+DriftKey = tuple[str, str, str]   # (target, entity, rule name)
+
 
 @dataclass
 class DriftEntry:
-    """One (entity, rule) whose verdict changed between runs."""
+    """One (target, entity, rule) whose verdict changed between runs."""
 
     entity: str
     rule_name: str
     before: Verdict | None   # None: rule absent in the earlier report
     after: Verdict | None    # None: rule absent in the later report
     message: str = ""
+    target: str = ""         # frame the verdict belongs to, e.g. "container:web1"
+    severity: str = ""
 
     @property
     def regressed(self) -> bool:
@@ -37,6 +49,19 @@ class DriftEntry:
             self.before is Verdict.NONCOMPLIANT
             and self.after is Verdict.COMPLIANT
         )
+
+    def to_dict(self) -> dict:
+        return {
+            "target": self.target,
+            "entity": self.entity,
+            "rule": self.rule_name,
+            "before": self.before.value if self.before else None,
+            "after": self.after.value if self.after else None,
+            "severity": self.severity,
+            "message": self.message,
+            "regressed": self.regressed,
+            "fixed": self.fixed,
+        }
 
 
 @dataclass
@@ -59,6 +84,17 @@ class DriftReport:
     def disappeared(self) -> list[DriftEntry]:
         return [entry for entry in self.entries if entry.after is None]
 
+    def regressions_at_least(self, severity: str) -> list[DriftEntry]:
+        """Regressions at or above ``severity`` (CI gating)."""
+        from repro.engine.batch import severity_rank
+
+        threshold = severity_rank(severity)
+        return [
+            entry
+            for entry in self.regressions()
+            if severity_rank(entry.severity) >= threshold
+        ]
+
     @property
     def clean(self) -> bool:
         return not self.regressions()
@@ -67,14 +103,18 @@ class DriftReport:
         return len(self.entries)
 
 
-def _index(report: ValidationReport) -> dict[tuple[str, str], RuleResult]:
-    return {(result.entity, result.rule.name): result for result in report}
+def _index(report: ValidationReport) -> dict[DriftKey, RuleResult]:
+    return {
+        (result.target, result.entity, result.rule.name): result
+        for result in report
+    }
 
 
 def diff_reports(
     baseline: ValidationReport, current: ValidationReport
 ) -> DriftReport:
-    """Changes from ``baseline`` to ``current`` (aligned by entity+rule)."""
+    """Changes from ``baseline`` to ``current`` (aligned by
+    target+entity+rule)."""
     before_index = _index(baseline)
     after_index = _index(current)
     drift = DriftReport(baseline=baseline.target, current=current.target)
@@ -85,16 +125,35 @@ def diff_reports(
         after_verdict = after.verdict if after else None
         if before_verdict == after_verdict:
             continue
+        witness = after or before
         drift.entries.append(
             DriftEntry(
-                entity=key[0],
-                rule_name=key[1],
+                target=key[0],
+                entity=key[1],
+                rule_name=key[2],
                 before=before_verdict,
                 after=after_verdict,
                 message=(after.message if after else (before.message if before else "")),
+                severity=witness.rule.severity if witness else "",
             )
         )
     return drift
+
+
+def drift_to_dict(drift: DriftReport) -> dict:
+    """Machine-readable drift report (``repro drift --json``)."""
+    return {
+        "baseline": drift.baseline,
+        "current": drift.current,
+        "summary": {
+            "changes": len(drift),
+            "regressions": len(drift.regressions()),
+            "fixes": len(drift.fixes()),
+            "appeared": len(drift.appeared()),
+            "disappeared": len(drift.disappeared()),
+        },
+        "entries": [entry.to_dict() for entry in drift.entries],
+    }
 
 
 def render_drift(drift: DriftReport) -> str:

@@ -1,0 +1,60 @@
+"""Continuous fleet-health monitoring (the time axis of the scanner).
+
+Layers, bottom to top:
+
+* :mod:`repro.history.store`    -- :class:`HistoryStore`, the durable
+  append-only SQLite record of every cycle's verdicts and rollups;
+* :mod:`repro.history.events`   -- :class:`HealthEvent` and the NDJSON /
+  webhook sinks;
+* :mod:`repro.history.analyzer` -- :class:`HealthAnalyzer` and
+  :class:`FlapDetector`: drift classification, streaks, flapping rules;
+* :mod:`repro.history.monitor`  -- :class:`FleetMonitor`, the ``repro
+  monitor`` daemon with the persistent ``/metrics`` / ``/status`` /
+  ``/history`` endpoint.
+
+Offline, the same store backs ``repro history`` and ``repro flaps``.
+"""
+
+from repro.history.analyzer import (
+    DEFAULT_FLAP_MIN_TRANSITIONS,
+    DEFAULT_FLAP_WINDOW,
+    FlapDetector,
+    HealthAnalyzer,
+    count_transitions,
+)
+from repro.history.events import (
+    EVENT_KINDS,
+    EventLog,
+    HealthEvent,
+    WebhookSink,
+)
+from repro.history.monitor import FleetMonitor, MonitorConfig, MonitorStats
+from repro.history.store import (
+    CycleRow,
+    EntityTrendRow,
+    HistoryStore,
+    HistoryStoreStats,
+    VerdictRow,
+    report_verdict_map,
+)
+
+__all__ = [
+    "CycleRow",
+    "DEFAULT_FLAP_MIN_TRANSITIONS",
+    "DEFAULT_FLAP_WINDOW",
+    "EVENT_KINDS",
+    "EntityTrendRow",
+    "EventLog",
+    "FlapDetector",
+    "FleetMonitor",
+    "HealthAnalyzer",
+    "HealthEvent",
+    "HistoryStore",
+    "HistoryStoreStats",
+    "MonitorConfig",
+    "MonitorStats",
+    "VerdictRow",
+    "WebhookSink",
+    "count_transitions",
+    "report_verdict_map",
+]

@@ -1,0 +1,302 @@
+"""Cycle-over-cycle health analysis: drift classification, verdict
+streaks, and flapping-rule detection.
+
+A rule that fails once is a finding; a rule that *oscillates* is noise
+that trains operators to ignore the dashboard.  :class:`FlapDetector`
+tracks each (target, entity, rule)'s verdicts over a sliding window of
+cycles and flags keys whose verdict changed at least
+``min_transitions`` times within it; :class:`HealthAnalyzer` layers the
+event stream on top -- regressions and fixes straight from
+:func:`repro.engine.drift.diff_reports`, fleet membership changes, and
+flap start/end transitions -- and can rehydrate all of its state from
+the :class:`~repro.history.store.HistoryStore`, so a restarted monitor
+resumes mid-streak instead of re-announcing the world.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Iterable
+
+from repro.engine.drift import diff_reports
+from repro.engine.results import ValidationReport, Verdict
+from repro.history.events import HealthEvent
+from repro.history.store import HistoryStore, VerdictKey, report_verdict_map
+
+#: Defaults: a key must change verdict 3+ times within its last 6
+#: observations to count as flapping.
+DEFAULT_FLAP_WINDOW = 6
+DEFAULT_FLAP_MIN_TRANSITIONS = 3
+
+
+def count_transitions(series: Iterable[str]) -> int:
+    """Number of adjacent unequal pairs in a verdict series."""
+    changes = 0
+    previous = None
+    for value in series:
+        if previous is not None and value != previous:
+            changes += 1
+        previous = value
+    return changes
+
+
+class FlapDetector:
+    """Sliding-window verdict-oscillation detector.
+
+    Feed it one verdict map per cycle (:meth:`observe_cycle`); it
+    returns which keys started and stopped flapping.  A key flaps while
+    its last ``window`` verdicts contain at least ``min_transitions``
+    changes; a key that leaves the fleet stops flapping implicitly.
+    """
+
+    def __init__(self, window: int = DEFAULT_FLAP_WINDOW,
+                 min_transitions: int = DEFAULT_FLAP_MIN_TRANSITIONS):
+        if window < 2:
+            raise ValueError("flap window must be >= 2")
+        if not 1 <= min_transitions <= window - 1:
+            raise ValueError(
+                "min_transitions must be in [1, window-1] "
+                f"(got {min_transitions} for window {window})"
+            )
+        self.window = window
+        self.min_transitions = min_transitions
+        self._series: dict[VerdictKey, deque[str]] = {}
+        self._flapping: set[VerdictKey] = set()
+
+    def seed(self, series: dict[VerdictKey, list[str]]) -> None:
+        """Rehydrate from stored history without emitting transitions."""
+        for key, verdicts in series.items():
+            window = deque(verdicts[-self.window:], maxlen=self.window)
+            if not window:
+                continue
+            self._series[key] = window
+            if count_transitions(window) >= self.min_transitions:
+                self._flapping.add(key)
+
+    def observe_cycle(
+        self, verdicts: dict[VerdictKey, str]
+    ) -> tuple[list[VerdictKey], list[VerdictKey]]:
+        """Fold in one cycle; returns (flap starts, flap ends), sorted."""
+        starts: list[VerdictKey] = []
+        ends: list[VerdictKey] = []
+        for key in set(self._series) - set(verdicts):
+            del self._series[key]
+            if key in self._flapping:
+                self._flapping.discard(key)
+                ends.append(key)
+        for key, verdict in verdicts.items():
+            window = self._series.get(key)
+            if window is None:
+                window = self._series[key] = deque(maxlen=self.window)
+            window.append(verdict)
+            flapping = count_transitions(window) >= self.min_transitions
+            if flapping and key not in self._flapping:
+                self._flapping.add(key)
+                starts.append(key)
+            elif not flapping and key in self._flapping:
+                self._flapping.discard(key)
+                ends.append(key)
+        return sorted(starts), sorted(ends)
+
+    def flapping(self) -> list[VerdictKey]:
+        return sorted(self._flapping)
+
+    def series(self, key: VerdictKey) -> tuple[str, ...]:
+        return tuple(self._series.get(key, ()))
+
+    def transitions(self, key: VerdictKey) -> int:
+        return count_transitions(self._series.get(key, ()))
+
+
+class HealthAnalyzer:
+    """Turns consecutive cycles into typed health events.
+
+    In-process, consecutive reports are classified with
+    :func:`diff_reports` -- the monitor's regression/fix events are
+    *definitionally* identical to what ``repro drift`` would print for
+    the same pair of reports.  Across a daemon restart the previous
+    cycle only exists as stored verdict rows, so the first diff runs on
+    the stored verdict map with the same classification rules.
+    """
+
+    def __init__(self, store: HistoryStore, *,
+                 flap_window: int = DEFAULT_FLAP_WINDOW,
+                 flap_min_transitions: int = DEFAULT_FLAP_MIN_TRANSITIONS):
+        self.store = store
+        self.detector = FlapDetector(flap_window, flap_min_transitions)
+        self._prev_report: ValidationReport | None = None
+        self._prev_map: dict[VerdictKey, str] | None = None
+        windows = store.verdict_windows(flap_window)
+        if windows:
+            self.detector.seed(
+                {key: [verdict for _cycle, verdict in series]
+                 for key, series in windows.items()}
+            )
+        latest = store.latest_cycle_id()
+        if latest is not None:
+            row = store.cycle(latest)
+            if row is not None and not row.failed_cycle:
+                self._prev_map = store.verdict_map(latest)
+
+    # ---- the per-cycle entry points ---------------------------------------
+
+    def observe_report(self, cycle_id: int,
+                       report: ValidationReport) -> list[HealthEvent]:
+        """Classify one completed cycle; returns its events in order
+        (regressions, fixes, flaps, membership changes)."""
+        now = time.time()
+        current_map = report_verdict_map(report)
+        severities = {
+            (r.target, r.entity, r.rule.name): r.rule.severity
+            for r in report
+        }
+        events: list[HealthEvent] = []
+        if self._prev_report is not None:
+            drift = diff_reports(self._prev_report, report)
+            for kind, entries in (("regression", drift.regressions()),
+                                  ("fix", drift.fixes())):
+                for entry in entries:
+                    events.append(HealthEvent(
+                        kind=kind, cycle_id=cycle_id, ts=now,
+                        target=entry.target, entity=entry.entity,
+                        rule=entry.rule_name,
+                        before=entry.before.value if entry.before else "",
+                        after=entry.after.value if entry.after else "",
+                        severity=entry.severity, message=entry.message,
+                    ))
+        elif self._prev_map is not None:
+            events.extend(self._diff_stored(cycle_id, now, current_map,
+                                            severities))
+        baseline_map = (
+            report_verdict_map(self._prev_report)
+            if self._prev_report is not None else self._prev_map
+        )
+        flap_starts, flap_ends = self.detector.observe_cycle(current_map)
+        for kind, keys in (("flap_start", flap_starts),
+                           ("flap_end", flap_ends)):
+            for key in keys:
+                series = self.detector.series(key)
+                events.append(HealthEvent(
+                    kind=kind, cycle_id=cycle_id, ts=now,
+                    target=key[0], entity=key[1], rule=key[2],
+                    severity=severities.get(key, ""),
+                    message=(
+                        f"{count_transitions(series)} transitions in last "
+                        f"{len(series)} cycles: {' -> '.join(series)}"
+                        if series else "left the fleet"
+                    ),
+                ))
+        if baseline_map is not None:
+            before_targets = {key[0] for key in baseline_map}
+            after_targets = {key[0] for key in current_map}
+            for kind, targets in (
+                ("entity_appeared", sorted(after_targets - before_targets)),
+                ("entity_disappeared",
+                 sorted(before_targets - after_targets)),
+            ):
+                for target in targets:
+                    events.append(HealthEvent(
+                        kind=kind, cycle_id=cycle_id, ts=now, target=target,
+                    ))
+        self._prev_report = report
+        self._prev_map = current_map
+        return events
+
+    def observe_error(self, cycle_id: int, message: str) -> list[HealthEvent]:
+        """A cycle that crashed before producing a report.
+
+        The previous baseline is kept: the next good cycle diffs against
+        the last good one, not against the crash.
+        """
+        return [HealthEvent(kind="scan_error", cycle_id=cycle_id,
+                            message=message or "scan failed")]
+
+    def _diff_stored(self, cycle_id: int, now: float,
+                     current: dict[VerdictKey, str],
+                     severities: dict[VerdictKey, str]) -> list[HealthEvent]:
+        """Restart path: classify against the stored previous cycle with
+        the same rules :func:`diff_reports` applies to live reports."""
+        previous = self._prev_map or {}
+        noncompliant = Verdict.NONCOMPLIANT.value
+        compliant = Verdict.COMPLIANT.value
+        events: list[HealthEvent] = []
+        regressions: list[HealthEvent] = []
+        fixes: list[HealthEvent] = []
+        for key in sorted(set(previous) | set(current)):
+            before = previous.get(key, "")
+            after = current.get(key, "")
+            event = HealthEvent(
+                kind="regression", cycle_id=cycle_id, ts=now,
+                target=key[0], entity=key[1], rule=key[2],
+                before=before, after=after,
+                severity=severities.get(key, ""),
+            )
+            if after == noncompliant and before != noncompliant:
+                regressions.append(event)
+            elif before == noncompliant and after == compliant:
+                event.kind = "fix"
+                fixes.append(event)
+        events.extend(regressions)
+        events.extend(fixes)
+        return events
+
+    # ---- offline / endpoint queries ---------------------------------------
+
+    def flapping(self) -> list[VerdictKey]:
+        return self.detector.flapping()
+
+    def flapping_details(self) -> list[dict]:
+        """Current flapping set with transition counts and series."""
+        out = []
+        for key in self.detector.flapping():
+            series = self.detector.series(key)
+            out.append({
+                "target": key[0],
+                "entity": key[1],
+                "rule": key[2],
+                "transitions": count_transitions(series),
+                "window": len(series),
+                "series": list(series),
+            })
+        return out
+
+    def regression_counts(
+        self, window: int = 20
+    ) -> list[tuple[VerdictKey, int]]:
+        """Keys ranked by how often they regressed in the last
+        ``window`` cycles (from the store, so it works offline)."""
+        noncompliant = Verdict.NONCOMPLIANT.value
+        ranked: list[tuple[VerdictKey, int]] = []
+        for key, series in self.store.verdict_windows(window).items():
+            count = 0
+            previous = None
+            for _cycle, verdict in series:
+                if verdict == noncompliant and previous is not None \
+                        and previous != noncompliant:
+                    count += 1
+                previous = verdict
+            if count:
+                ranked.append((key, count))
+        ranked.sort(key=lambda item: (-item[1], item[0]))
+        return ranked
+
+    def streaks(self, window: int = 50,
+                verdict: str | None = None) -> list[tuple[VerdictKey, str, int]]:
+        """Tail run length per key over the last ``window`` cycles:
+        ``(key, verdict, length)``, longest first.  ``verdict`` filters
+        (e.g. ``"noncompliant"`` for the wall-of-shame view)."""
+        out: list[tuple[VerdictKey, str, int]] = []
+        for key, series in self.store.verdict_windows(window).items():
+            if not series:
+                continue
+            tail = series[-1][1]
+            length = 0
+            for _cycle, value in reversed(series):
+                if value != tail:
+                    break
+                length += 1
+            if verdict is None or tail == verdict:
+                out.append((key, tail, length))
+        out.sort(key=lambda item: (-item[2], item[0]))
+        return out

@@ -1,0 +1,192 @@
+"""Typed fleet-health events and the sinks that deliver them.
+
+The monitor distills each cycle's changes into a small vocabulary of
+events (regressions, fixes, flap transitions, fleet membership changes,
+scan errors).  Events flow to any number of *sinks*: the NDJSON
+:class:`EventLog` (one JSON object per line, append-only, tail-able) and
+the optional :class:`WebhookSink` (``urllib`` POST with timeout and
+bounded retry).  Sink failures are logged and counted, never fatal -- a
+dead webhook must not take the scan loop down with it.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+
+from repro.telemetry import get_logger
+
+log = get_logger("history.events")
+
+#: The event vocabulary, in rough severity order.
+EVENT_KINDS = (
+    "scan_error",
+    "regression",
+    "flap_start",
+    "flap_end",
+    "fix",
+    "entity_appeared",
+    "entity_disappeared",
+)
+
+
+@dataclass
+class HealthEvent:
+    """One noteworthy cycle-over-cycle change."""
+
+    kind: str
+    cycle_id: int
+    ts: float = field(default_factory=time.time)
+    target: str = ""
+    entity: str = ""
+    rule: str = ""
+    before: str = ""     # verdict value, or "" when not applicable
+    after: str = ""
+    severity: str = ""
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {self.kind!r}")
+
+    def to_dict(self) -> dict:
+        payload = {"kind": self.kind, "cycle": self.cycle_id,
+                   "ts": round(self.ts, 3)}
+        for name in ("target", "entity", "rule", "before", "after",
+                     "severity", "message"):
+            value = getattr(self, name)
+            if value:
+                payload[name] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "HealthEvent":
+        return cls(
+            kind=payload["kind"],
+            cycle_id=int(payload["cycle"]),
+            ts=float(payload.get("ts", 0.0)),
+            target=payload.get("target", ""),
+            entity=payload.get("entity", ""),
+            rule=payload.get("rule", ""),
+            before=payload.get("before", ""),
+            after=payload.get("after", ""),
+            severity=payload.get("severity", ""),
+            message=payload.get("message", ""),
+        )
+
+    def render(self) -> str:
+        where = "/".join(p for p in (self.target, self.entity, self.rule)
+                         if p)
+        change = ""
+        if self.before or self.after:
+            change = f" ({self.before or 'absent'} -> {self.after or 'absent'})"
+        detail = f" -- {self.message}" if self.message else ""
+        return f"[{self.kind.upper()}] cycle {self.cycle_id} {where}{change}{detail}"
+
+
+class EventLog:
+    """Append-only NDJSON event sink (one JSON object per line).
+
+    Writes are flushed per batch so ``tail -f`` and the CI artifact
+    collector see events as they happen, and a killed daemon loses at
+    most the in-flight batch.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._lock = threading.Lock()
+        self._handle = open(path, "a", encoding="utf-8")
+        self.written = 0
+
+    def emit(self, event: HealthEvent) -> None:
+        self.emit_many([event])
+
+    def emit_many(self, events: list[HealthEvent]) -> None:
+        if not events:
+            return
+        lines = "".join(
+            json.dumps(event.to_dict(), sort_keys=True) + "\n"
+            for event in events
+        )
+        with self._lock:
+            self._handle.write(lines)
+            self._handle.flush()
+            self.written += len(events)
+
+    def close(self) -> None:
+        with self._lock:
+            self._handle.close()
+
+    @staticmethod
+    def read(path: str) -> list[HealthEvent]:
+        """Parse an NDJSON event log back into events (offline tools)."""
+        events: list[HealthEvent] = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    events.append(HealthEvent.from_dict(json.loads(line)))
+        return events
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class WebhookSink:
+    """POST event batches to an HTTP endpoint (stdlib ``urllib``).
+
+    The contract (docs/monitoring.md): one POST per cycle with a JSON
+    body ``{"events": [...]}``; 2xx acknowledges the batch.  Delivery is
+    best-effort -- ``timeout`` per attempt, ``retries`` extra attempts
+    with linear backoff, then the batch is dropped and counted in
+    :attr:`failed_batches`.  Nothing here raises into the scan loop.
+    """
+
+    def __init__(self, url: str, *, timeout: float = 3.0, retries: int = 2,
+                 backoff_s: float = 0.2):
+        self.url = url
+        self.timeout = timeout
+        self.retries = max(0, retries)
+        self.backoff_s = backoff_s
+        self.delivered = 0
+        self.failed_batches = 0
+
+    def emit(self, event: HealthEvent) -> None:
+        self.emit_many([event])
+
+    def emit_many(self, events: list[HealthEvent]) -> None:
+        if not events:
+            return
+        body = json.dumps(
+            {"events": [event.to_dict() for event in events]},
+            sort_keys=True,
+        ).encode("utf-8")
+        request = urllib.request.Request(
+            self.url, data=body, method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        for attempt in range(self.retries + 1):
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout
+                ) as response:
+                    response.read()
+                self.delivered += len(events)
+                return
+            except (urllib.error.URLError, OSError) as exc:
+                if attempt < self.retries:
+                    time.sleep(self.backoff_s * (attempt + 1))
+                    continue
+                self.failed_batches += 1
+                log.warning(
+                    "webhook delivery to %s failed after %d attempt(s),"
+                    " dropping %d event(s): %s",
+                    self.url, attempt + 1, len(events), exc,
+                )

@@ -1,0 +1,746 @@
+"""Durable fleet-health history: one SQLite row per (cycle, target,
+entity, rule) verdict plus per-cycle rollups.
+
+The paper's production story (§5) is *continuous* scanning -- operators
+watch a fleet across many cycles, and the operator-facing artifact is
+the verdict history, not any single report.  :class:`HistoryStore` is
+the append-only time axis under that: every scan cycle lands as
+
+* a ``cycles`` row -- counts, compliance score, stage timings, and the
+  incremental/parse-cache effectiveness numbers imported from
+  :class:`~repro.engine.batch.FleetSummary`;
+* one ``verdicts`` row per (target, entity, rule) -- the raw material
+  for flap detection, streaks, and offline drilldowns;
+* one ``entity_rollups`` row per scanned frame.
+
+Storage is stdlib :mod:`sqlite3` in WAL mode.  A single connection
+(``check_same_thread=False``) is shared behind one lock, so scanner
+threads, the HTTP endpoint, and offline readers coexist.
+
+The write path is engineered against the <5% cycle-overhead budget that
+``benchmarks/bench_history.py`` enforces (a steady-state warm-cache
+scan cycle is tens of milliseconds, so the append must stay in the low
+single digits):
+
+* verdict keys are normalized into a ``series`` dimension table, so the
+  per-cycle hot loop inserts ``(cycle_id, series_id, verdict_code)``
+  integer rows instead of four-column text keys -- in steady state the
+  dimension is fully cached in memory and never touched;
+* verdicts are stored as 1-byte integer codes, decoded on read;
+* messages are persisted only for noncompliant/error verdicts (a
+  passing check's message restates the rule);
+* each cycle is a single transaction (``executemany`` batches), and
+  retention pruning deletes child rows explicitly so per-row foreign-key
+  enforcement stays off.
+
+Retention is bounded: ``retain_cycles`` prunes the oldest cycles after
+every write, and incremental vacuum hands the freed pages back so a
+long-running monitor's database stops growing once the window is full.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.engine.batch import FleetSummary
+from repro.engine.results import ValidationReport, Verdict
+from repro.engine.stages import STAGES
+from repro.telemetry import get_logger
+
+log = get_logger("history")
+
+#: Alignment key of one verdict across cycles (matches
+#: :mod:`repro.engine.drift`).
+VerdictKey = tuple[str, str, str]   # (target, entity, rule name)
+
+#: Stable on-disk encoding of verdict values.  Append-only: codes are
+#: part of the database format and must never be renumbered.
+VERDICT_CODES: dict[str, int] = {
+    Verdict.COMPLIANT.value: 0,
+    Verdict.NONCOMPLIANT.value: 1,
+    Verdict.ERROR.value: 2,
+    Verdict.NOT_APPLICABLE.value: 3,
+}
+_VERDICT_NAMES: dict[int, str] = {
+    code: value for value, code in VERDICT_CODES.items()
+}
+_MESSAGE_CODES = frozenset(
+    (VERDICT_CODES[Verdict.NONCOMPLIANT.value],
+     VERDICT_CODES[Verdict.ERROR.value])
+)
+#: Hot-loop twin of :data:`VERDICT_CODES`, keyed by enum member to skip
+#: the ``.value`` descriptor per result.
+_CODES_BY_MEMBER = {member: VERDICT_CODES[member.value]
+                    for member in Verdict}
+assert len(VERDICT_CODES) == len(Verdict), "unmapped verdict value"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS cycles (
+    cycle_id       INTEGER PRIMARY KEY AUTOINCREMENT,
+    started_at     REAL    NOT NULL,
+    elapsed_s      REAL    NOT NULL DEFAULT 0,
+    entities       INTEGER NOT NULL DEFAULT 0,
+    checks         INTEGER NOT NULL DEFAULT 0,
+    compliant      INTEGER NOT NULL DEFAULT 0,
+    noncompliant   INTEGER NOT NULL DEFAULT 0,
+    errors         INTEGER NOT NULL DEFAULT 0,
+    not_applicable INTEGER NOT NULL DEFAULT 0,
+    compliance     REAL    NOT NULL DEFAULT 1.0,
+    crawl_s        REAL    NOT NULL DEFAULT 0,
+    discover_s     REAL    NOT NULL DEFAULT 0,
+    parse_s        REAL    NOT NULL DEFAULT 0,
+    evaluate_s     REAL    NOT NULL DEFAULT 0,
+    composite_s    REAL    NOT NULL DEFAULT 0,
+    parse_hits     INTEGER NOT NULL DEFAULT 0,
+    parse_misses   INTEGER NOT NULL DEFAULT 0,
+    parse_hit_rate REAL    NOT NULL DEFAULT 0,
+    rules_skipped  INTEGER NOT NULL DEFAULT 0,
+    rules_evaluated INTEGER NOT NULL DEFAULT 0,
+    frames_clean   INTEGER NOT NULL DEFAULT 0,
+    frames_dirty   INTEGER NOT NULL DEFAULT 0,
+    scan_error     TEXT    NOT NULL DEFAULT ''
+);
+
+-- The verdict-key dimension: one row per (target, entity, rule) ever
+-- observed.  Severity lives here because it is a property of the rule,
+-- not of any one cycle's outcome.
+CREATE TABLE IF NOT EXISTS series (
+    series_id INTEGER PRIMARY KEY,
+    target    TEXT NOT NULL,
+    entity    TEXT NOT NULL,
+    rule      TEXT NOT NULL,
+    severity  TEXT NOT NULL DEFAULT '',
+    UNIQUE (target, entity, rule)
+);
+
+-- Deliberately index-free beyond the PK: the write path is the hot
+-- path, and every reader either scans a cycle range (PK prefix) or is
+-- an offline drilldown bounded by retention.
+CREATE TABLE IF NOT EXISTS verdicts (
+    cycle_id  INTEGER NOT NULL,
+    series_id INTEGER NOT NULL,
+    verdict   INTEGER NOT NULL,
+    message   TEXT    NOT NULL DEFAULT '',
+    PRIMARY KEY (cycle_id, series_id)
+) WITHOUT ROWID;
+
+CREATE TABLE IF NOT EXISTS entity_rollups (
+    cycle_id INTEGER NOT NULL,
+    target   TEXT    NOT NULL,
+    passed   INTEGER NOT NULL DEFAULT 0,
+    failed   INTEGER NOT NULL DEFAULT 0,
+    worst_severity TEXT NOT NULL DEFAULT '',
+    PRIMARY KEY (cycle_id, target)
+) WITHOUT ROWID;
+"""
+
+_CYCLE_COLUMNS = (
+    "cycle_id", "started_at", "elapsed_s", "entities", "checks",
+    "compliant", "noncompliant", "errors", "not_applicable", "compliance",
+    "crawl_s", "discover_s", "parse_s", "evaluate_s", "composite_s",
+    "parse_hits", "parse_misses", "parse_hit_rate",
+    "rules_skipped", "rules_evaluated", "frames_clean", "frames_dirty",
+    "scan_error",
+)
+
+_VERDICT_SELECT = (
+    "SELECT v.cycle_id, s.target, s.entity, s.rule, v.verdict,"
+    " s.severity, v.message FROM verdicts v"
+    " JOIN series s ON s.series_id = v.series_id"
+)
+
+
+@dataclass
+class CycleRow:
+    """One scan cycle as stored (the ``repro history`` table row)."""
+
+    cycle_id: int
+    started_at: float
+    elapsed_s: float
+    entities: int
+    checks: int
+    compliant: int
+    noncompliant: int
+    errors: int
+    not_applicable: int
+    compliance: float
+    crawl_s: float
+    discover_s: float
+    parse_s: float
+    evaluate_s: float
+    composite_s: float
+    parse_hits: int
+    parse_misses: int
+    parse_hit_rate: float
+    rules_skipped: int
+    rules_evaluated: int
+    frames_clean: int
+    frames_dirty: int
+    scan_error: str
+
+    @property
+    def failed_cycle(self) -> bool:
+        return bool(self.scan_error)
+
+    def to_dict(self) -> dict:
+        return {name: getattr(self, name) for name in _CYCLE_COLUMNS}
+
+
+@dataclass
+class VerdictRow:
+    """One stored verdict (message is kept only for noncompliant and
+    error verdicts)."""
+
+    cycle_id: int
+    target: str
+    entity: str
+    rule: str
+    verdict: str
+    severity: str
+    message: str
+
+    @property
+    def key(self) -> VerdictKey:
+        return (self.target, self.entity, self.rule)
+
+    def to_dict(self) -> dict:
+        return {
+            "cycle_id": self.cycle_id,
+            "target": self.target,
+            "entity": self.entity,
+            "rule": self.rule,
+            "verdict": self.verdict,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+@dataclass
+class EntityTrendRow:
+    """Per-cycle health of one scanned frame."""
+
+    cycle_id: int
+    started_at: float
+    target: str
+    passed: int
+    failed: int
+    worst_severity: str
+
+    def to_dict(self) -> dict:
+        return {
+            "cycle_id": self.cycle_id,
+            "started_at": self.started_at,
+            "target": self.target,
+            "passed": self.passed,
+            "failed": self.failed,
+            "worst_severity": self.worst_severity,
+        }
+
+
+@dataclass
+class HistoryStoreStats:
+    """Write-path counters of one :class:`HistoryStore` (this process)."""
+
+    cycles_recorded: int = 0
+    error_cycles_recorded: int = 0
+    rows_written: int = 0
+    write_seconds: float = 0.0
+    cycles_pruned: int = 0
+    db_cycles: int = 0
+    db_bytes: int = 0
+
+    def render(self) -> str:
+        return (
+            f"history store: {self.cycles_recorded} cycles recorded "
+            f"({self.error_cycles_recorded} errored), "
+            f"{self.rows_written:,} rows in {self.write_seconds:.3f}s, "
+            f"{self.cycles_pruned} pruned; db holds {self.db_cycles} "
+            f"cycles / {self.db_bytes:,} B"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "cycles_recorded": self.cycles_recorded,
+            "error_cycles_recorded": self.error_cycles_recorded,
+            "rows_written": self.rows_written,
+            "write_seconds": self.write_seconds,
+            "cycles_pruned": self.cycles_pruned,
+            "db_cycles": self.db_cycles,
+            "db_bytes": self.db_bytes,
+        }
+
+
+def report_verdict_map(report: ValidationReport) -> dict[VerdictKey, str]:
+    """Report -> {(target, entity, rule): verdict value}.
+
+    Duplicate keys collapse last-wins, mirroring how
+    :func:`repro.engine.drift.diff_reports` indexes reports, so history
+    rows and drift entries always agree.
+    """
+    return {
+        (result.target, result.entity, result.rule.name):
+            result.verdict.value
+        for result in report
+    }
+
+
+class HistoryStore:
+    """Append-only, thread-safe fleet-health store (SQLite, WAL)."""
+
+    def __init__(self, path: str = ":memory:", *,
+                 retain_cycles: int | None = None):
+        if retain_cycles is not None and retain_cycles < 1:
+            raise ValueError("retain_cycles must be >= 1")
+        self.path = path
+        self.retain_cycles = retain_cycles
+        self._lock = threading.RLock()
+        if path != ":memory:":
+            parent = os.path.dirname(os.path.abspath(path))
+            os.makedirs(parent, exist_ok=True)
+        self._conn = sqlite3.connect(
+            path, check_same_thread=False, timeout=30.0
+        )
+        self._conn.row_factory = sqlite3.Row
+        # auto_vacuum must be configured before the first table exists
+        # for incremental_vacuum to reclaim pruned pages.
+        self._conn.execute("PRAGMA auto_vacuum=INCREMENTAL")
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+        self._stats = HistoryStoreStats()
+        #: In-memory twin of the ``series`` table; in steady state every
+        #: verdict key hits this cache and the dimension is never read.
+        self._series_ids: dict[VerdictKey, int] = {
+            (row["target"], row["entity"], row["rule"]): row["series_id"]
+            for row in self._conn.execute(
+                "SELECT series_id, target, entity, rule FROM series"
+            )
+        }
+
+    # ---- write path --------------------------------------------------------
+
+    def record_cycle(self, summary: FleetSummary) -> int:
+        """Persist one completed scan cycle; returns its cycle id."""
+        timings = summary.stage_timings
+        stage = {name: 0.0 for name in STAGES}
+        if timings is not None:
+            for name in STAGES:
+                stage[name] = timings.seconds(name)
+        cache = summary.cache_stats
+        inc = summary.incremental
+        rules_skipped = rules_evaluated = frames_clean = frames_dirty = 0
+        if inc is not None and getattr(inc, "active", False):
+            rules_skipped = inc.rules_replayed + inc.composites_replayed
+            rules_evaluated = inc.rules_evaluated + inc.composites_evaluated
+            frames_clean = inc.frames_clean
+            frames_dirty = inc.frames_dirty
+        # Single pass over the report: verdict counts (same tallies as
+        # ``report.counts()``) and the row set.  Duplicate keys collapse
+        # last-wins exactly as report_verdict_map / diff_reports index
+        # reports.
+        codes = _CODES_BY_MEMBER
+        keep_message = _MESSAGE_CODES
+        tally = [0, 0, 0, 0]   # indexed by verdict code
+        observed: dict[VerdictKey, tuple[int, str, str]] = {}
+        for result in summary.report:
+            rule = result.rule
+            code = codes[result.verdict]
+            tally[code] += 1
+            observed[(result.target, result.entity, rule.name)] = (
+                code,
+                result.message if code in keep_message else "",
+                rule.severity,
+            )
+        compliant = tally[VERDICT_CODES[Verdict.COMPLIANT.value]]
+        noncompliant = tally[VERDICT_CODES[Verdict.NONCOMPLIANT.value]]
+        checked = compliant + noncompliant
+        started = time.perf_counter()
+        with self._lock:
+            new_series = 0
+            series_ids = self._series_ids
+            missing = [key for key in observed if key not in series_ids]
+            for key in missing:
+                cursor = self._conn.execute(
+                    "INSERT OR IGNORE INTO series (target, entity, rule,"
+                    " severity) VALUES (?,?,?,?)",
+                    (*key, observed[key][2]),
+                )
+                if cursor.lastrowid:
+                    series_ids[key] = cursor.lastrowid
+                    new_series += 1
+            cursor = self._conn.execute(
+                "INSERT INTO cycles (started_at, elapsed_s, entities,"
+                " checks, compliant, noncompliant, errors, not_applicable,"
+                " compliance, crawl_s, discover_s, parse_s, evaluate_s,"
+                " composite_s, parse_hits, parse_misses, parse_hit_rate,"
+                " rules_skipped, rules_evaluated, frames_clean,"
+                " frames_dirty, scan_error)"
+                " VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
+                (
+                    summary.started_at or time.time(),
+                    summary.elapsed_s,
+                    summary.entities_scanned,
+                    sum(tally),
+                    compliant,
+                    noncompliant,
+                    tally[VERDICT_CODES[Verdict.ERROR.value]],
+                    tally[VERDICT_CODES[Verdict.NOT_APPLICABLE.value]],
+                    compliant / checked if checked else 1.0,
+                    stage["crawl"], stage["discover"], stage["parse"],
+                    stage["evaluate"], stage["composite"],
+                    cache.hits if cache else 0,
+                    cache.misses if cache else 0,
+                    cache.hit_rate if cache else 0.0,
+                    rules_skipped, rules_evaluated,
+                    frames_clean, frames_dirty,
+                    "",
+                ),
+            )
+            cycle_id = cursor.lastrowid
+            self._bulk_insert_locked(
+                "INSERT INTO verdicts (cycle_id, series_id, verdict,"
+                " message) VALUES ",
+                4,
+                [
+                    (cycle_id, series_ids[key], code, message)
+                    for key, (code, message, _severity)
+                    in observed.items()
+                ],
+            )
+            self._bulk_insert_locked(
+                "INSERT INTO entity_rollups (cycle_id, target, passed,"
+                " failed, worst_severity) VALUES ",
+                5,
+                [
+                    (cycle_id, rollup.target, rollup.passed, rollup.failed,
+                     rollup.worst_severity)
+                    for rollup in summary.entities.values()
+                ],
+            )
+            self._conn.commit()
+            pruned = self._prune_locked()
+            self._stats.cycles_recorded += 1
+            self._stats.rows_written += (
+                1 + new_series + len(observed) + len(summary.entities)
+            )
+            self._stats.cycles_pruned += pruned
+            self._stats.write_seconds += time.perf_counter() - started
+        return cycle_id
+
+    #: Rows per multi-VALUES INSERT.  225 rows x <=5 columns stays under
+    #: SQLite's historical 999 bound-parameter limit; a single chunked
+    #: statement is ~2x faster than executemany for the hot verdict
+    #: append (one bytecode dispatch per chunk instead of per row).
+    _INSERT_CHUNK_ROWS = 225
+
+    def _bulk_insert_locked(self, prefix: str, ncols: int,
+                            rows: list[tuple]) -> None:
+        """Append ``rows`` via chunked multi-VALUES INSERTs.
+
+        Caller holds the lock.  ``prefix`` must end with ``VALUES `` and
+        ``ncols`` matches the tuple arity.
+        """
+        placeholder = "(" + ",".join("?" * ncols) + ")"
+        for start in range(0, len(rows), self._INSERT_CHUNK_ROWS):
+            chunk = rows[start:start + self._INSERT_CHUNK_ROWS]
+            params: list = []
+            for row in chunk:
+                params.extend(row)
+            self._conn.execute(
+                prefix + ",".join([placeholder] * len(chunk)), params
+            )
+
+    def record_scan_error(self, message: str, *,
+                          started_at: float | None = None,
+                          elapsed_s: float = 0.0) -> int:
+        """Persist a cycle that died before producing a report."""
+        started = time.perf_counter()
+        with self._lock:
+            cursor = self._conn.execute(
+                "INSERT INTO cycles (started_at, elapsed_s, scan_error)"
+                " VALUES (?,?,?)",
+                (started_at if started_at is not None else time.time(),
+                 elapsed_s, message or "scan failed"),
+            )
+            self._conn.commit()
+            cycle_id = cursor.lastrowid
+            pruned = self._prune_locked()
+            self._stats.cycles_recorded += 1
+            self._stats.error_cycles_recorded += 1
+            self._stats.rows_written += 1
+            self._stats.cycles_pruned += pruned
+            self._stats.write_seconds += time.perf_counter() - started
+        return cycle_id
+
+    def _prune_locked(self) -> int:
+        if self.retain_cycles is None:
+            return 0
+        row = self._conn.execute(
+            "SELECT MAX(cycle_id) AS newest FROM cycles"
+        ).fetchone()
+        if row["newest"] is None:
+            return 0
+        horizon = row["newest"] - self.retain_cycles
+        cursor = self._conn.execute(
+            "DELETE FROM cycles WHERE cycle_id <= ?", (horizon,)
+        )
+        if cursor.rowcount <= 0:
+            return 0
+        # Explicit cascade (per-row FK enforcement stays off for write
+        # speed); the series dimension is intentionally retained.
+        self._conn.execute(
+            "DELETE FROM verdicts WHERE cycle_id <= ?", (horizon,)
+        )
+        self._conn.execute(
+            "DELETE FROM entity_rollups WHERE cycle_id <= ?", (horizon,)
+        )
+        self._conn.commit()
+        self._conn.execute("PRAGMA incremental_vacuum")
+        return cursor.rowcount
+
+    def prune(self, retain_cycles: int | None = None) -> int:
+        """Keep only the newest ``retain_cycles`` cycles; returns the
+        number pruned.  With no argument, applies the configured
+        retention."""
+        with self._lock:
+            if retain_cycles is not None:
+                previous, self.retain_cycles = (
+                    self.retain_cycles, retain_cycles
+                )
+                try:
+                    return self._prune_locked()
+                finally:
+                    self.retain_cycles = previous
+            return self._prune_locked()
+
+    # ---- read path ---------------------------------------------------------
+
+    def cycle_count(self) -> int:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COUNT(*) AS n FROM cycles"
+            ).fetchone()
+        return int(row["n"])
+
+    def latest_cycle_id(self) -> int | None:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT MAX(cycle_id) AS latest FROM cycles"
+            ).fetchone()
+        return row["latest"]
+
+    def cycles(self, last: int | None = None) -> list[CycleRow]:
+        """The newest ``last`` cycles (all when None), oldest first."""
+        query = f"SELECT {', '.join(_CYCLE_COLUMNS)} FROM cycles"
+        params: tuple = ()
+        if last is not None:
+            query += " ORDER BY cycle_id DESC LIMIT ?"
+            params = (max(0, last),)
+        else:
+            query += " ORDER BY cycle_id"
+        with self._lock:
+            rows = self._conn.execute(query, params).fetchall()
+        out = [CycleRow(**{name: row[name] for name in _CYCLE_COLUMNS})
+               for row in rows]
+        if last is not None:
+            out.reverse()
+        return out
+
+    def cycle(self, cycle_id: int) -> CycleRow | None:
+        with self._lock:
+            row = self._conn.execute(
+                f"SELECT {', '.join(_CYCLE_COLUMNS)} FROM cycles"
+                " WHERE cycle_id = ?",
+                (cycle_id,),
+            ).fetchone()
+        if row is None:
+            return None
+        return CycleRow(**{name: row[name] for name in _CYCLE_COLUMNS})
+
+    def verdicts(self, cycle_id: int) -> list[VerdictRow]:
+        with self._lock:
+            rows = self._conn.execute(
+                f"{_VERDICT_SELECT} WHERE v.cycle_id = ?"
+                " ORDER BY s.target, s.entity, s.rule",
+                (cycle_id,),
+            ).fetchall()
+        return [
+            VerdictRow(
+                cycle_id=row["cycle_id"], target=row["target"],
+                entity=row["entity"], rule=row["rule"],
+                verdict=_VERDICT_NAMES[row["verdict"]],
+                severity=row["severity"], message=row["message"],
+            )
+            for row in rows
+        ]
+
+    def verdict_map(self, cycle_id: int) -> dict[VerdictKey, str]:
+        """{(target, entity, rule): verdict} for one cycle -- the stored
+        twin of :func:`report_verdict_map`."""
+        return {row.key: row.verdict for row in self.verdicts(cycle_id)}
+
+    def verdict_windows(
+        self, window: int
+    ) -> dict[VerdictKey, list[tuple[int, str]]]:
+        """Per-key verdict series over the newest ``window`` cycles,
+        oldest first -- the flap detector's working set."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT MIN(cycle_id) AS low FROM (SELECT cycle_id FROM"
+                " cycles ORDER BY cycle_id DESC LIMIT ?)",
+                (max(1, window),),
+            ).fetchone()
+            if row["low"] is None:
+                return {}
+            rows = self._conn.execute(
+                "SELECT v.cycle_id, s.target, s.entity, s.rule, v.verdict"
+                " FROM verdicts v JOIN series s ON s.series_id ="
+                " v.series_id WHERE v.cycle_id >= ? ORDER BY v.cycle_id",
+                (row["low"],),
+            ).fetchall()
+        series: dict[VerdictKey, list[tuple[int, str]]] = {}
+        for item in rows:
+            key = (item["target"], item["entity"], item["rule"])
+            series.setdefault(key, []).append(
+                (item["cycle_id"], _VERDICT_NAMES[item["verdict"]])
+            )
+        return series
+
+    def rule_history(self, target: str, entity: str, rule: str,
+                     last: int | None = None) -> list[tuple[int, str]]:
+        """(cycle_id, verdict) series of one rule, oldest first."""
+        with self._lock:
+            series_id = self._series_ids.get((target, entity, rule))
+            if series_id is None:
+                return []
+            query = (
+                "SELECT cycle_id, verdict FROM verdicts WHERE"
+                " series_id = ? ORDER BY cycle_id"
+            )
+            params: tuple = (series_id,)
+            if last is not None:
+                query = (
+                    "SELECT cycle_id, verdict FROM verdicts WHERE"
+                    " series_id = ? ORDER BY cycle_id DESC LIMIT ?"
+                )
+                params = (series_id, max(0, last))
+            rows = self._conn.execute(query, params).fetchall()
+        out = [(row["cycle_id"], _VERDICT_NAMES[row["verdict"]])
+               for row in rows]
+        if last is not None:
+            out.reverse()
+        return out
+
+    def entity_trend(self, target: str,
+                     last: int | None = None) -> list[EntityTrendRow]:
+        """Per-cycle pass/fail trend of one scanned frame, oldest first."""
+        query = (
+            "SELECT r.cycle_id, c.started_at, r.target, r.passed,"
+            " r.failed, r.worst_severity FROM entity_rollups r"
+            " JOIN cycles c ON c.cycle_id = r.cycle_id"
+            " WHERE r.target = ? ORDER BY r.cycle_id"
+        )
+        params: tuple = (target,)
+        if last is not None:
+            query = query.replace(
+                "ORDER BY r.cycle_id", "ORDER BY r.cycle_id DESC LIMIT ?"
+            )
+            params = (target, max(0, last))
+        with self._lock:
+            rows = self._conn.execute(query, params).fetchall()
+        out = [EntityTrendRow(**dict(row)) for row in rows]
+        if last is not None:
+            out.reverse()
+        return out
+
+    def targets(self) -> list[str]:
+        """Every frame ever rolled up, sorted."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT DISTINCT target FROM entity_rollups ORDER BY target"
+            ).fetchall()
+        return [row["target"] for row in rows]
+
+    # ---- bookkeeping -------------------------------------------------------
+
+    def stats(self) -> HistoryStoreStats:
+        with self._lock:
+            snapshot = HistoryStoreStats(
+                cycles_recorded=self._stats.cycles_recorded,
+                error_cycles_recorded=self._stats.error_cycles_recorded,
+                rows_written=self._stats.rows_written,
+                write_seconds=self._stats.write_seconds,
+                cycles_pruned=self._stats.cycles_pruned,
+            )
+            snapshot.db_cycles = int(self._conn.execute(
+                "SELECT COUNT(*) AS n FROM cycles"
+            ).fetchone()["n"])
+        if self.path != ":memory:":
+            try:
+                snapshot.db_bytes = os.path.getsize(self.path)
+            except OSError:
+                snapshot.db_bytes = 0
+        return snapshot
+
+    def attach_to(self, registry) -> None:
+        """Register a pull collector exporting ``repro_history_*``."""
+        cycles_total = registry.counter(
+            "repro_history_cycles_recorded_total",
+            "Scan cycles persisted to the history store by this process.",
+        )
+        error_total = registry.counter(
+            "repro_history_error_cycles_total",
+            "Cycles persisted as scan errors (no report produced).",
+        )
+        rows_total = registry.counter(
+            "repro_history_rows_written_total",
+            "Rows written to the history store (cycles + verdicts +"
+            " entity rollups).",
+        )
+        write_seconds = registry.counter(
+            "repro_history_write_seconds_total",
+            "Wall time spent writing history rows.",
+        )
+        pruned_total = registry.counter(
+            "repro_history_cycles_pruned_total",
+            "Cycles removed by retention pruning.",
+        )
+        db_cycles = registry.gauge(
+            "repro_history_db_cycles",
+            "Cycles currently resident in the history database.",
+        )
+        db_bytes = registry.gauge(
+            "repro_history_db_bytes",
+            "History database size on disk (0 for in-memory stores).",
+        )
+
+        def collect() -> None:
+            stats = self.stats()
+            cycles_total.set(stats.cycles_recorded)
+            error_total.set(stats.error_cycles_recorded)
+            rows_total.set(stats.rows_written)
+            write_seconds.set(stats.write_seconds)
+            pruned_total.set(stats.cycles_pruned)
+            db_cycles.set(stats.db_cycles)
+            db_bytes.set(stats.db_bytes)
+
+        registry.register_collector(f"history_store:{id(self)}", collect)
+
+    def close(self) -> None:
+        with self._lock:
+            try:
+                self._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+            except sqlite3.Error:  # read-only media, torn WAL, ...
+                pass
+            self._conn.close()
+
+    def __enter__(self) -> "HistoryStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

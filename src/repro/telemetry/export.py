@@ -166,16 +166,51 @@ def write_metrics(registry, path: str) -> int:
 
 # ---- HTTP scrape endpoint ----------------------------------------------------
 
+#: A route handler returns ``(status, content_type, body_bytes)``; it is
+#: invoked per request, so bodies reflect live state at scrape time.
+RouteHandler = "Callable[[], tuple[int, str, bytes]]"
 
-def _make_handler(registry):
+
+def _make_handler(registry, routes=None):
+    """Request handler serving ``/metrics`` plus optional extra routes.
+
+    ``routes`` maps a path (e.g. ``"/status"``) to a zero-argument
+    callable returning ``(status_code, content_type, body)``.  The
+    monitor daemon uses this to add ``/healthz`` / ``/readyz`` /
+    ``/status`` / ``/history`` next to the Prometheus exposition without
+    a second server.
+    """
+    extra = dict(routes or {})
+
     class MetricsHandler(BaseHTTPRequestHandler):
         def do_GET(self):  # noqa: N802 (stdlib API name)
-            if self.path.rstrip("/") not in ("", "/metrics"):
-                self.send_error(404, "try /metrics")
+            path = self.path.split("?", 1)[0].rstrip("/") or "/metrics"
+            if path == "/metrics":
+                self._reply(
+                    200,
+                    PROMETHEUS_CONTENT_TYPE,
+                    render_prometheus(registry).encode("utf-8"),
+                )
                 return
-            body = render_prometheus(registry).encode("utf-8")
-            self.send_response(200)
-            self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
+            handler = extra.get(path)
+            if handler is None:
+                known = ", ".join(sorted(["/metrics", *extra]))
+                self.send_error(404, f"try one of: {known}")
+                return
+            try:
+                status, content_type, body = handler()
+            except Exception as exc:  # route bugs must not kill the server
+                self._reply(
+                    500, "text/plain; charset=utf-8",
+                    f"internal error: {exc}".encode("utf-8"),
+                )
+                return
+            self._reply(status, content_type, body)
+
+        def _reply(self, status: int, content_type: str,
+                   body: bytes) -> None:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
             self.end_headers()
             self.wfile.write(body)
@@ -211,14 +246,19 @@ def serve_metrics_once(registry, port: int, *,
 class MetricsServer:
     """Background scrape endpoint for long-running scan loops.
 
-    Serves ``/metrics`` on a daemon thread until :meth:`close`; suits a
-    resident :class:`~repro.engine.batch.BatchScanner` process scraped
-    on an interval by a real Prometheus.
+    Serves ``/metrics`` (plus any extra ``routes``) on a daemon thread
+    until :meth:`close`; suits a resident
+    :class:`~repro.engine.batch.BatchScanner` process scraped on an
+    interval by a real Prometheus.  ``repro validate --metrics-port``
+    keeps one of these alive for the duration of the run; ``repro
+    monitor`` keeps one for the daemon's lifetime with the live
+    ``/status`` / ``/history`` routes attached.
     """
 
-    def __init__(self, registry, port: int = 0, *, host: str = "127.0.0.1"):
+    def __init__(self, registry, port: int = 0, *, host: str = "127.0.0.1",
+                 routes=None):
         self._server = ThreadingHTTPServer(
-            (host, port), _make_handler(registry)
+            (host, port), _make_handler(registry, routes=routes)
         )
         self.port: int = self._server.server_address[1]
         self._thread = threading.Thread(

@@ -89,6 +89,23 @@ class Counter(_Family):
         with self._lock:
             return self._values.get(key, 0.0)
 
+    def remove(self, **labels: str) -> None:
+        """Drop one labeled sample (no-op when absent).
+
+        Long-running exporters use this for state-shaped gauges -- e.g.
+        the monitor's per-rule flap gauge -- so a rule that stops
+        flapping disappears from the exposition instead of lingering
+        at a stale value forever.
+        """
+        key = self._key(labels)
+        with self._lock:
+            self._values.pop(key, None)
+
+    def clear(self) -> None:
+        """Drop every sample of the family (label schema stays)."""
+        with self._lock:
+            self._values.clear()
+
     def samples(self) -> list[tuple[LabelValues, float]]:
         with self._lock:
             return sorted(self._values.items())
@@ -320,6 +337,8 @@ class _NoopInstrument:
     def inc(self, amount: float = 1.0, **labels) -> None: ...
     def dec(self, amount: float = 1.0, **labels) -> None: ...
     def set(self, value: float, **labels) -> None: ...
+    def remove(self, **labels) -> None: ...
+    def clear(self) -> None: ...
     def observe(self, value: float, **labels) -> None: ...
     def observe_batch(self, values, **labels) -> None: ...
     def observe_aggregate(self, total, count, min_value=None,

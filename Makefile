@@ -15,6 +15,8 @@ bench:
 # fail on a >25% throughput drop vs benchmarks/results/bench_baseline.json.
 # bench_incremental.py additionally asserts the incremental-revalidation
 # gates: >= 5x unchanged-fleet speedup, bounded cold-cycle overhead.
+# bench_rule_plan.py asserts the compiled-plan gates: >= 2x planned
+# throughput on the 16x ruleset, no 1x regression, byte-identical reports.
 bench-check:
 	python benchmarks/compare_results.py
 

@@ -1,0 +1,176 @@
+"""Compiled rule plans benchmark (ISSUE 6 acceptance gate).
+
+Rules/sec of the planned (fused single-pass) engine against the
+per-rule engine (``--no-plan``) at 1x/4x/16x ruleset scale, on the
+synthetic keyvalue workload from ``bench_scaling_rules.py``.  The gate
+asserts:
+
+* 16x-scaled ruleset: planned throughput >= 2x the per-rule engine;
+* 1x ruleset: no regression (plan compilation and dispatch must not
+  tax small packs);
+* reports stay **byte-identical** between the two engines at
+  ``workers=1`` and ``workers=8``.
+
+A plan-stats JSON is written to
+``benchmarks/results/rule_plan_stats.json`` for the CI artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.fs import VirtualFilesystem
+from repro.crawler import Crawler, HostEntity
+from repro.cvl import Manifest
+from repro.engine import ConfigValidator, render_text
+from repro.workloads import generate_keyvalue_config, generate_tree_rules
+
+from conftest import emit
+
+_BASE_RULES = 60
+_SCALES = (1, 4, 16)
+_GATE_SCALE = 16
+_GATE_SPEEDUP = 2.0
+
+_PLAN_STATS_PATH = (
+    pathlib.Path(__file__).parent / "results" / "rule_plan_stats.json"
+)
+
+
+def _frame(keys: int, seed: int = 1):
+    fs = VirtualFilesystem()
+    fs.write_file(
+        "/etc/synthetic/synthetic.conf",
+        generate_keyvalue_config(keys, misconfig_rate=0.2, seed=seed),
+    )
+    return Crawler().crawl(
+        HostEntity(f"plan-host-{seed}", fs), features=("files",)
+    )
+
+
+def _validator(rule_count: int, *, use_plans: bool) -> ConfigValidator:
+    validator = ConfigValidator(use_plans=use_plans)
+    validator.add_ruleset(
+        Manifest(
+            entity="synthetic",
+            cvl_file="<generated>",
+            config_search_paths=["/etc/synthetic"],
+        ),
+        generate_tree_rules(rule_count),
+    )
+    return validator
+
+
+def _best_cycle(validator, frame, rounds: int = 5) -> float:
+    validator.validate_frame(frame)  # warm parse memos and the plan cache
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        validator.validate_frame(frame)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+@pytest.mark.benchmark(group="rule-plan")
+def test_planned_16x(benchmark):
+    rules = _BASE_RULES * _GATE_SCALE
+    validator = _validator(rules, use_plans=True)
+    frame = _frame(rules)
+    validator.validate_frame(frame)  # warm
+    report = benchmark(validator.validate_frame, frame)
+    assert len(report) == rules
+    assert report.plan is not None and report.plan.rules_fused == rules
+
+
+@pytest.mark.benchmark(group="rule-plan")
+def test_unplanned_16x(benchmark):
+    rules = _BASE_RULES * _GATE_SCALE
+    validator = _validator(rules, use_plans=False)
+    frame = _frame(rules)
+    validator.validate_frame(frame)  # warm
+    report = benchmark(validator.validate_frame, frame)
+    assert len(report) == rules
+    assert report.plan is None
+
+
+def test_rule_plan_speedup_gate(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1)  # reporter shim
+
+    lines = [
+        "Compiled rule plans vs per-rule engine "
+        "(one synthetic keyvalue file, best of 5, workers=1)",
+        f"{'scale':>6}{'rules':>7}{'per-rule [ms]':>15}{'planned [ms]':>14}"
+        f"{'planned rules/s':>17}{'speedup':>9}",
+    ]
+    speedups: dict[int, float] = {}
+    throughput: dict[int, float] = {}
+    plan_dict = None
+    for scale in _SCALES:
+        rules = _BASE_RULES * scale
+        frame = _frame(rules)
+        unplanned = _best_cycle(_validator(rules, use_plans=False), frame)
+        planned_validator = _validator(rules, use_plans=True)
+        planned = _best_cycle(planned_validator, frame)
+        if scale == _GATE_SCALE:
+            plan_dict = planned_validator.validate_frame(frame).plan.to_dict()
+        speedups[scale] = unplanned / planned
+        throughput[scale] = rules / planned
+        lines.append(
+            f"{scale:>5}x{rules:>7}{unplanned * 1e3:>15.2f}"
+            f"{planned * 1e3:>14.2f}{throughput[scale]:>17,.0f}"
+            f"{speedups[scale]:>8.2f}x"
+        )
+    emit("rule_plan_scaling", "\n".join(lines))
+
+    _PLAN_STATS_PATH.parent.mkdir(exist_ok=True)
+    _PLAN_STATS_PATH.write_text(
+        json.dumps(
+            {
+                "base_rules": _BASE_RULES,
+                "speedups": {
+                    f"{scale}x": round(value, 2)
+                    for scale, value in speedups.items()
+                },
+                "planned_rules_per_s": {
+                    f"{scale}x": round(value)
+                    for scale, value in throughput.items()
+                },
+                "gate_scale": f"{_GATE_SCALE}x",
+                "gate_speedup": _GATE_SPEEDUP,
+                "plan": plan_dict,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    assert speedups[_GATE_SCALE] >= _GATE_SPEEDUP, (
+        f"planned engine only {speedups[_GATE_SCALE]:.2f}x the per-rule "
+        f"engine on the {_GATE_SCALE}x ruleset (gate: >= {_GATE_SPEEDUP}x)"
+    )
+    assert speedups[1] >= 1.0, (
+        f"planned engine regressed the 1x ruleset "
+        f"({speedups[1]:.2f}x vs per-rule)"
+    )
+
+
+def test_rule_plan_byte_identity(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1)  # reporter shim
+    rules = _BASE_RULES * _GATE_SCALE
+    frames = [_frame(rules, seed=seed) for seed in range(8)]
+    reference = render_text(
+        _validator(rules, use_plans=False).validate_frames(frames, workers=1),
+        verbose=True,
+    )
+    for workers in (1, 8):
+        report = _validator(rules, use_plans=True).validate_frames(
+            frames, workers=workers
+        )
+        assert render_text(report, verbose=True) == reference, (
+            f"planned report diverged from the per-rule engine "
+            f"at workers={workers}"
+        )

@@ -39,6 +39,10 @@ BENCH_FILES = (
     # Enforces the <5% history-store write-overhead budget (ISSUE 4)
     # via an in-test assertion.
     "bench_history.py",
+    # Also enforces its own absolute gates (>= 2x planned throughput on
+    # the 16x ruleset, no 1x regression, planned vs --no-plan
+    # byte-identity at workers 1 and 8) via in-test assertions.
+    "bench_rule_plan.py",
 )
 
 #: Benchmarks faster than this are no-op reporter shims

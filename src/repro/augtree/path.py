@@ -43,6 +43,16 @@ _SEGMENT = re.compile(
 
 _PRED = re.compile(r"\[([^\]]*)\]")
 
+#: Predicate bodies: a bare 1-based index ...
+_PRED_INDEX = re.compile(r"\d+")
+
+#: ... or an ``lhs = rhs`` comparison whose rhs may be quoted.  Compiled
+#: once at import: ``_parse_predicate`` runs for every predicate of every
+#: path expression the fleet's rule packs mention.
+_PRED_COMPARE = re.compile(
+    r"""(?P<lhs>\.|[^=\s]+)\s*=\s*(?P<rhs>'[^']*'|"[^"]*"|\S+)"""
+)
+
 
 @dataclass(frozen=True)
 class Predicate:
@@ -72,14 +82,12 @@ def _parse_predicate(raw: str, expression: str) -> Predicate:
         raise PathExpressionError(f"{expression!r}: empty predicate []")
     if raw == "last()":
         return Predicate(kind="last")
-    if re.fullmatch(r"\d+", raw):
+    if _PRED_INDEX.fullmatch(raw):
         index = int(raw)
         if index < 1:
             raise PathExpressionError(f"{expression!r}: indexes are 1-based")
         return Predicate(kind="index", index=index)
-    match = re.fullmatch(
-        r"""(?P<lhs>\.|[^=\s]+)\s*=\s*(?P<rhs>'[^']*'|"[^"]*"|\S+)""", raw
-    )
+    match = _PRED_COMPARE.fullmatch(raw)
     if not match:
         raise PathExpressionError(f"{expression!r}: bad predicate [{raw}]")
     rhs = match.group("rhs")
@@ -155,6 +163,57 @@ def _split_segments(expression: str) -> list[str]:
     return [part.strip() for part in parts]
 
 
+def apply_predicates(
+    candidates: list[ConfigNode], predicates: tuple[Predicate, ...]
+) -> list[ConfigNode]:
+    """Filter same-parent ``candidates`` through a segment's predicates."""
+    for predicate in predicates:
+        if predicate.kind == "index":
+            index = predicate.index or 0
+            candidates = (
+                [candidates[index - 1]] if index <= len(candidates) else []
+            )
+        elif predicate.kind == "last":
+            candidates = [candidates[-1]] if candidates else []
+        elif predicate.kind == "value":
+            candidates = [
+                node for node in candidates if node.value == predicate.value
+            ]
+        elif predicate.kind == "child":
+            candidates = [
+                node
+                for node in candidates
+                if any(
+                    child.label == predicate.label
+                    and child.value == predicate.value
+                    for child in node.children
+                )
+            ]
+    return candidates
+
+
+def step_segment(nodes: list[ConfigNode], segment: Segment) -> list[ConfigNode]:
+    """Advance a frontier of nodes through one segment.
+
+    Module-level (rather than a ``PathExpression`` method) so the rule
+    planner's segment trie steps many expressions' shared segments with
+    the exact matching semantics of stand-alone expressions.
+    """
+    if segment.name == "**":
+        expanded: list[ConfigNode] = []
+        for node in nodes:
+            expanded.extend(node.walk())  # descendant-or-self
+        return expanded
+    matched: list[ConfigNode] = []
+    for parent in nodes:
+        if segment.name == "*":
+            candidates = list(parent.children)
+        else:
+            candidates = parent.children_named(segment.name)
+        matched.extend(apply_predicates(candidates, segment.predicates))
+    return matched
+
+
 class PathExpression:
     """A compiled path expression; ``match`` evaluates it against a tree."""
 
@@ -169,55 +228,12 @@ class PathExpression:
         """
         current: list[ConfigNode] = [root]
         for segment in self.segments:
-            current = self._step(current, segment)
+            current = step_segment(current, segment)
             if not current:
                 return []
         # Nodes hash by identity, so dict.fromkeys is an order-preserving
         # identity dedup with no per-node set bookkeeping.
         return list(dict.fromkeys(current))
-
-    def _step(self, nodes: list[ConfigNode], segment: Segment) -> list[ConfigNode]:
-        if segment.name == "**":
-            expanded: list[ConfigNode] = []
-            for node in nodes:
-                expanded.extend(node.walk())  # descendant-or-self
-            return expanded
-        matched: list[ConfigNode] = []
-        for parent in nodes:
-            if segment.name == "*":
-                candidates = list(parent.children)
-            else:
-                candidates = parent.children_named(segment.name)
-            matched.extend(self._apply_predicates(candidates, segment.predicates))
-        return matched
-
-    @staticmethod
-    def _apply_predicates(
-        candidates: list[ConfigNode], predicates: tuple[Predicate, ...]
-    ) -> list[ConfigNode]:
-        for predicate in predicates:
-            if predicate.kind == "index":
-                index = predicate.index or 0
-                candidates = (
-                    [candidates[index - 1]] if index <= len(candidates) else []
-                )
-            elif predicate.kind == "last":
-                candidates = [candidates[-1]] if candidates else []
-            elif predicate.kind == "value":
-                candidates = [
-                    node for node in candidates if node.value == predicate.value
-                ]
-            elif predicate.kind == "child":
-                candidates = [
-                    node
-                    for node in candidates
-                    if any(
-                        child.label == predicate.label
-                        and child.value == predicate.value
-                        for child in node.children
-                    )
-                ]
-        return candidates
 
     def __repr__(self) -> str:
         return f"PathExpression({'/'.join(seg.name for seg in self.segments)!r})"

@@ -18,6 +18,7 @@ class-loading sweep -- runs before any rule is evaluated.
 from __future__ import annotations
 
 import hashlib
+import re
 from dataclasses import dataclass
 
 from repro.errors import XCCDFError
@@ -44,16 +45,31 @@ class XccdfEngine:
     def run(self, xccdf_text: str, oval_text: str, frame: ConfigFrame) -> list[XccdfResult]:
         self._initialize()
         benchmark = parse_benchmark(xccdf_text, oval_text)
+        compiled = self._compile_objects(benchmark)
         return [
-            self._evaluate_rule(rule, benchmark, frame)
+            self._evaluate_rule(rule, benchmark, frame, compiled)
             for rule in benchmark.selected_rules()
         ]
+
+    @staticmethod
+    def _compile_objects(benchmark: XccdfBenchmark) -> dict[str, re.Pattern]:
+        """Precompile every ``textfilecontent54`` object pattern once.
+
+        OVAL objects are shared across tests (and ``-altN`` siblings are
+        re-scanned per test), so compiling up front keeps the per-line
+        matching loop free of regex-cache lookups.
+        """
+        return {
+            object_id: _compile(oval_object.pattern)
+            for object_id, oval_object in benchmark.objects.items()
+        }
 
     def _initialize(self) -> None:
         """Engine-specific startup work (none for the base engine)."""
 
     def _evaluate_rule(
-        self, rule: XccdfRule, benchmark: XccdfBenchmark, frame: ConfigFrame
+        self, rule: XccdfRule, benchmark: XccdfBenchmark, frame: ConfigFrame,
+        compiled: dict[str, re.Pattern],
     ) -> XccdfResult:
         definition = benchmark.definitions.get(rule.check_ref)
         if definition is None:
@@ -62,7 +78,7 @@ class XccdfEngine:
                 f"{rule.check_ref!r}"
             )
         outcome = all(
-            self._evaluate_test(test_ref, benchmark, frame)
+            self._evaluate_test(test_ref, benchmark, frame, compiled)
             for test_ref in definition.test_refs
         )
         if definition.negate:
@@ -75,7 +91,8 @@ class XccdfEngine:
         )
 
     def _evaluate_test(
-        self, test_ref: str, benchmark: XccdfBenchmark, frame: ConfigFrame
+        self, test_ref: str, benchmark: XccdfBenchmark, frame: ConfigFrame,
+        compiled: dict[str, re.Pattern],
     ) -> bool:
         test = benchmark.tests.get(test_ref)
         if test is None:
@@ -91,7 +108,7 @@ class XccdfEngine:
             oval_object = benchmark.objects.get(object_id)
             if oval_object is None:
                 raise XCCDFError(f"missing OVAL object {object_id!r}")
-            regex = _compile(oval_object.pattern)
+            regex = compiled[object_id]
             if not frame.files.is_file(oval_object.filepath):
                 continue
             for line in frame.read_config(oval_object.filepath).splitlines():

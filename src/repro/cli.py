@@ -60,6 +60,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         validator = load_validator_from_directory(
             args.rules_dir, cache_size=args.cache_size, workers=args.workers,
             telemetry=telemetry, verdict_store=store,
+            use_plans=not args.no_plan,
         )
         if args.targets:
             wanted = set(args.targets.split(","))
@@ -72,6 +73,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             workers=args.workers,
             telemetry=telemetry,
             verdict_store=store,
+            use_plans=not args.no_plan,
         )
     timings = _make_timings(args)
     server = _start_metrics_server(args, telemetry)
@@ -82,6 +84,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     )
     _finish_incremental(report, store, state_dir)
     _print_stage_timings(args, timings, validator)
+    _print_plan_stats(args, report)
     if args.json:
         print(render_json(report))
     elif args.junit:
@@ -235,6 +238,15 @@ def _print_stage_timings(args, timings, validator) -> None:
     print(validator.cache_stats().render(), file=sys.stderr)
 
 
+def _print_plan_stats(args, report) -> None:
+    """Rule-plan fusion stats on stderr (with --stage-timings)."""
+    if not getattr(args, "stage_timings", False):
+        return
+    stats = getattr(report, "plan", None)
+    if stats is not None:
+        print(stats.render(), file=sys.stderr)
+
+
 def _cmd_coverage(_args: argparse.Namespace) -> int:
     counts = inventory()
     print(f"{'Category':<16} {'Target':<20} Rules")
@@ -281,7 +293,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     store, state_dir = _verdict_store_from_args(args)
     validator = load_builtin_validator(
         cache_size=args.cache_size, workers=args.workers, telemetry=telemetry,
-        verdict_store=store,
+        verdict_store=store, use_plans=not args.no_plan,
     )
     timings = _make_timings(args)
     server = _start_metrics_server(args, telemetry)
@@ -307,6 +319,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     print(render_text(report, only_failures=args.only_failures))
     _finish_incremental(report, store, state_dir)
     _print_stage_timings(args, timings, validator)
+    _print_plan_stats(args, report)
     _emit_telemetry(args, telemetry, server)
     return 0 if report.compliant else 1
 
@@ -321,6 +334,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         cache_size=args.cache_size,
         workers=args.workers,
         telemetry=telemetry,
+        use_plans=not args.no_plan,
     )
     if args.root:
         entities = [HostEntity(args.name, RealFilesystem(args.root))]
@@ -384,6 +398,7 @@ def _cmd_validate_frame(args: argparse.Namespace) -> int:
         only=args.targets.split(",") if args.targets else None,
         telemetry=telemetry,
         verdict_store=store,
+        use_plans=not args.no_plan,
     )
     report = validator.validate_frame(frame)
     _finish_incremental(report, store, state_dir)
@@ -461,6 +476,7 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         workers=args.workers,
         telemetry=telemetry,
         verdict_store=verdict_store,
+        use_plans=not args.no_plan,
     )
     scanner = BatchScanner(validator, workers=args.workers,
                            telemetry=telemetry)
@@ -724,6 +740,15 @@ def _add_scaling_flags(subparser: argparse.ArgumentParser) -> None:
         "--stage-timings", action="store_true",
         help="print per-stage wall time and parse-cache stats on stderr",
     )
+    _add_plan_flag(subparser)
+
+
+def _add_plan_flag(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--no-plan", action="store_true",
+        help="disable compiled rule plans (fused single-pass tree "
+             "evaluation); reports are byte-identical either way",
+    )
 
 
 def _add_incremental_flags(subparser: argparse.ArgumentParser) -> None:
@@ -874,6 +899,7 @@ def build_parser() -> argparse.ArgumentParser:
     validate_frame.add_argument("--targets", default="")
     _add_output_format_flags(validate_frame)
     validate_frame.add_argument("--only-failures", action="store_true")
+    _add_plan_flag(validate_frame)
     _add_incremental_flags(validate_frame)
     _add_telemetry_flags(validate_frame)
     validate_frame.set_defaults(func=_cmd_validate_frame)

@@ -99,6 +99,10 @@ class FleetSummary:
     #: (:class:`repro.engine.incremental.IncrementalRunStats`); None when
     #: the validator has no verdict store.
     incremental: object | None = None
+    #: Rule-plan stats for this cycle
+    #: (:class:`repro.engine.plan.PlanRunStats`); None when the cycle ran
+    #: with ``--no-plan``.
+    plan: object | None = None
 
     @property
     def throughput(self) -> float:
@@ -252,6 +256,7 @@ class BatchScanner:
             cache_stats=self._validator.cache_stats(),
             profile=telemetry.profiler if telemetry.enabled else None,
             incremental=report.incremental,
+            plan=report.plan,
         )
         log.info(
             "scan cycle: %d entities, %d checks in %.2fs",
@@ -353,6 +358,9 @@ def render_fleet_summary(summary: FleetSummary, *, top: int = 10) -> str:
     if summary.incremental is not None:
         lines.append("")
         lines.append(summary.incremental.render())
+    if summary.plan is not None:
+        lines.append("")
+        lines.append(summary.plan.render())
     if summary.profile is not None and len(summary.profile):
         lines.append("")
         lines.append("rule/lens profile (process-cumulative):")

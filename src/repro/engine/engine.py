@@ -53,6 +53,13 @@ from repro.engine.incremental import (
 )
 from repro.engine.normalizer import Normalizer
 from repro.engine.parse_cache import DEFAULT_CACHE_SIZE, CacheStats, ParseCache
+from repro.engine.plan import (
+    PlanRunStats,
+    RulePlan,
+    attach_plan_metrics,
+    plan_cache_stats,
+    plan_for,
+)
 from repro.engine.stages import StageTimings
 from repro.engine.results import (
     Evidence,
@@ -164,6 +171,7 @@ class ConfigValidator:
         workers: int = 1,
         telemetry: Telemetry | None = None,
         verdict_store: VerdictStore | None = None,
+        use_plans: bool = True,
     ):
         self._resolver = resolver
         self._lenses = lenses
@@ -186,7 +194,11 @@ class ConfigValidator:
         #: Cross-cycle verdict store; None means every run is a full
         #: revalidation (the default).
         self.verdict_store = verdict_store
+        #: Compile rulesets into fused :class:`RulePlan`s (the default);
+        #: ``use_plans=False`` is the ``--no-plan`` reference path.
+        self.use_plans = bool(use_plans)
         if self.telemetry.enabled:
+            attach_plan_metrics(self.telemetry.metrics)
             self.parse_cache.attach_to(self.telemetry.metrics)
             self.telemetry.metrics.register_collector(
                 f"rule-metrics-{id(self)}", self._collect_rule_metrics
@@ -316,11 +328,12 @@ class ConfigValidator:
         tags: list[str] | None = None,
         include_composites: bool = True,
         timings: StageTimings | None = None,
+        use_plans: bool | None = None,
     ) -> ValidationReport:
         """Validate one frame against every enabled manifest."""
         return self.validate_frames([frame], tags=tags,
                                     include_composites=include_composites,
-                                    timings=timings)
+                                    timings=timings, use_plans=use_plans)
 
     def validate_frames(
         self,
@@ -330,6 +343,7 @@ class ConfigValidator:
         include_composites: bool = True,
         workers: int | None = None,
         timings: StageTimings | None = None,
+        use_plans: bool | None = None,
     ) -> ValidationReport:
         """Validate a group of frames together.
 
@@ -342,8 +356,14 @@ class ConfigValidator:
         records results in document order -- composite rules see the
         identical merged context and the report is byte-for-byte the same
         as the sequential path, regardless of completion order.
+
+        ``use_plans`` (default: the constructor setting) routes tree
+        rules through compiled fused plans; reports are byte-identical
+        either way -- ``use_plans=False`` exists for differential
+        testing and as the ``--no-plan`` escape hatch.
         """
         workers = self.workers if workers is None else max(1, workers)
+        use_plans = self.use_plans if use_plans is None else bool(use_plans)
         telemetry = self.telemetry
         enabled = telemetry.enabled
         spans = telemetry.spans
@@ -396,13 +416,32 @@ class ConfigValidator:
                     key: fingerprints[key].frame_digest()
                     for key in frame_keys
                 })
-                store.sync_rulesets({
-                    manifest.entity: ruleset_digest(
-                        manifest, self.ruleset_for(manifest)
-                    )
-                    for manifest in self.manifests()
-                    if manifest.enabled
-                })
+
+        # Ruleset digests key both the verdict store's invalidation and
+        # the process-wide plan cache; computed once per run so pack
+        # mutations between runs are always picked up.
+        digests: dict[str, str] = {}
+        if store is not None or use_plans:
+            digests = {
+                manifest.entity: ruleset_digest(
+                    manifest, self.ruleset_for(manifest)
+                )
+                for manifest in self.manifests()
+                if manifest.enabled
+            }
+        if store is not None:
+            store.sync_rulesets(digests)
+        plans: dict[str, RulePlan] = {}
+        plan_stats: PlanRunStats | None = None
+        if use_plans:
+            plan_stats = PlanRunStats()
+            for manifest in self.manifests():
+                if not manifest.enabled:
+                    continue
+                plan = plan_for(manifest, self.ruleset_for(manifest),
+                                digests[manifest.entity])
+                if plan.usable:
+                    plans[manifest.entity] = plan
 
         normalizer = Normalizer(self._lenses, self._schemas,
                                 cache=self.parse_cache, timings=timings,
@@ -434,6 +473,7 @@ class ConfigValidator:
                 list[RuleResult],
                 int,
                 set[tuple[str, str]],
+                PlanRunStats | None,
             ]:
                 placements: list[tuple[Manifest, list[RuleResult]]] = []
                 #: Freshly evaluated results only -- replays carry no new
@@ -442,6 +482,46 @@ class ConfigValidator:
                 replayed = 0
                 recomputed: set[tuple[str, str]] = set()
                 frame_key = frame.describe()
+                #: Per-frame planner stats, merged at the barrier (the
+                #: run-wide object must not be mutated from workers).
+                frame_plan = PlanRunStats() if plans else None
+
+                def run_rule(manifest: Manifest, rule: Rule) -> RuleResult:
+                    """One fresh per-rule evaluation -- the planned path
+                    routes fallback and non-tree rules through this same
+                    body, so results (tracebacks included) are identical
+                    to the unplanned engine."""
+                    started = time.perf_counter()
+                    if recorder is not None:
+                        tape, previous = recorder.begin()
+                        try:
+                            self._record_intrinsic_deps(
+                                recorder, rule, frame
+                            )
+                            result = self._evaluate(rule, frame,
+                                                    manifest, normalizer)
+                        finally:
+                            recorder.end(previous)
+                    else:
+                        result = self._evaluate(rule, frame, manifest,
+                                                normalizer)
+                    duration = time.perf_counter() - started
+                    result.duration_s = duration
+                    result.started_s = started
+                    if store is not None:
+                        store.put(frame_key, manifest.entity, rule.name,
+                                  tape, fingerprints, result)
+                        recomputed.add((manifest.entity, rule.name))
+                    if timings is not None:
+                        timings.add("evaluate", duration)
+                    if result.verdict is Verdict.ERROR:
+                        log.warning(
+                            "rule %s/%s errored on %s: %s",
+                            manifest.entity, rule.name,
+                            result.target, result.message,
+                        )
+                    return result
+
                 for manifest in self.manifests():
                     if not manifest.enabled:
                         continue
@@ -476,56 +556,109 @@ class ConfigValidator:
                             )
                     if not present:
                         continue  # the component is not on this entity
-                    frame_results: list[RuleResult] = []
-                    for rule in ruleset.enabled_rules():
+                    plan = plans.get(manifest.entity)
+                    if plan is None:
+                        # Unplanned reference path (``--no-plan``).
+                        frame_results: list[RuleResult] = []
+                        for rule in ruleset.enabled_rules():
+                            if isinstance(rule, CompositeRule):
+                                continue
+                            if tags and not any(
+                                rule.has_tag(tag) for tag in tags
+                            ):
+                                continue
+                            if store is not None:
+                                cached = store.fresh_result(
+                                    frame_key, manifest.entity, rule,
+                                    fingerprints, clean_frames,
+                                )
+                                if cached is not None:
+                                    frame_results.append(cached)
+                                    replayed += 1
+                                    continue
+                            result = run_rule(manifest, rule)
+                            frame_results.append(result)
+                            fresh.append(result)
+                        placements.append((manifest, frame_results))
+                        continue
+
+                    # ---- planned path --------------------------------
+                    selected: list[Rule] = []
+                    for rule in plan.rules:
                         if isinstance(rule, CompositeRule):
                             continue
                         if tags and not any(
                             rule.has_tag(tag) for tag in tags
                         ):
                             continue
+                        selected.append(rule)
+                    results_by_name: dict[str, RuleResult] = {}
+                    replayed_names: set[str] = set()
+                    pending: list[Rule] = []
+                    for rule in selected:
                         if store is not None:
                             cached = store.fresh_result(
                                 frame_key, manifest.entity, rule,
                                 fingerprints, clean_frames,
                             )
                             if cached is not None:
-                                frame_results.append(cached)
+                                results_by_name[rule.name] = cached
+                                replayed_names.add(rule.name)
                                 replayed += 1
                                 continue
-                        started = time.perf_counter()
-                        if recorder is not None:
-                            tape, previous = recorder.begin()
-                            try:
-                                self._record_intrinsic_deps(
-                                    recorder, rule, frame
+                        pending.append(rule)
+                    fused_pending = {
+                        rule.name for rule in pending if plan.is_fused(rule)
+                    }
+                    runtime_fallback: frozenset[str] = frozenset()
+                    if fused_pending:
+                        outputs, fell_back = plan.evaluate_fused(
+                            frame, manifest, normalizer, fused_pending,
+                            frame_key=(frame_key if store is not None
+                                       else None),
+                            stats=frame_plan,
+                        )
+                        runtime_fallback = frozenset(fell_back)
+                        for rule, result, tape, duration, begun in outputs:
+                            result.duration_s = duration
+                            result.started_s = begun
+                            if store is not None:
+                                store.put(frame_key, manifest.entity,
+                                          rule.name, tape, fingerprints,
+                                          result)
+                                recomputed.add(
+                                    (manifest.entity, rule.name)
                                 )
-                                result = self._evaluate(rule, frame,
-                                                        manifest, normalizer)
-                            finally:
-                                recorder.end(previous)
+                            if timings is not None:
+                                timings.add("evaluate", duration)
+                            if result.verdict is Verdict.ERROR:
+                                log.warning(
+                                    "rule %s/%s errored on %s: %s",
+                                    manifest.entity, rule.name,
+                                    result.target, result.message,
+                                )
+                            results_by_name[rule.name] = result
+                    for rule in pending:
+                        if rule.name in results_by_name:
+                            continue  # served by a fused unit
+                        if (rule.name in runtime_fallback
+                                or rule.name in plan.fallback_names):
+                            frame_plan.rules_fallback += 1
                         else:
-                            result = self._evaluate(rule, frame, manifest,
-                                                    normalizer)
-                        duration = time.perf_counter() - started
-                        result.duration_s = duration
-                        result.started_s = started
-                        if store is not None:
-                            store.put(frame_key, manifest.entity, rule.name,
-                                      tape, fingerprints, result)
-                            recomputed.add((manifest.entity, rule.name))
-                        if timings is not None:
-                            timings.add("evaluate", duration)
-                        if result.verdict is Verdict.ERROR:
-                            log.warning(
-                                "rule %s/%s errored on %s: %s",
-                                manifest.entity, rule.name,
-                                result.target, result.message,
-                            )
-                        frame_results.append(result)
-                        fresh.append(result)
+                            frame_plan.rules_direct += 1
+                        results_by_name[rule.name] = run_rule(manifest, rule)
+                    # Assemble in pack order so reports (and the fresh
+                    # list telemetry consumes) match the unplanned path.
+                    frame_results = [
+                        results_by_name[rule.name] for rule in selected
+                    ]
+                    fresh.extend(
+                        results_by_name[rule.name]
+                        for rule in selected
+                        if rule.name not in replayed_names
+                    )
                     placements.append((manifest, frame_results))
-                return placements, fresh, replayed, recomputed
+                return placements, fresh, replayed, recomputed, frame_plan
 
             def flush_rule_telemetry(results: list[RuleResult]) -> None:
                 """Three list appends per frame, nothing per rule.
@@ -548,6 +681,7 @@ class ConfigValidator:
                 list[tuple[Manifest, list[RuleResult]]],
                 int,
                 set[tuple[str, str]],
+                PlanRunStats | None,
             ]:
                 frame_started = time.perf_counter()
                 # Explicit parent: with workers > 1 this runs on a pool
@@ -555,7 +689,7 @@ class ConfigValidator:
                 with spans.span(frame.describe(), category="frame",
                                 parent=run_span):
                     with spans.span("evaluate", category="stage"):
-                        placements, fresh, replayed, recomputed = (
+                        placements, fresh, replayed, recomputed, frame_plan = (
                             evaluate_rules(frame)
                         )
                         if enabled:
@@ -565,7 +699,7 @@ class ConfigValidator:
                 if enabled:
                     frames_total.inc()
                     busy_total.inc(time.perf_counter() - frame_started)
-                return placements, replayed, recomputed
+                return placements, replayed, recomputed, frame_plan
 
             if workers > 1 and len(frames) > 1:
                 with ThreadPoolExecutor(
@@ -579,12 +713,14 @@ class ConfigValidator:
             # Deterministic merge barrier: document order, not completion
             # order.
             recomputed_pairs: set[tuple[str, str]] = set()
-            for frame, (placements, replayed, recomputed) in zip(
+            for frame, (placements, replayed, recomputed, frame_plan) in zip(
                 frames, per_frame
             ):
                 for manifest, frame_results in placements:
                     context.record(manifest, frame, frame_results)
                     report.extend(frame_results)
+                if plan_stats is not None and frame_plan is not None:
+                    plan_stats.merge(frame_plan)
                 if store is not None:
                     recomputed_pairs |= recomputed
                     inc_stats.rules_replayed += replayed
@@ -677,6 +813,30 @@ class ConfigValidator:
                     rules_replayed=str(inc_stats.rules_replayed),
                     frames_dirty=str(inc_stats.frames_dirty),
                     frames_clean=str(inc_stats.frames_clean),
+                )
+        if plan_stats is not None:
+            plan_stats.cache = plan_cache_stats()
+            report.plan = plan_stats
+            if enabled:
+                metrics = telemetry.metrics
+                metrics.counter(
+                    "repro_plan_rules_fused_total",
+                    "Tree-rule evaluations served by fused plan units.",
+                ).inc(plan_stats.rules_fused)
+                metrics.counter(
+                    "repro_plan_files_traversed_total",
+                    "Files normalized and traversed once by fused units.",
+                ).inc(plan_stats.files_traversed)
+                metrics.counter(
+                    "repro_plan_traversals_saved_total",
+                    "Repeat per-rule tree traversals avoided by fusion.",
+                ).inc(plan_stats.traversals_saved)
+                spans.record(
+                    "plan", category="stage",
+                    start_s=time.perf_counter(), duration_s=0.0,
+                    rules_fused=str(plan_stats.rules_fused),
+                    units=str(plan_stats.units_evaluated),
+                    traversals_saved=str(plan_stats.traversals_saved),
                 )
         return report
 

@@ -162,6 +162,29 @@ def evaluate_tree(
             if all(req in present for req in rule.require_other_configs):
                 dependency_ok = True
 
+    return finalize_tree_rule(
+        rule, entity, target,
+        evidence=evidence, parse_errors=parse_errors, files=files,
+        dependency_ok=dependency_ok,
+    )
+
+
+def finalize_tree_rule(
+    rule: TreeRule,
+    entity: str,
+    target: str,
+    *,
+    evidence: list[Evidence],
+    parse_errors: list[str],
+    files: list[str],
+    dependency_ok: bool,
+) -> RuleResult:
+    """Turn collected evidence into a tree-rule verdict.
+
+    Shared by :func:`evaluate_tree` and the fused plan evaluator
+    (:mod:`repro.engine.plan`): once both paths have gathered the same
+    evidence list, this single tail guarantees identical results.
+    """
     if not evidence:
         if parse_errors and not files:
             return _error_result(

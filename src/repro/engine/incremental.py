@@ -211,14 +211,45 @@ def _entry_payload(entry) -> dict:
 # ---- ruleset digest ---------------------------------------------------------
 
 
+def _rule_content_digest(rule) -> str:
+    """Content hash of one rule, memoized on the rule object.
+
+    The digest is recomputed every validation run (it keys both the
+    verdict store and the plan cache), so the expensive part -- JSON
+    serialization of the rule's ``raw`` mapping -- is cached per rule
+    object.  Rule *content* is treated as immutable once loaded; the
+    supported in-place toggle, :attr:`Rule.enabled`, deliberately stays
+    out of this memo and is hashed live by :func:`ruleset_digest`.
+    """
+    memo = rule.__dict__.get("_content_digest")
+    if memo is None:
+        doc = {
+            "type": rule.rule_type,
+            "name": rule.name,
+            "severity": rule.severity,
+            "tags": list(rule.tags),
+            "preferred": list(rule.preferred_value),
+            "non_preferred": list(rule.non_preferred_value),
+            "not_present_pass": rule.not_present_pass,
+            "raw": rule.raw,
+        }
+        blob = json.dumps(doc, sort_keys=True, default=str)
+        memo = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+        rule.__dict__["_content_digest"] = memo
+    return memo
+
+
 def ruleset_digest(manifest: "Manifest", ruleset: "RuleSet") -> str:
     """Content hash of everything about a pack that can change a verdict.
 
     Editing a rule (or the manifest's search paths / lens / parser)
-    changes this digest, which drops the entity's stored verdicts.  The
-    ``raw`` mapping carries every authored keyword, including ones a
-    subclass adds later; the explicit fields guard programmatically
-    built rules whose ``raw`` is empty.
+    changes this digest, which drops the entity's stored verdicts and
+    recompiles the entity's rule plan.  The ``raw`` mapping carries
+    every authored keyword, including ones a subclass adds later; the
+    explicit fields guard programmatically built rules whose ``raw`` is
+    empty.  Per-rule content hashes are memoized (see
+    :func:`_rule_content_digest`); enablement is hashed live so toggling
+    ``rule.enabled`` between runs is always observed.
     """
     doc = {
         "manifest": {
@@ -229,17 +260,7 @@ def ruleset_digest(manifest: "Manifest", ruleset: "RuleSet") -> str:
             "entity_kinds": sorted(manifest.entity_kinds or []),
         },
         "rules": [
-            {
-                "type": rule.rule_type,
-                "name": rule.name,
-                "enabled": rule.enabled,
-                "severity": rule.severity,
-                "tags": list(rule.tags),
-                "preferred": list(rule.preferred_value),
-                "non_preferred": list(rule.non_preferred_value),
-                "not_present_pass": rule.not_present_pass,
-                "raw": rule.raw,
-            }
+            [_rule_content_digest(rule), rule.enabled]
             for rule in ruleset.rules
         ],
     }

@@ -38,6 +38,56 @@ from repro.schema import (
 from repro.telemetry import DISABLED, Telemetry
 
 
+def _select_files(files: list[str], file_context: list[str]) -> list[str]:
+    """Files matching a rule's ``file_context`` patterns.
+
+    Each item is a glob when it contains wildcard characters, otherwise a
+    substring of the path (the paper's Listing 2 uses ``"sites-enabled"``
+    to mean "any file under sites-enabled/").
+    """
+    selected: list[str] = []
+    for path in files:
+        basename = posixpath.basename(path)
+        for pattern in file_context:
+            pattern = pattern.strip()
+            if any(char in pattern for char in "*?["):
+                target = path if "/" in pattern else basename
+                if fnmatch.fnmatch(target, pattern):
+                    selected.append(path)
+                    break
+            elif pattern in path:
+                selected.append(path)
+                break
+    return selected
+
+
+class FileTargetIndex:
+    """One frame's file listing plus memoized per-``file_context`` selections.
+
+    Built once per ``(frame, search paths)`` pair; every rule sharing a
+    ``file_context`` (in the planner's fused units, every rule of a unit)
+    resolves its candidate files with one dict probe instead of
+    re-filtering the listing.  Both ``files`` and the selection lists are
+    cached objects -- callers must treat them as read-only.
+    """
+
+    __slots__ = ("files", "_selections")
+
+    def __init__(self, files: list[str]):
+        self.files = files
+        self._selections: dict[tuple[str, ...], list[str]] = {}
+
+    def select(self, file_context: list[str]) -> list[str]:
+        if not file_context:
+            return self.files
+        key = tuple(file_context)
+        cached = self._selections.get(key)
+        if cached is None:
+            cached = _select_files(self.files, file_context)
+            self._selections[key] = cached
+        return cached
+
+
 class Normalizer:
     """File discovery + parsing with per-run and cross-run caching."""
 
@@ -66,10 +116,33 @@ class Normalizer:
         self.recorder = recorder
         self._tree_memo: dict[tuple[int, str, str], ConfigTree] = {}
         self._table_memo: dict[tuple[int, str, str], SchemaTable] = {}
-        self._files_cache: dict[tuple[int, tuple[str, ...]], list[str]] = {}
+        self._file_index: dict[tuple[int, tuple[str, ...]], FileTargetIndex] = {}
         self._digests: dict[tuple[int, str], str] = {}
 
     # ---- discovery --------------------------------------------------------
+
+    def file_index(
+        self, frame: ConfigFrame, search_paths: list[str]
+    ) -> FileTargetIndex:
+        """The frame's file-target index for ``search_paths`` (cached).
+
+        Built once per frame per search-path set; its listing and every
+        per-``file_context`` selection are shared cached lists.
+        """
+        if self.recorder is not None:
+            self.recorder.record_listing(frame, search_paths)
+        key = (frame.cache_token, tuple(search_paths))
+        index = self._file_index.get(key)
+        if index is None:
+            started = time.perf_counter()
+            files: list[str] = []
+            for top in search_paths:
+                files.extend(frame.files.files_under(top))
+            index = FileTargetIndex(files)
+            self._file_index[key] = index
+            if self.timings is not None:
+                self.timings.add("discover", time.perf_counter() - started)
+        return index
 
     def files_in_search_paths(
         self, frame: ConfigFrame, search_paths: list[str]
@@ -79,19 +152,7 @@ class Normalizer:
         Returns the cached list itself -- callers must treat it as
         read-only (copying it per call was measurable at fleet scale).
         """
-        if self.recorder is not None:
-            self.recorder.record_listing(frame, search_paths)
-        key = (frame.cache_token, tuple(search_paths))
-        cached = self._files_cache.get(key)
-        if cached is None:
-            started = time.perf_counter()
-            cached = []
-            for top in search_paths:
-                cached.extend(frame.files.files_under(top))
-            self._files_cache[key] = cached
-            if self.timings is not None:
-                self.timings.add("discover", time.perf_counter() - started)
-        return cached
+        return self.file_index(frame, search_paths).files
 
     def candidate_files(
         self,
@@ -99,31 +160,15 @@ class Normalizer:
         search_paths: list[str],
         file_context: list[str],
     ) -> list[str]:
-        """Files a rule applies to.
+        """Files a rule applies to (see :func:`_select_files`).
 
-        Each ``file_context`` item is a glob when it contains wildcard
-        characters, otherwise a substring of the path (the paper's Listing
-        2 uses ``"sites -enabled"`` to mean "any file under
-        sites-enabled/").  Without a file_context every file under the
-        search paths is a candidate.
+        Without a file_context every file under the search paths is a
+        candidate.  Selections are memoized on the frame's
+        :class:`FileTargetIndex`, so forty sshd rules share one filter
+        pass; the returned list is the cached object itself -- callers
+        must treat it as read-only.
         """
-        files = self.files_in_search_paths(frame, search_paths)
-        if not file_context:
-            return files
-        selected: list[str] = []
-        for path in files:
-            basename = posixpath.basename(path)
-            for pattern in file_context:
-                pattern = pattern.strip()
-                if any(char in pattern for char in "*?["):
-                    target = path if "/" in pattern else basename
-                    if fnmatch.fnmatch(target, pattern):
-                        selected.append(path)
-                        break
-                elif pattern in path:
-                    selected.append(path)
-                    break
-        return selected
+        return self.file_index(frame, search_paths).select(file_context)
 
     # ---- parsing -----------------------------------------------------------
 

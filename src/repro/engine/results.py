@@ -114,6 +114,10 @@ class ValidationReport:
     #: (:class:`repro.engine.incremental.IncrementalRunStats`; untyped here
     #: to keep this module free of engine imports).  None on full runs.
     incremental: object = field(default=None, repr=False, compare=False)
+    #: Rule-plan statistics (:class:`repro.engine.plan.PlanRunStats`);
+    #: None when the run used the unplanned engine (``--no-plan``).
+    #: Like ``incremental``, never rendered into reports.
+    plan: object = field(default=None, repr=False, compare=False)
 
     def add(self, result: RuleResult) -> None:
         self.results.append(result)

@@ -17,6 +17,8 @@ bench:
 # gates: >= 5x unchanged-fleet speedup, bounded cold-cycle overhead.
 # bench_rule_plan.py asserts the compiled-plan gates: >= 2x planned
 # throughput on the 16x ruleset, no 1x regression, byte-identical reports.
+# bench_provenance.py asserts the provenance gates: <= 5% overhead for
+# --provenance cycles, byte-identical provenance-off output.
 bench-check:
 	python benchmarks/compare_results.py
 

@@ -91,6 +91,13 @@ def test_record_cycle_throughput(benchmark, tmp_path):
         assert store.cycle_count() > 0
 
 
+#: Escalation: if the measured ratio is still over budget after a
+#: batch, measure another batch -- the pooled minima of both sides keep
+#: converging toward the true costs -- before failing.  A genuine
+#: regression stays over budget no matter how many samples accumulate.
+_MAX_BATCHES = 3
+
+
 def test_history_write_overhead_gate(benchmark, tmp_path):
     benchmark.pedantic(lambda: None, rounds=1)  # reporter shim
     entities = _entities()
@@ -104,9 +111,19 @@ def test_history_write_overhead_gate(benchmark, tmp_path):
         # First append pays the one-time series-dimension population;
         # steady state (what the monitor runs) starts at cycle 2.
         store.record_cycle(summary)
-        write_time, _ = _best_of(
-            7, lambda: (_timed_record(store, summary), None)
-        )
+        write_time = float("inf")
+        for _batch in range(_MAX_BATCHES):
+            best, _ = _best_of(
+                7, lambda: (_timed_record(store, summary), None)
+            )
+            write_time = min(write_time, best)
+            if write_time / cycle_time < _OVERHEAD_BUDGET:
+                break
+            # Re-pool the cycle side too: a lucky-fast scan minimum
+            # against an inflated write minimum fails the ratio even
+            # when the true overhead is in budget.
+            best, _ = _best_of(3, lambda: _scan(entities, scanner))
+            cycle_time = min(cycle_time, best)
         db_bytes = store.stats().db_bytes
 
     ratio = write_time / cycle_time

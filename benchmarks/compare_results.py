@@ -43,6 +43,9 @@ BENCH_FILES = (
     # the 16x ruleset, no 1x regression, planned vs --no-plan
     # byte-identity at workers 1 and 8) via in-test assertions.
     "bench_rule_plan.py",
+    # Enforces the <= 5% provenance-on overhead budget and off-mode
+    # byte-identity (ISSUE 7) via in-test assertions.
+    "bench_provenance.py",
 )
 
 #: Benchmarks faster than this are no-op reporter shims

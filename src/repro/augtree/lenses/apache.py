@@ -21,7 +21,7 @@ from __future__ import annotations
 import re
 
 from repro.augtree.lenses.base import Lens
-from repro.augtree.lenses.util import logical_lines
+from repro.augtree.lenses.util import logical_spans
 from repro.augtree.tree import ConfigNode, ConfigTree
 
 _OPEN = re.compile(r"<\s*(?P<name>[A-Za-z][\w]*)\s*(?P<args>[^>]*)>\s*$")
@@ -42,26 +42,33 @@ class ApacheLens(Lens):
     def parse(self, text: str, source: str = "<memory>") -> ConfigTree:
         root = ConfigNode("(root)")
         stack: list[tuple[str, ConfigNode]] = [("(root)", root)]
-        for number, line in logical_lines(text, comment_chars="#", join_backslash=True):
+        for number, span, line in logical_spans(text, comment_chars="#",
+                                                join_backslash=True):
             line = line.strip()
             close = _CLOSE.match(line)
             if close:
                 name = close.group("name")
                 if len(stack) == 1 or stack[-1][0].lower() != name.lower():
                     raise self.error(f"unmatched </{name}>", number)
-                stack.pop()
+                section = stack.pop()[1]
+                # The section's span grows to cover its whole body, so
+                # nested blocks report their true closing line.
+                if section.span is not None:
+                    section.span = section.span._replace(
+                        end_line=span.end_line, end_column=span.end_column,
+                        end=span.end)
                 continue
             opened = _OPEN.match(line)
             if opened:
                 args = opened.group("args").strip()
-                node = stack[-1][1].add(opened.group("name"), args or None)
+                node = stack[-1][1].add(opened.group("name"), args or None, span)
                 stack.append((opened.group("name"), node))
                 continue
             directive, _sep, args = line.partition(" ")
             args = args.strip()
             if len(directive) >= 2 and directive[0] in "'\"":
                 raise self.error(f"directive cannot be quoted: {line!r}", number)
-            stack[-1][1].add(directive, self._unquote(args) if args else None)
+            stack[-1][1].add(directive, self._unquote(args) if args else None, span)
         if len(stack) > 1:
             raise self.error(f"section <{stack[-1][0]}> never closed")
         return ConfigTree(root, source=source, lens=self.name)

@@ -15,7 +15,7 @@ as ``!include`` nodes so rules can assert on them.
 from __future__ import annotations
 
 from repro.augtree.lenses.base import Lens
-from repro.augtree.lenses.util import logical_lines, strip_inline_comment
+from repro.augtree.lenses.util import logical_spans, strip_inline_comment
 from repro.augtree.tree import ConfigNode, ConfigTree
 
 
@@ -26,18 +26,19 @@ class IniLens(Lens):
     def parse(self, text: str, source: str = "<memory>") -> ConfigTree:
         root = ConfigNode("(root)")
         section = None
-        for number, line in logical_lines(text, comment_chars="#;", join_backslash=True):
+        for number, span, line in logical_spans(text, comment_chars="#;",
+                                                join_backslash=True):
             line = strip_inline_comment(line, "#").strip()
             if not line:
                 continue
             if line.startswith("[") :
                 if not line.endswith("]") or len(line) < 3:
                     raise self.error(f"malformed section header {line!r}", number)
-                section = root.add(line[1:-1].strip())
+                section = root.add(line[1:-1].strip(), None, span)
                 continue
             if line.startswith("!"):
                 directive, _sep, argument = line.partition(" ")
-                root.add(directive, argument.strip() or None)
+                root.add(directive, argument.strip() or None, span)
                 continue
             if section is None:
                 section = root.add("(global)")
@@ -49,7 +50,7 @@ class IniLens(Lens):
                 value = value.strip()
                 if len(value) >= 2 and value[0] in "'\"" and value[-1] == value[0]:
                     value = value[1:-1]
-                section.add(key, value if value else None)
+                section.add(key, value if value else None, span)
             else:
-                section.add(key, None)  # bare flag like skip-networking
+                section.add(key, None, span)  # bare flag like skip-networking
         return ConfigTree(root, source=source, lens=self.name)

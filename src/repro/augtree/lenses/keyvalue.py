@@ -9,7 +9,7 @@ for sectioned files.
 from __future__ import annotations
 
 from repro.augtree.lenses.base import Lens
-from repro.augtree.lenses.util import logical_lines, strip_inline_comment
+from repro.augtree.lenses.util import logical_spans, strip_inline_comment
 from repro.augtree.tree import ConfigNode, ConfigTree
 
 
@@ -42,14 +42,14 @@ class KeyValueLens(Lens):
 
     def parse(self, text: str, source: str = "<memory>") -> ConfigTree:
         root = ConfigNode("(root)")
-        for _number, line in logical_lines(
+        for _number, span, line in logical_spans(
             text, comment_chars=self._comment_chars, join_backslash=True
         ):
             line = strip_inline_comment(line, self._comment_chars).strip()
             if not line:
                 continue
             key, value = self._split(line)
-            root.add(key, value)
+            root.add(key, value, span)
         return ConfigTree(root, source=source, lens=self.name)
 
     def _split(self, line: str) -> tuple[str, str | None]:

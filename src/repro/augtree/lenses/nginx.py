@@ -20,7 +20,7 @@ repeated sibling labels, addressable as ``server[1]`` / ``server[2]``.
 from __future__ import annotations
 
 from repro.augtree.lenses.base import Lens
-from repro.augtree.tree import ConfigNode, ConfigTree
+from repro.augtree.tree import ConfigNode, ConfigTree, SourceSpan
 
 _PUNCT = "{};"
 
@@ -47,16 +47,22 @@ class NginxLens(Lens):
     # ---- tokenizer ---------------------------------------------------------
 
     def _tokenize(self, text: str):
-        """Yield ``(token, line)`` pairs; strings keep their content only."""
+        """Yield ``(token, line, column, start, end)`` tuples.
+
+        Strings keep their content only, but line/column/offsets cover the
+        raw region including the quotes.
+        """
         line = 1
+        line_start = 0
         i = 0
         word: list[str] = []
-        word_line = 1
+        word_pos = (1, 1, 0)  # (line, column, offset) of the word's start
 
         def flush():
             nonlocal word
             if word:
-                yield "".join(word), word_line
+                w_line, w_col, w_start = word_pos
+                yield "".join(word), w_line, w_col, w_start, w_start + len(word)
                 word = []
 
         while i < len(text):
@@ -65,6 +71,7 @@ class NginxLens(Lens):
                 yield from flush()
                 line += 1
                 i += 1
+                line_start = i
             elif char in " \t\r":
                 yield from flush()
                 i += 1
@@ -75,29 +82,35 @@ class NginxLens(Lens):
             elif char in "'\"":
                 yield from flush()
                 quote = char
-                i += 1
+                start = i
                 start_line = line
+                start_col = i - line_start + 1
+                i += 1
                 buffer: list[str] = []
                 while i < len(text) and text[i] != quote:
                     if text[i] == "\\" and i + 1 < len(text):
                         buffer.append(text[i + 1])
+                        if text[i + 1] == "\n":
+                            line += 1
+                            line_start = i + 2
                         i += 2
                         continue
                     if text[i] == "\n":
                         line += 1
+                        line_start = i + 1
                     buffer.append(text[i])
                     i += 1
                 if i >= len(text):
                     raise self.error("unterminated string", start_line)
                 i += 1
-                yield "".join(buffer), start_line
+                yield "".join(buffer), start_line, start_col, start, i
             elif char in _PUNCT:
                 yield from flush()
-                yield char, line
+                yield char, line, i - line_start + 1, i, i + 1
                 i += 1
             else:
                 if not word:
-                    word_line = line
+                    word_pos = (line, i - line_start + 1, i)
                 word.append(char)
                 i += 1
         yield from flush()
@@ -106,7 +119,7 @@ class NginxLens(Lens):
 
     def _parse_block(
         self,
-        tokens: list[tuple[str, int]],
+        tokens: list[tuple[str, int, int, int, int]],
         index: int,
         parent: ConfigNode,
         *,
@@ -115,7 +128,7 @@ class NginxLens(Lens):
         """Parse directives until ``}`` (or EOF at top level); return the
         index just past the closing brace (or EOF)."""
         while index < len(tokens):
-            token, line = tokens[index]
+            token, line = tokens[index][0], tokens[index][1]
             if token == "}":
                 if top_level:
                     raise self.error("unmatched '}'", line)
@@ -124,6 +137,7 @@ class NginxLens(Lens):
                 raise self.error(f"unexpected {token!r}", line)
             # Collect the directive name and its arguments.
             name = token
+            name_line, name_col, name_start = tokens[index][1:4]
             index += 1
             args: list[str] = []
             while index < len(tokens) and tokens[index][0] not in _PUNCT:
@@ -131,14 +145,22 @@ class NginxLens(Lens):
                 index += 1
             if index >= len(tokens):
                 raise self.error(f"directive {name!r} missing ';' or '{{'", line)
-            terminator, term_line = tokens[index]
+            terminator, term_line = tokens[index][0], tokens[index][1]
             value = " ".join(args) if args else None
             if terminator == ";":
-                parent.add(name, value)
+                term = tokens[index]
+                span = SourceSpan(name_line, name_col, term[1], term[2] + 1,
+                                  name_start, term[4])
+                parent.add(name, value, span)
                 index += 1
             elif terminator == "{":
                 node = parent.add(name, value)
                 index = self._parse_block(tokens, index + 1, node, top_level=False)
+                # Span the whole block through its closing brace so nested
+                # constructs report their true extent.
+                closing = tokens[index - 1]
+                node.span = SourceSpan(name_line, name_col, closing[1],
+                                       closing[2] + 1, name_start, closing[4])
             else:
                 raise self.error(f"unexpected '}}' after {name!r}", term_line)
         if not top_level:

@@ -8,7 +8,7 @@ on the raw text form administrators write).
 from __future__ import annotations
 
 from repro.augtree.lenses.base import Lens
-from repro.augtree.lenses.util import logical_lines
+from repro.augtree.lenses.util import logical_spans
 from repro.augtree.tree import ConfigNode, ConfigTree
 
 
@@ -18,12 +18,12 @@ class PropertiesLens(Lens):
 
     def parse(self, text: str, source: str = "<memory>") -> ConfigTree:
         root = ConfigNode("(root)")
-        for _number, line in logical_lines(
+        for _number, span, line in logical_spans(
             text, comment_chars="#!", join_backslash=True
         ):
             line = line.strip()
             key, value = self._split(line)
-            root.add(key, value)
+            root.add(key, value, span)
         return ConfigTree(root, source=source, lens=self.name)
 
     @staticmethod

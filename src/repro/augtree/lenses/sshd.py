@@ -16,7 +16,7 @@ spelling the CIS benchmark uses.
 from __future__ import annotations
 
 from repro.augtree.lenses.base import Lens
-from repro.augtree.lenses.util import logical_lines
+from repro.augtree.lenses.util import logical_spans
 from repro.augtree.tree import ConfigNode, ConfigTree
 
 
@@ -27,13 +27,13 @@ class SshdLens(Lens):
     def parse(self, text: str, source: str = "<memory>") -> ConfigTree:
         root = ConfigNode("(root)")
         scope = root
-        for number, line in logical_lines(text, comment_chars="#"):
+        for number, span, line in logical_spans(text, comment_chars="#"):
             line = line.strip()
             keyword, argument = self._split(line, number)
             if keyword.lower() == "match":
-                scope = root.add("Match", argument)
+                scope = root.add("Match", argument, span)
                 continue
-            scope.add(keyword, argument)
+            scope.add(keyword, argument, span)
         return ConfigTree(root, source=source, lens=self.name)
 
     def _split(self, line: str, number: int) -> tuple[str, str | None]:

@@ -9,7 +9,7 @@ composite expressions address them that way (paper Listing 1:
 from __future__ import annotations
 
 from repro.augtree.lenses.base import Lens
-from repro.augtree.lenses.util import logical_lines, strip_inline_comment
+from repro.augtree.lenses.util import logical_spans, strip_inline_comment
 from repro.augtree.tree import ConfigNode, ConfigTree
 
 
@@ -19,7 +19,7 @@ class SysctlLens(Lens):
 
     def parse(self, text: str, source: str = "<memory>") -> ConfigTree:
         root = ConfigNode("(root)")
-        for number, line in logical_lines(text, comment_chars="#;"):
+        for number, span, line in logical_spans(text, comment_chars="#;"):
             line = strip_inline_comment(line, "#;").strip()
             if not line:
                 continue
@@ -29,5 +29,5 @@ class SysctlLens(Lens):
             key = key.strip()
             if not key:
                 raise self.error("empty sysctl key", number)
-            root.add(key, value.strip())
+            root.add(key, value.strip(), span)
         return ConfigTree(root, source=source, lens=self.name)

@@ -4,7 +4,98 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from repro.augtree.tree import ConfigNode
+from repro.augtree.tree import ConfigNode, SourceSpan
+
+#: Line terminators recognised by ``str.splitlines``; stripping these from
+#: ``splitlines(keepends=True)`` output reproduces ``splitlines()`` exactly
+#: while keeping the raw (terminator-inclusive) length for offset tracking.
+_LINE_ENDS = "\n\r\v\f\x1c\x1d\x1e\x85\u2028\u2029"
+
+
+def physical_lines(text: str) -> Iterator[tuple[int, int, str]]:
+    """Yield ``(line_number, start_offset, content)`` per physical line.
+
+    Content matches ``text.splitlines()`` element-for-element; the offset
+    is the character index of the line's first character in ``text``.
+    """
+    offset = 0
+    for number, raw in enumerate(text.splitlines(keepends=True), start=1):
+        line = raw
+        if line.endswith("\r\n"):
+            line = line[:-2]
+        elif line and line[-1] in _LINE_ENDS:
+            line = line[:-1]
+        yield number, offset, line
+        offset += len(raw)
+
+
+def _trimmed_span(start_line: int, start_offset: int, first: str,
+                  end_line: int, end_offset: int, last: str) -> SourceSpan:
+    """Span covering a logical construct, trimmed of flanking whitespace.
+
+    ``first``/``last`` are the first and last physical lines of the
+    construct; ``start_offset``/``end_offset`` are their line-start offsets.
+    """
+    lead = len(first) - len(first.lstrip())
+    if lead == len(first):  # blank first line; anchor at column 1
+        lead = 0
+    tail = len(last.rstrip())
+    if tail == 0 and last.strip() == "":
+        tail = len(last)
+    return SourceSpan(
+        line=start_line,
+        column=lead + 1,
+        end_line=end_line,
+        end_column=tail + 1,
+        start=start_offset + lead,
+        end=end_offset + tail,
+    )
+
+
+def logical_spans(
+    text: str,
+    *,
+    comment_chars: str = "#",
+    join_backslash: bool = False,
+) -> Iterator[tuple[int, SourceSpan, str]]:
+    """Yield ``(line_number, span, content)`` for non-blank, non-comment lines.
+
+    Like :func:`logical_lines` but also reports a :class:`SourceSpan`
+    covering the whole logical construct -- from the first physical line of
+    a backslash-joined run through the end of its last physical line --
+    trimmed of leading/trailing whitespace.
+    """
+    pending: list[str] = []
+    pending_start = 0
+    pending_offset = 0
+    pending_first = ""
+    for number, offset, raw in physical_lines(text):
+        line = raw.rstrip("\n")
+        if join_backslash and line.endswith("\\"):
+            if not pending:
+                pending_start = number
+                pending_offset = offset
+                pending_first = raw
+            pending.append(line[:-1])
+            continue
+        if pending:
+            line = "".join(pending) + line
+            start, start_offset, first = pending_start, pending_offset, pending_first
+            pending = []
+        else:
+            start, start_offset, first = number, offset, raw
+        stripped = line.strip()
+        if not stripped or stripped[0] in comment_chars:
+            continue
+        yield start, _trimmed_span(start, start_offset, first,
+                                   number, offset, raw), line
+    if pending:  # trailing continuation: emit what we have
+        line = "".join(pending)
+        if line.strip() and line.strip()[0] not in comment_chars:
+            span = _trimmed_span(pending_start, pending_offset, pending_first,
+                                 pending_start, pending_offset,
+                                 pending_first.rstrip("\\"))
+            yield pending_start, span, line
 
 
 def logical_lines(
@@ -19,30 +110,10 @@ def logical_lines(
     joined logical line.  Inline comments are **not** stripped here --
     whether ``#`` starts a comment mid-line is format-specific.
     """
-    pending: list[str] = []
-    pending_start = 0
-    number = 0
-    for number, raw in enumerate(text.splitlines(), start=1):
-        line = raw.rstrip("\n")
-        if join_backslash and line.endswith("\\"):
-            if not pending:
-                pending_start = number
-            pending.append(line[:-1])
-            continue
-        if pending:
-            line = "".join(pending) + line
-            start = pending_start
-            pending = []
-        else:
-            start = number
-        stripped = line.strip()
-        if not stripped or stripped[0] in comment_chars:
-            continue
-        yield start, line
-    if pending:  # trailing continuation: emit what we have
-        line = "".join(pending)
-        if line.strip() and line.strip()[0] not in comment_chars:
-            yield pending_start, line
+    for number, _span, line in logical_spans(
+        text, comment_chars=comment_chars, join_backslash=join_backslash
+    ):
+        yield number, line
 
 
 def strip_inline_comment(line: str, comment_chars: str = "#") -> str:

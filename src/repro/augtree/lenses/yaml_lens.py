@@ -5,8 +5,8 @@ from __future__ import annotations
 import yaml
 
 from repro.augtree.lenses.base import Lens
-from repro.augtree.lenses.util import scalar_to_tree
-from repro.augtree.tree import ConfigNode, ConfigTree
+from repro.augtree.lenses.util import _render_scalar, scalar_to_tree
+from repro.augtree.tree import ConfigNode, ConfigTree, SourceSpan
 
 
 class YamlLens(Lens):
@@ -27,4 +27,60 @@ class YamlLens(Lens):
                 scalar_to_tree(str(key), value, root)
         elif data is not None:
             scalar_to_tree("(document)", data, root)
+        # ``safe_load`` discards source marks, so spans come from a second
+        # compose() pass.  The composed tree is only trusted when it is
+        # value-identical to the loaded one (mark-less ``__eq__``); any
+        # divergence (merge keys, exotic tags) keeps the span-less tree.
+        spanned = self._spanned_root(text)
+        if spanned is not None and spanned == root:
+            root = spanned
         return ConfigTree(root, source=source, lens=self.name)
+
+    # ---- span harvesting ---------------------------------------------------
+
+    def _spanned_root(self, text: str) -> ConfigNode | None:
+        try:
+            node = yaml.compose(text, Loader=yaml.SafeLoader)
+        except Exception:
+            return None
+        root = ConfigNode("(root)")
+        if node is None:
+            return root
+        constructor = yaml.constructor.SafeConstructor()
+        try:
+            if isinstance(node, yaml.MappingNode):
+                for key_node, value_node in node.value:
+                    key = constructor.construct_object(key_node, deep=True)
+                    self._node_to_tree(str(key), value_node, root,
+                                       constructor, key_node)
+            else:
+                self._node_to_tree("(document)", node, root, constructor, None)
+        except Exception:
+            return None
+        return root
+
+    def _node_to_tree(self, label: str, node, parent: ConfigNode,
+                      constructor, key_node) -> None:
+        """Mirror of :func:`scalar_to_tree` over composed YAML nodes."""
+        anchor = key_node if key_node is not None else node
+        if isinstance(node, yaml.MappingNode):
+            child = parent.add(str(label), None, self._span(anchor, node))
+            for k_node, v_node in node.value:
+                key = constructor.construct_object(k_node, deep=True)
+                self._node_to_tree(str(key), v_node, child, constructor, k_node)
+        elif isinstance(node, yaml.SequenceNode):
+            for item in node.value:
+                self._node_to_tree(str(label), item, parent, constructor, None)
+        else:
+            value = constructor.construct_object(node, deep=True)
+            if isinstance(value, (dict, list, tuple)):
+                raise ValueError("scalar node constructed a container")
+            parent.add(str(label), _render_scalar(value),
+                       self._span(anchor, node))
+
+    @staticmethod
+    def _span(start_node, end_node) -> SourceSpan:
+        start, end = start_node.start_mark, end_node.end_mark
+        return SourceSpan(start.line + 1, start.column + 1,
+                          end.line + 1, end.column + 1,
+                          start.index, end.index)

@@ -9,18 +9,52 @@ The model follows Augeas: every node has a *label*, an optional string
 
 from __future__ import annotations
 
-from typing import Callable, Iterator
+from typing import Callable, Iterator, NamedTuple
+
+
+class SourceSpan(NamedTuple):
+    """Where a node came from in the raw file text.
+
+    Lines and columns are 1-based; ``end_line``/``end_column`` point one
+    past the last character of the construct (so single-char constructs
+    have ``end_column == column + 1``).  Offsets are character indices
+    into the decoded text, suitable for slicing: ``text[start:end]``.
+    """
+
+    line: int
+    column: int
+    end_line: int
+    end_column: int
+    start: int
+    end: int
+
+    def to_list(self) -> list[int]:
+        return list(self)
+
+    @classmethod
+    def from_list(cls, payload: object) -> "SourceSpan | None":
+        if not isinstance(payload, (list, tuple)) or len(payload) != 6:
+            return None
+        try:
+            return cls(*(int(part) for part in payload))
+        except (TypeError, ValueError):
+            return None
 
 
 class ConfigNode:
     """One node of a config tree."""
 
-    __slots__ = ("label", "value", "children", "parent",
+    __slots__ = ("label", "value", "children", "parent", "span",
                  "_label_index", "_indexed_count")
 
-    def __init__(self, label: str, value: str | None = None):
+    def __init__(self, label: str, value: str | None = None,
+                 span: SourceSpan | None = None):
         self.label = label
         self.value = value
+        #: Optional source location recorded by the lens at parse time.
+        #: Deliberately excluded from ``__eq__``/``to_dict``/``render`` so
+        #: span-aware and span-less trees stay interchangeable.
+        self.span = span
         self.children: list[ConfigNode] = []
         self.parent: ConfigNode | None = None
         #: Lazy label -> children map; built on the first ``children_named``
@@ -32,9 +66,10 @@ class ConfigNode:
 
     # ---- construction ----------------------------------------------------
 
-    def add(self, label: str, value: str | None = None) -> "ConfigNode":
+    def add(self, label: str, value: str | None = None,
+            span: SourceSpan | None = None) -> "ConfigNode":
         """Append a new child and return it."""
-        child = ConfigNode(label, value)
+        child = ConfigNode(label, value, span)
         child.parent = self
         self.children.append(child)
         index = self._label_index

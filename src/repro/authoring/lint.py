@@ -48,10 +48,15 @@ class LintFinding:
     rule: str         # "" for manifest-level findings
     code: str
     message: str
+    source: str = ""  # rule file the finding points into
+    line: int = 0     # 1-based rule line in that file (0 = unknown)
 
     def render(self) -> str:
         where = f"{self.entity}/{self.rule}" if self.rule else self.entity
-        return f"{self.level.upper():<7} {self.code:<18} {where}: {self.message}"
+        text = f"{self.level.upper():<7} {self.code:<18} {where}: {self.message}"
+        if self.source and self.line:
+            text += f"  [{self.source}:{self.line}]"
+        return text
 
 
 def lint_validator(
@@ -105,7 +110,9 @@ def _lint_rule(
     findings: list[LintFinding] = []
 
     def add(level: str, code: str, message: str) -> None:
-        findings.append(LintFinding(level, entity, rule.name, code, message))
+        findings.append(LintFinding(level, entity, rule.name, code, message,
+                                    source=rule.source,
+                                    line=rule.source_line))
 
     if rule.name in seen_names:
         add("error", "duplicate-name",

@@ -61,6 +61,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             args.rules_dir, cache_size=args.cache_size, workers=args.workers,
             telemetry=telemetry, verdict_store=store,
             use_plans=not args.no_plan,
+            provenance=args.provenance,
         )
         if args.targets:
             wanted = set(args.targets.split(","))
@@ -74,6 +75,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             telemetry=telemetry,
             verdict_store=store,
             use_plans=not args.no_plan,
+            provenance=args.provenance,
         )
     timings = _make_timings(args)
     server = _start_metrics_server(args, telemetry)
@@ -294,6 +296,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     validator = load_builtin_validator(
         cache_size=args.cache_size, workers=args.workers, telemetry=telemetry,
         verdict_store=store, use_plans=not args.no_plan,
+        provenance=args.provenance,
     )
     timings = _make_timings(args)
     server = _start_metrics_server(args, telemetry)
@@ -399,6 +402,7 @@ def _cmd_validate_frame(args: argparse.Namespace) -> int:
         telemetry=telemetry,
         verdict_store=store,
         use_plans=not args.no_plan,
+        provenance=args.provenance,
     )
     report = validator.validate_frame(frame)
     _finish_incremental(report, store, state_dir)
@@ -477,6 +481,7 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         telemetry=telemetry,
         verdict_store=verdict_store,
         use_plans=not args.no_plan,
+        provenance=args.provenance,
     )
     scanner = BatchScanner(validator, workers=args.workers,
                            telemetry=telemetry)
@@ -711,6 +716,136 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if has_errors else 0
 
 
+def _explain_frames(args: argparse.Namespace) -> list:
+    """The frames ``repro explain`` inspects (one-shot crawl)."""
+    if args.frame:
+        from repro.crawler.serialize import load_frame
+
+        with open(args.frame, "r", encoding="utf-8") as handle:
+            return [load_frame(handle.read())]
+    if args.root:
+        crawler = Crawler()
+        return [crawler.crawl(HostEntity(args.name,
+                                         RealFilesystem(args.root)))]
+    if args.scenario == "host":
+        entities = [ubuntu_host_entity("demo-host",
+                                       hardening=args.hardening,
+                                       with_nginx=True, with_mysql=True)]
+    elif args.scenario == "cloud":
+        entities = [build_cloud_project("demo",
+                                        violations=args.hardening < 1.0)]
+    else:  # fleet
+        _daemon, images, containers = build_fleet(
+            FleetSpec(images=args.size, containers_per_image=3,
+                      misconfig_rate=1.0 - args.hardening)
+        )
+        entities = [ContainerEntity(c) for c in containers]
+        entities += [DockerImageEntity(i) for i in images]
+    return list(Crawler().crawl_many(entities, workers=4))
+
+
+def _explain_since(args: argparse.Namespace) -> int:
+    """Cross-cycle mode: locate and explain the current failing streak."""
+    from repro.engine.explain import failing_streak_start, render_transition
+    from repro.history import HistoryStore
+
+    if not args.rule:
+        print("explain --since requires an explicit rule name",
+              file=sys.stderr)
+        return 2
+    store = HistoryStore(args.history_db)
+    try:
+        rendered = []
+        for target in store.targets():
+            history = store.rule_history(target, args.entity, args.rule)
+            streak = failing_streak_start(history)
+            if streak is None:
+                continue
+            first_fail, last_pass = streak
+            failing = store.provenance_for(target, args.entity, args.rule,
+                                           first_fail)
+            passing = None
+            if last_pass is not None:
+                passing = store.provenance_for(target, args.entity,
+                                               args.rule, last_pass)
+            rendered.append(render_transition(
+                target, args.entity, args.rule,
+                first_fail=first_fail, last_pass=last_pass,
+                failing=failing, passing=passing,
+            ))
+        if not rendered:
+            print(
+                f"no current failing streak for "
+                f"{args.entity}/{args.rule} in {args.history_db}",
+                file=sys.stderr,
+            )
+            return 1
+        print("\n\n".join(rendered))
+        return 0
+    finally:
+        store.close()
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.engine.explain import explanation_to_dict, render_explanation
+    from repro.engine.results import Verdict
+
+    if args.since:
+        return _explain_since(args)
+    frames = _explain_frames(args)
+    validator = load_builtin_validator(provenance=True)
+    report = validator.validate_frames(frames, workers=4)
+    results = [r for r in report if r.entity == args.entity]
+    if args.rule:
+        results = [r for r in results if r.rule.name == args.rule]
+    else:
+        results = [r for r in results
+                   if r.verdict in (Verdict.NONCOMPLIANT, Verdict.ERROR)]
+    if args.provenance_out:
+        with open(args.provenance_out, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"explanations":
+                    [explanation_to_dict(r) for r in results]},
+                handle, indent=2,
+            )
+            handle.write("\n")
+        print(f"provenance written to {args.provenance_out}",
+              file=sys.stderr)
+    if not results:
+        what = (f"rule {args.rule!r}" if args.rule
+                else "failing verdicts")
+        print(f"no {what} for entity {args.entity!r} "
+              f"(known entities: "
+              f"{', '.join(sorted({r.entity for r in report})) or 'none'})",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(
+            {"explanations": [explanation_to_dict(r) for r in results]},
+            indent=2,
+        ))
+        return 0
+    frames_by_key = {frame.describe(): frame for frame in frames}
+
+    def read_text(target: str, path: str) -> str | None:
+        frame = frames_by_key.get(target)
+        if frame is None:
+            return None
+        try:
+            return frame.read_config(path)
+        except Exception:
+            return None
+
+    print("\n\n".join(
+        render_explanation(result, read_text=read_text,
+                           context=args.context)
+        for result in results
+    ))
+    return 0
+
+
 def _cmd_scaffold(args: argparse.Namespace) -> int:
     from repro.authoring import render_rules_yaml, scaffold_rules
 
@@ -748,6 +883,15 @@ def _add_plan_flag(subparser: argparse.ArgumentParser) -> None:
         "--no-plan", action="store_true",
         help="disable compiled rule plans (fused single-pass tree "
              "evaluation); reports are byte-identical either way",
+    )
+
+
+def _add_provenance_flag(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--provenance", action="store_true",
+        help="attach source-anchored provenance records to every verdict "
+             "(embedded in JSON reports, file:line in JUnit failures; "
+             "text reports are unchanged)",
     )
 
 
@@ -836,6 +980,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit nonzero only for failures at or above this severity",
     )
     _add_scaling_flags(validate)
+    _add_provenance_flag(validate)
     _add_incremental_flags(validate)
     _add_telemetry_flags(validate)
     validate.set_defaults(func=_cmd_validate)
@@ -858,6 +1003,7 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--size", type=int, default=5)
     demo.add_argument("--only-failures", action="store_true")
     _add_scaling_flags(demo)
+    _add_provenance_flag(demo)
     _add_incremental_flags(demo)
     _add_telemetry_flags(demo)
     demo.set_defaults(func=_cmd_demo)
@@ -900,6 +1046,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_output_format_flags(validate_frame)
     validate_frame.add_argument("--only-failures", action="store_true")
     _add_plan_flag(validate_frame)
+    _add_provenance_flag(validate_frame)
     _add_incremental_flags(validate_frame)
     _add_telemetry_flags(validate_frame)
     validate_frame.set_defaults(func=_cmd_validate_frame)
@@ -979,6 +1126,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the final cycle's JSON report "
                               "(byte-identical to `validate --json`)")
     _add_scaling_flags(monitor)
+    _add_provenance_flag(monitor)
     _add_incremental_flags(monitor)
     _add_telemetry_flags(monitor)
     monitor.set_defaults(func=_cmd_monitor)
@@ -1023,6 +1171,46 @@ def build_parser() -> argparse.ArgumentParser:
     framediff.add_argument("--show", default="",
                            help="comma-separated paths to show unified diffs for")
     framediff.set_defaults(func=_cmd_framediff)
+
+    explain = subparsers.add_parser(
+        "explain",
+        help="explain verdicts with source-anchored diagnostics "
+             "(file:line:col, excerpt, predicate, suggested action)",
+    )
+    explain.add_argument("entity", help="entity (pack) to explain, "
+                                        "e.g. nginx or sshd")
+    explain.add_argument("rule", nargs="?", default="",
+                         help="explain just this rule (any verdict); "
+                              "default: every failing verdict")
+    explain.add_argument("--root", default="",
+                         help="rootfs to scan (default: synthetic host)")
+    explain.add_argument("--name", default="host",
+                         help="entity name in reports (with --root)")
+    explain.add_argument("--frame", default="", metavar="FILE",
+                         help="explain a previously captured frame instead "
+                              "of crawling")
+    explain.add_argument("--scenario", choices=["host", "fleet", "cloud"],
+                         default="host",
+                         help="synthetic workload when neither --root nor "
+                              "--frame is given")
+    explain.add_argument("--size", type=int, default=5,
+                         help="fleet size for the synthetic scenario")
+    explain.add_argument("--hardening", type=float, default=0.5,
+                         help="hardening rate of the synthetic workload")
+    explain.add_argument("--context", type=int, default=2,
+                         help="source lines shown above each anchor")
+    explain.add_argument("--json", action="store_true",
+                         help="emit machine-readable explanations")
+    explain.add_argument("--provenance-out", default="", metavar="FILE",
+                         help="also write the provenance records as JSON")
+    explain.add_argument("--since", action="store_true",
+                         help="cross-cycle mode: find the cycle the rule "
+                              "started failing in a monitor's history "
+                              "store and diff the anchored source lines")
+    explain.add_argument("--history-db", default="repro-history.sqlite",
+                         metavar="PATH",
+                         help="history store for --since")
+    explain.set_defaults(func=_cmd_explain)
 
     lint = subparsers.add_parser(
         "lint", help="lint the shipped rule packs"

@@ -110,8 +110,10 @@ def merge_inherited(parent: RuleSet, child: RuleSet) -> RuleSet:
         if override is None:
             merged.append(rule)
             continue
-        combined_raw = dict(rule.raw)
+        combined_raw = _LineDict(rule.raw)
         combined_raw.update(override.raw)
+        # The merged rule reads as the child's override: point at it.
+        combined_raw.source_line = override.source_line or rule.source_line
         merged.append(build_rule(combined_raw, child.source))
     for rule in child.rules:
         if rule.name in child_by_name:  # genuinely new rule
@@ -127,9 +129,37 @@ def merge_inherited(parent: RuleSet, child: RuleSet) -> RuleSet:
 # ---- document handling ---------------------------------------------------
 
 
+class _LineDict(dict):
+    """A YAML mapping that remembers the line it started on."""
+
+    source_line = 0
+
+
+class _LineLoader(yaml.SafeLoader):
+    """SafeLoader whose mappings are :class:`_LineDict` instances.
+
+    The constructor mirrors ``SafeConstructor.construct_yaml_map``'s
+    two-step generator shape (yield the container first so anchored
+    self-references resolve), then stamps the node's start line.
+    """
+
+
+def _construct_line_mapping(loader: _LineLoader, node):
+    mapping = _LineDict()
+    yield mapping
+    mapping.update(loader.construct_mapping(node))
+    mapping.source_line = node.start_mark.line + 1
+
+
+_LineLoader.add_constructor(
+    yaml.resolver.BaseResolver.DEFAULT_MAPPING_TAG, _construct_line_mapping
+)
+
+
 def _documents(text: str, source: str) -> list:
     try:
-        return [doc for doc in yaml.safe_load_all(text) if doc is not None]
+        return [doc for doc in yaml.load_all(text, Loader=_LineLoader)
+                if doc is not None]
     except yaml.YAMLError as exc:
         raise CVLSyntaxError(str(exc), source) from exc
 
@@ -262,6 +292,7 @@ def _common_fields(mapping: dict, rule_type: str, source: str) -> dict:
             mapping.get("not_present_pass", False), "not_present_pass", source
         ),
         "source": source,
+        "source_line": int(getattr(mapping, "source_line", 0)),
         "raw": dict(mapping),
     }
 

@@ -35,6 +35,9 @@ class Rule:
     not_present_description: str = ""
     not_present_pass: bool = False
     source: str = "<memory>"
+    #: 1-based line of the rule mapping in its source file (0 when the
+    #: loader could not attribute one, e.g. programmatically built rules).
+    source_line: int = 0
     raw: dict = field(default_factory=dict)
 
     rule_type = "abstract"

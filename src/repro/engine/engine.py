@@ -60,6 +60,13 @@ from repro.engine.plan import (
     plan_cache_stats,
     plan_for,
 )
+from repro.engine.provenance import (
+    ROUTE_COMPOSITE,
+    ROUTE_DIRECT,
+    ROUTE_FUSED,
+    ExcerptReader,
+    build_provenance,
+)
 from repro.engine.stages import StageTimings
 from repro.engine.results import (
     Evidence,
@@ -172,6 +179,7 @@ class ConfigValidator:
         telemetry: Telemetry | None = None,
         verdict_store: VerdictStore | None = None,
         use_plans: bool = True,
+        provenance: bool = False,
     ):
         self._resolver = resolver
         self._lenses = lenses
@@ -197,6 +205,9 @@ class ConfigValidator:
         #: Compile rulesets into fused :class:`RulePlan`s (the default);
         #: ``use_plans=False`` is the ``--no-plan`` reference path.
         self.use_plans = bool(use_plans)
+        #: Attach :class:`ProvenanceRecord`s to every result (``--provenance``).
+        #: Off by default: reports stay byte-identical to provenance-free runs.
+        self.provenance = bool(provenance)
         if self.telemetry.enabled:
             attach_plan_metrics(self.telemetry.metrics)
             self.parse_cache.attach_to(self.telemetry.metrics)
@@ -329,11 +340,13 @@ class ConfigValidator:
         include_composites: bool = True,
         timings: StageTimings | None = None,
         use_plans: bool | None = None,
+        provenance: bool | None = None,
     ) -> ValidationReport:
         """Validate one frame against every enabled manifest."""
         return self.validate_frames([frame], tags=tags,
                                     include_composites=include_composites,
-                                    timings=timings, use_plans=use_plans)
+                                    timings=timings, use_plans=use_plans,
+                                    provenance=provenance)
 
     def validate_frames(
         self,
@@ -344,6 +357,7 @@ class ConfigValidator:
         workers: int | None = None,
         timings: StageTimings | None = None,
         use_plans: bool | None = None,
+        provenance: bool | None = None,
     ) -> ValidationReport:
         """Validate a group of frames together.
 
@@ -361,9 +375,17 @@ class ConfigValidator:
         rules through compiled fused plans; reports are byte-identical
         either way -- ``use_plans=False`` exists for differential
         testing and as the ``--no-plan`` escape hatch.
+
+        ``provenance`` (default: the constructor setting) attaches a
+        :class:`~repro.engine.provenance.ProvenanceRecord` to every
+        result; text/JSON/JUnit output is unchanged unless the renderer
+        is asked to embed them.
         """
         workers = self.workers if workers is None else max(1, workers)
         use_plans = self.use_plans if use_plans is None else bool(use_plans)
+        provenance = (self.provenance if provenance is None
+                      else bool(provenance))
+        excerpts = ExcerptReader() if provenance else None
         telemetry = self.telemetry
         enabled = telemetry.enabled
         spans = telemetry.spans
@@ -485,6 +507,15 @@ class ConfigValidator:
                 #: Per-frame planner stats, merged at the barrier (the
                 #: run-wide object must not be mutated from workers).
                 frame_plan = PlanRunStats() if plans else None
+                #: Deferred-provenance markers, one shared tuple per
+                #: route: attaching provenance costs a single attribute
+                #: store per result, and the record itself is built on
+                #: first read (export, store.put, explain).  Attached
+                #: before store.put so replays rehydrate next cycle.
+                direct_ctx = ((ROUTE_DIRECT, excerpts, frame)
+                              if provenance else None)
+                fused_ctx = ((ROUTE_FUSED, excerpts, frame)
+                             if provenance else None)
 
                 def run_rule(manifest: Manifest, rule: Rule) -> RuleResult:
                     """One fresh per-rule evaluation -- the planned path
@@ -508,6 +539,8 @@ class ConfigValidator:
                     duration = time.perf_counter() - started
                     result.duration_s = duration
                     result.started_s = started
+                    if provenance:
+                        result._provenance = direct_ctx
                     if store is not None:
                         store.put(frame_key, manifest.entity, rule.name,
                                   tape, fingerprints, result)
@@ -571,6 +604,7 @@ class ConfigValidator:
                                 cached = store.fresh_result(
                                     frame_key, manifest.entity, rule,
                                     fingerprints, clean_frames,
+                                    provenance=provenance,
                                 )
                                 if cached is not None:
                                     frame_results.append(cached)
@@ -600,6 +634,7 @@ class ConfigValidator:
                             cached = store.fresh_result(
                                 frame_key, manifest.entity, rule,
                                 fingerprints, clean_frames,
+                                provenance=provenance,
                             )
                             if cached is not None:
                                 results_by_name[rule.name] = cached
@@ -622,6 +657,8 @@ class ConfigValidator:
                         for rule, result, tape, duration, begun in outputs:
                             result.duration_s = duration
                             result.started_s = begun
+                            if provenance:
+                                result._provenance = fused_ctx
                             if store is not None:
                                 store.put(frame_key, manifest.entity,
                                           rule.name, tape, fingerprints,
@@ -742,6 +779,7 @@ class ConfigValidator:
                                 fingerprints=fingerprints,
                                 recomputed=recomputed_pairs,
                                 clean_frames=clean_frames,
+                                provenance=provenance,
                             )
                             if cached is not None:
                                 report.add(cached)
@@ -762,6 +800,19 @@ class ConfigValidator:
                             )
                         duration = time.perf_counter() - started
                         result.duration_s = duration
+                        if provenance:
+                            # Link the composite back to the per-entity
+                            # verdicts its expression referenced.
+                            result.provenance = build_provenance(
+                                result, route=ROUTE_COMPOSITE,
+                                referents=[
+                                    {"entity": entity, "rule": config,
+                                     "verdict": context.rule_verdict(
+                                         entity, config)}
+                                    for entity, config in referenced_pairs(
+                                        rule.expression)
+                                ],
+                            )
                         if store is not None:
                             store.put_composite(
                                 manifest.entity, rule,

@@ -155,6 +155,7 @@ def evaluate_tree(
                         file=path,
                         location=node.path(),
                         value=node.value if node.value is not None else "",
+                        span=node.span,
                     )
                 )
         if found_here and rule.require_other_configs:

@@ -1,0 +1,249 @@
+"""Compiler-style verdict explanations (``repro explain``).
+
+Turns a provenance-carrying :class:`~repro.engine.results.RuleResult`
+into the diagnostic an operator actually wants: the offending source
+excerpt with a caret underline, the predicate that decided the verdict
+with observed vs expected values, the evaluation route, and the rule's
+authored description and suggested action (anchored to the rule file's
+line, see :attr:`~repro.cvl.model.Rule.source_line`).
+
+The cross-cycle half (``repro explain --since``) works off the history
+store's provenance table: :func:`failing_streak_start` locates the cycle
+a rule started failing, and :func:`render_transition` diffs the anchored
+source lines between the last passing and first failing records.
+"""
+
+from __future__ import annotations
+
+from repro.engine.provenance import ProvenanceRecord
+from repro.engine.results import RuleResult, Verdict
+
+#: Anchors rendered per explanation; beyond this they are summarized.
+_MAX_ANCHORS = 5
+
+#: Verdicts that count as "failing" for streak detection.
+_FAILING = frozenset(
+    (Verdict.NONCOMPLIANT.value, Verdict.ERROR.value)
+)
+
+
+# ---- single-verdict rendering ----------------------------------------------
+
+
+def _caret_line(line_text: str, span) -> str:
+    """The ``^^^`` underline for the span's portion of its first line."""
+    start = max(1, span.column)
+    if span.end_line == span.line:
+        end = max(start + 1, span.end_column)
+    else:
+        end = len(line_text.rstrip()) + 1
+    end = min(end, len(line_text) + 1)
+    width = max(1, end - start)
+    # Tabs before the caret keep their width so the underline stays aligned.
+    pad = "".join(
+        "\t" if char == "\t" else " " for char in line_text[: start - 1]
+    )
+    return pad + "^" * width
+
+
+def _source_block(anchor, text: str, context: int) -> list[str]:
+    """Numbered context lines + caret underline for one anchor."""
+    span = anchor.span
+    lines = text.splitlines()
+    if span is None or not 1 <= span.line <= len(lines):
+        return []
+    low = max(1, span.line - max(0, context))
+    width = len(str(span.line))
+    block = []
+    for number in range(low, span.line + 1):
+        block.append(f"   {number:>{width}} | {lines[number - 1]}")
+    block.append(f"   {'':>{width}} | " + _caret_line(lines[span.line - 1], span))
+    if span.end_line > span.line:
+        more = span.end_line - span.line
+        block.append(f"   {'':>{width}} | ... spans {more} more line(s)")
+    return block
+
+
+def render_explanation(
+    result: RuleResult,
+    *,
+    read_text=None,
+    context: int = 2,
+) -> str:
+    """One verdict as a compiler-style diagnostic.
+
+    ``read_text(target, path)`` returns the raw file text for source
+    excerpts (None disables them; the anchor's stored one-line excerpt
+    is used instead).
+    """
+    rule = result.rule
+    record = result.provenance
+    lines = [
+        f"[{result.verdict.value.upper()}] {result.entity}/{rule.name}"
+        f" -- {result.message}"
+    ]
+    where = rule.source
+    if rule.source_line:
+        where = f"{rule.source}:{rule.source_line}"
+    description = rule.description or "(no description)"
+    lines.append(f"  rule: {description}  [{where}]")
+    if record is None:
+        lines.append("  (no provenance recorded: run with --provenance)")
+        return "\n".join(lines)
+
+    spanless = []
+    rendered_anchors = 0
+    for anchor in record.anchors:
+        if rendered_anchors >= _MAX_ANCHORS:
+            remaining = len(record.anchors) - rendered_anchors
+            lines.append(f"  ... {remaining} more anchor(s)")
+            break
+        if anchor.span is None or not anchor.file:
+            spanless.append(anchor)
+            continue
+        rendered_anchors += 1
+        lines.append(f"  --> {anchor.location()}")
+        text = read_text(result.target, anchor.file) if read_text else None
+        block = _source_block(anchor, text, context) if text else []
+        if block:
+            lines.extend(block)
+        elif anchor.excerpt:
+            lines.append(f"      {anchor.excerpt}")
+    for anchor in spanless[:_MAX_ANCHORS]:
+        location = anchor.path or anchor.file or "(runtime)"
+        value = f" = {anchor.value!r}" if anchor.value != "" else ""
+        lines.append(f"  --> {location}{value}  (no source span)")
+
+    if record.observed:
+        lines.append(
+            "  found: " + ", ".join(repr(v) for v in record.observed)
+        )
+    lines.append(f"  why: {record.predicate}")
+    for key, value in record.expected.items():
+        lines.append(f"  expected {key}: {value}")
+    route = record.route
+    if record.origin and record.origin != record.route:
+        route = f"{record.route} (computed as {record.origin})"
+    lines.append(f"  route: {route}")
+    for ref in record.referents:
+        verdict = ref.get("verdict")
+        state = {True: "pass", False: "fail"}.get(verdict, "unknown")
+        lines.append(
+            f"  referent: {ref.get('entity', '?')}/{ref.get('rule', '?')}"
+            f" = {state}"
+        )
+    if result.verdict is not Verdict.COMPLIANT and rule.suggested_action:
+        lines.append(f"  action: {rule.suggested_action}")
+    return "\n".join(lines)
+
+
+def explanation_to_dict(result: RuleResult) -> dict:
+    """Machine-readable form of one explanation (``explain --json``)."""
+    rule = result.rule
+    payload = {
+        "entity": result.entity,
+        "rule": rule.name,
+        "target": result.target,
+        "verdict": result.verdict.value,
+        "outcome": result.outcome.value,
+        "message": result.message,
+        "severity": rule.severity,
+        "description": rule.description,
+        "suggested_action": rule.suggested_action,
+        "rule_source": rule.source,
+        "rule_source_line": rule.source_line,
+    }
+    if result.provenance is not None:
+        payload["provenance"] = result.provenance.to_dict()
+    return payload
+
+
+# ---- cross-cycle linking (--since) ------------------------------------------
+
+
+def failing_streak_start(
+    history: list[tuple[int, str]],
+) -> tuple[int, int | None] | None:
+    """Start of the *current* failing streak in a rule's verdict series.
+
+    ``history`` is ``rule_history()`` output: ``(cycle_id, verdict)``
+    oldest first.  Returns ``(first_failing_cycle, last_passing_cycle)``
+    -- ``last_passing_cycle`` is None when the rule has failed since its
+    first recorded cycle -- or None when the rule is not currently
+    failing.
+    """
+    if not history or history[-1][1] not in _FAILING:
+        return None
+    first_fail = history[-1][0]
+    last_pass = None
+    for cycle_id, verdict in reversed(history):
+        if verdict in _FAILING:
+            first_fail = cycle_id
+        else:
+            last_pass = cycle_id
+            break
+    return first_fail, last_pass
+
+
+def _anchor_lines(payload: dict | None) -> dict[str, str]:
+    """{file:line:col: excerpt} from a stored provenance payload."""
+    record = ProvenanceRecord.from_dict(payload)
+    if record is None:
+        return {}
+    return {
+        anchor.location(): anchor.excerpt
+        for anchor in record.anchors
+        if anchor.file and anchor.span is not None
+    }
+
+
+def render_transition(
+    target: str,
+    entity: str,
+    rule: str,
+    *,
+    first_fail: int,
+    last_pass: int | None,
+    failing: dict | None,
+    passing: dict | None,
+) -> str:
+    """The pass->fail transition of one rule, with anchored line diffs.
+
+    ``failing`` / ``passing`` are the stored provenance payloads of the
+    first failing and last passing cycles (either may be None when those
+    cycles ran without ``--provenance``).
+    """
+    lines = [f"# {entity}/{rule} on {target}"]
+    if last_pass is None:
+        lines.append(f"  failing since its first recorded cycle "
+                     f"({first_fail})")
+    else:
+        lines.append(f"  first failing cycle: {first_fail} "
+                     f"(last passed: {last_pass})")
+    fail_record = ProvenanceRecord.from_dict(failing)
+    if fail_record is not None and fail_record.predicate:
+        lines.append(f"  why: {fail_record.predicate}")
+    before = _anchor_lines(passing)
+    after = _anchor_lines(failing)
+    if not before and not after:
+        lines.append("  (no anchored provenance stored for these cycles)")
+        return "\n".join(lines)
+    shown = False
+    for location in sorted(set(before) | set(after)):
+        old = before.get(location)
+        new = after.get(location)
+        if old == new:
+            continue
+        shown = True
+        lines.append(f"  {location}:")
+        if old is not None:
+            lines.append(f"    - {old}")
+        if new is not None:
+            lines.append(f"    + {new}")
+    if not shown:
+        # Same anchored lines on both sides: the flip came from
+        # elsewhere (runtime state, a referenced verdict, ...).
+        for location in sorted(after):
+            lines.append(f"  {location}: {after[location]}")
+        lines.append("  anchored lines unchanged between the two cycles")
+    return "\n".join(lines)

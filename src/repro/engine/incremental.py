@@ -40,7 +40,7 @@ import json
 import os
 import threading
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Iterable
 
 from repro.crawler.fingerprint import (
@@ -54,6 +54,7 @@ from repro.crawler.fingerprint import (
     listing_arg,
     normalize_file_arg,
 )
+from repro.engine.provenance import ROUTE_REPLAYED, ProvenanceRecord
 from repro.engine.results import Evidence, Outcome, RuleResult, Verdict
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -148,7 +149,7 @@ class DependencyRecorder:
 
 
 def _result_to_payload(result: RuleResult) -> dict:
-    return {
+    payload = {
         "rule": result.rule.name,
         "entity": result.entity,
         "target": result.target,
@@ -161,6 +162,9 @@ def _result_to_payload(result: RuleResult) -> dict:
         ],
         "detail": result.detail,
     }
+    if result.provenance is not None:
+        payload["provenance"] = result.provenance.to_dict()
+    return payload
 
 
 def _result_from_payload(payload: dict, rule: "Rule") -> RuleResult:
@@ -180,10 +184,18 @@ def _result_from_payload(payload: dict, rule: "Rule") -> RuleResult:
             for e in payload["evidence"]
         ],
         detail=payload["detail"],
+        _provenance=ProvenanceRecord.from_dict(payload.get("provenance")),
     )
 
 
-def _replay(entry, rule: "Rule") -> RuleResult:
+def _entry_has_provenance(entry) -> bool:
+    """Whether a replay from ``entry`` could carry a provenance record."""
+    if entry.cached is not None:
+        return entry.cached.provenance is not None
+    return isinstance(entry.payload, dict) and "provenance" in entry.payload
+
+
+def _replay(entry, rule: "Rule", want_provenance: bool = False) -> RuleResult:
     """The entry's replayed result (rehydrated once, then shared).
 
     Results are immutable once built -- nothing downstream writes to a
@@ -193,12 +205,36 @@ def _replay(entry, rule: "Rule") -> RuleResult:
     proven it content-identical (ruleset digest) to the current one.  A
     benign race when two workers rehydrate concurrently just builds the
     same value twice.
+
+    Provenance-carrying replays never mutate the shared result: the
+    record (re-labelled ``route=replayed``, origin preserved) rides on a
+    memoized *twin* built with :func:`dataclasses.replace`, and a run
+    that does not want provenance from a record-carrying entry gets the
+    symmetric stripped twin.  Callers gate ``want_provenance=True`` on
+    :func:`_entry_has_provenance`.
     """
     cached = entry.cached
     if cached is None:
         cached = _result_from_payload(entry.payload, rule)
         entry.cached = cached
-    return cached
+    if want_provenance:
+        twin = entry.prov_twin
+        if twin is None:
+            twin = replace(
+                cached,
+                _provenance=cached.provenance.as_route(ROUTE_REPLAYED),
+            )
+            entry.prov_twin = twin
+        return twin
+    # Direct field read: the common no-record case must not pay the
+    # property (which would also materialize a deferred record thunk).
+    if cached._provenance is None:
+        return cached
+    twin = entry.plain_twin
+    if twin is None:
+        twin = replace(cached, _provenance=None)
+        entry.plain_twin = twin
+    return twin
 
 
 def _entry_payload(entry) -> dict:
@@ -356,6 +392,12 @@ class _Entry:
     deps: list[tuple[str, str, str, str]]   # (frame key, kind, arg, digest)
     payload: dict | None
     cached: RuleResult | None = field(default=None, repr=False, compare=False)
+    #: Memoized replay twins (see :func:`_replay`): ``cached`` with the
+    #: record re-labelled ``replayed`` / with the record stripped.
+    prov_twin: RuleResult | None = field(default=None, repr=False,
+                                         compare=False)
+    plain_twin: RuleResult | None = field(default=None, repr=False,
+                                          compare=False)
 
 
 @dataclass
@@ -375,6 +417,10 @@ class _CompositeEntry:
     verdicts: dict[tuple[str, str], bool | None]
     placements: dict[str, list[str]]        # entity -> ordered frame keys
     cached: RuleResult | None = field(default=None, repr=False, compare=False)
+    prov_twin: RuleResult | None = field(default=None, repr=False,
+                                         compare=False)
+    plain_twin: RuleResult | None = field(default=None, repr=False,
+                                          compare=False)
 
 
 class VerdictStore:
@@ -519,15 +565,24 @@ class VerdictStore:
         rule: "Rule",
         fingerprints: dict[str, FrameFingerprint],
         clean_frames: frozenset[str] = frozenset(),
+        provenance: bool = False,
     ) -> RuleResult | None:
-        """The stored result iff every recorded dependency is unchanged."""
+        """The stored result iff every recorded dependency is unchanged.
+
+        A ``provenance``-wanting lookup additionally requires the entry
+        to carry a stored record (entries written by provenance-off runs
+        miss, forcing one fresh evaluation that stores the record).
+        """
         entry = self._entries.get((frame_key, entity, rule.name))
         if entry is None or not self._deps_clean(entry.deps, fingerprints,
                                                  clean_frames):
             self._miss()
             return None
+        if provenance and not _entry_has_provenance(entry):
+            self._miss()
+            return None
         self._hit()
-        return _replay(entry, rule)
+        return _replay(entry, rule, want_provenance=provenance)
 
     def put(
         self,
@@ -599,6 +654,7 @@ class VerdictStore:
         fingerprints: dict[str, FrameFingerprint],
         recomputed: set[tuple[str, str]],
         clean_frames: frozenset[str] = frozenset(),
+        provenance: bool = False,
     ) -> RuleResult | None:
         """Replay a composite iff nothing it aggregates moved.
 
@@ -613,6 +669,7 @@ class VerdictStore:
             or entry.target != target
             or any(pair in recomputed for pair in entry.pairs)
             or not self._deps_clean(entry.deps, fingerprints, clean_frames)
+            or (provenance and not _entry_has_provenance(entry))
         ):
             self._miss()
             return None
@@ -628,7 +685,7 @@ class VerdictStore:
                 self._miss()
                 return None
         self._hit()
-        return _replay(entry, rule)
+        return _replay(entry, rule, want_provenance=provenance)
 
     def put_composite(
         self,

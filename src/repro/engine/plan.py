@@ -372,6 +372,7 @@ class RulePlan:
                                     value=node.value
                                     if node.value is not None
                                     else "",
+                                    span=node.span,
                                 )
                             )
                     requires = member.rule.require_other_configs

@@ -66,7 +66,7 @@ def render_text(
 
 
 def result_to_dict(result: RuleResult) -> dict:
-    return {
+    payload = {
         "rule": result.rule.name,
         "rule_type": result.rule.rule_type,
         "entity": result.entity,
@@ -83,6 +83,11 @@ def result_to_dict(result: RuleResult) -> dict:
         ],
         "detail": result.detail,
     }
+    if result.provenance is not None:
+        # Only present on --provenance runs, keeping default JSON output
+        # byte-identical to provenance-free engines.
+        payload["provenance"] = result.provenance.to_dict()
+    return payload
 
 
 def render_json(report: ValidationReport, *, indent: int | None = 2) -> str:
@@ -126,11 +131,18 @@ def render_junit(report: ValidationReport, *, suite_name: str = "configvalidator
         )
         message = escape(result.message)
         if result.verdict is Verdict.NONCOMPLIANT:
+            failure_message = result.message
+            record = result.provenance
+            anchor = (record.first_spanned_anchor()
+                      if record is not None else None)
+            if anchor is not None:
+                # Provenance runs anchor CI failure messages to source.
+                failure_message = f"{anchor.location()}: {failure_message}"
             body = escape(
                 "\n".join(item.render() for item in result.evidence)
             )
             lines.append(
-                f'    <failure message="{escape(result.message, {chr(34): "&quot;"})}"'
+                f'    <failure message="{escape(failure_message, {chr(34): "&quot;"})}"'
                 f" type={quoteattr(result.outcome.value)}>{body}</failure>"
             )
         elif result.verdict is Verdict.ERROR:

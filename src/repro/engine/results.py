@@ -46,6 +46,11 @@ class Evidence:
     file: str = ""
     location: str = ""   # tree path, row line, runtime key, ...
     value: str = ""
+    #: Source location (:class:`repro.augtree.tree.SourceSpan`) recorded by
+    #: the lens, when known.  Never rendered here -- provenance records
+    #: surface it -- and excluded from equality so span-aware and span-less
+    #: results stay interchangeable.
+    span: object = field(default=None, repr=False, compare=False)
 
     @classmethod
     def from_exception(cls, error: BaseException) -> "Evidence":
@@ -85,6 +90,38 @@ class RuleResult:
     detail: str = ""                 # free-form extra (composite term dump...)
     duration_s: float = 0.0          # wall time spent evaluating this rule
     started_s: float = 0.0           # perf_counter stamp at evaluation start
+    #: Structured provenance (:class:`repro.engine.provenance.
+    #: ProvenanceRecord`); attached only when the run asked for it, and
+    #: excluded from equality/repr so provenance-on and -off results
+    #: compare equal.  The engine stores a deferred-construction marker
+    #: here -- a ``(route, reader, frame)`` tuple shared by every result
+    #: of a frame -- and the :attr:`provenance` property materializes
+    #: the record on first read, so the scan cycle pays one attribute
+    #: store per result instead of full record construction (the
+    #: telemetry cost model: expansion happens at export/read time).
+    _provenance: object = field(default=None, repr=False, compare=False)
+
+    @property
+    def provenance(self):
+        value = self._provenance
+        if type(value) is tuple:
+            # Deferred marker from the engine: build the record now.
+            # Imported here to keep results free of a provenance import
+            # cycle (provenance reads Evidence from this module).
+            from repro.engine.provenance import build_provenance
+
+            route, reader, frame = value
+            value = build_provenance(self, route=route, reader=reader,
+                                     frame=frame)
+            self._provenance = value
+        elif callable(value):
+            value = value()
+            self._provenance = value
+        return value
+
+    @provenance.setter
+    def provenance(self, value) -> None:
+        self._provenance = value
 
     @property
     def passed(self) -> bool:

@@ -40,6 +40,7 @@ long-running monitor's database stops growing once the window is full.
 
 from __future__ import annotations
 
+import json
 import os
 import sqlite3
 import threading
@@ -135,6 +136,16 @@ CREATE TABLE IF NOT EXISTS entity_rollups (
     failed   INTEGER NOT NULL DEFAULT 0,
     worst_severity TEXT NOT NULL DEFAULT '',
     PRIMARY KEY (cycle_id, target)
+) WITHOUT ROWID;
+
+-- Verdict provenance (``--provenance`` cycles only): the serialized
+-- ProvenanceRecord per verdict, so ``repro explain --since`` can anchor
+-- and diff source lines across cycles.  Empty on default runs.
+CREATE TABLE IF NOT EXISTS provenance (
+    cycle_id  INTEGER NOT NULL,
+    series_id INTEGER NOT NULL,
+    record    TEXT    NOT NULL,
+    PRIMARY KEY (cycle_id, series_id)
 ) WITHOUT ROWID;
 """
 
@@ -347,15 +358,24 @@ class HistoryStore:
         keep_message = _MESSAGE_CODES
         tally = [0, 0, 0, 0]   # indexed by verdict code
         observed: dict[VerdictKey, tuple[int, str, str]] = {}
+        records: dict[VerdictKey, str] = {}
         for result in summary.report:
             rule = result.rule
             code = codes[result.verdict]
             tally[code] += 1
-            observed[(result.target, result.entity, rule.name)] = (
+            key = (result.target, result.entity, rule.name)
+            observed[key] = (
                 code,
                 result.message if code in keep_message else "",
                 rule.severity,
             )
+            # Direct field read: the common no-record case must not pay
+            # the property descriptor on every result (record_cycle is
+            # inside the monitor's <5% write budget).  A deferred marker
+            # is truthy, so provenance-on rows still materialize below.
+            if result._provenance is not None:
+                records[key] = json.dumps(result.provenance.to_dict(),
+                                          separators=(",", ":"))
         compliant = tally[VERDICT_CODES[Verdict.COMPLIANT.value]]
         noncompliant = tally[VERDICT_CODES[Verdict.NONCOMPLIANT.value]]
         checked = compliant + noncompliant
@@ -422,11 +442,22 @@ class HistoryStore:
                     for rollup in summary.entities.values()
                 ],
             )
+            if records:
+                self._bulk_insert_locked(
+                    "INSERT INTO provenance (cycle_id, series_id, record)"
+                    " VALUES ",
+                    3,
+                    [
+                        (cycle_id, series_ids[key], record)
+                        for key, record in records.items()
+                    ],
+                )
             self._conn.commit()
             pruned = self._prune_locked()
             self._stats.cycles_recorded += 1
             self._stats.rows_written += (
                 1 + new_series + len(observed) + len(summary.entities)
+                + len(records)
             )
             self._stats.cycles_pruned += pruned
             self._stats.write_seconds += time.perf_counter() - started
@@ -498,6 +529,9 @@ class HistoryStore:
         )
         self._conn.execute(
             "DELETE FROM entity_rollups WHERE cycle_id <= ?", (horizon,)
+        )
+        self._conn.execute(
+            "DELETE FROM provenance WHERE cycle_id <= ?", (horizon,)
         )
         self._conn.commit()
         self._conn.execute("PRAGMA incremental_vacuum")
@@ -635,6 +669,39 @@ class HistoryStore:
         if last is not None:
             out.reverse()
         return out
+
+    def provenance_for(self, target: str, entity: str, rule: str,
+                       cycle_id: int | None = None) -> dict | None:
+        """The stored provenance payload of one verdict, parsed.
+
+        With ``cycle_id=None`` returns the newest stored record for the
+        series.  ``None`` when the cycle never recorded provenance (the
+        default, non ``--provenance`` write path) or the payload does not
+        parse.
+        """
+        with self._lock:
+            series_id = self._series_ids.get((target, entity, rule))
+            if series_id is None:
+                return None
+            if cycle_id is None:
+                row = self._conn.execute(
+                    "SELECT record FROM provenance WHERE series_id = ?"
+                    " ORDER BY cycle_id DESC LIMIT 1",
+                    (series_id,),
+                ).fetchone()
+            else:
+                row = self._conn.execute(
+                    "SELECT record FROM provenance WHERE cycle_id = ?"
+                    " AND series_id = ?",
+                    (cycle_id, series_id),
+                ).fetchone()
+        if row is None:
+            return None
+        try:
+            payload = json.loads(row["record"])
+        except ValueError:
+            return None
+        return payload if isinstance(payload, dict) else None
 
     def entity_trend(self, target: str,
                      last: int | None = None) -> list[EntityTrendRow]:

@@ -46,6 +46,10 @@ BENCH_FILES = (
     # Enforces the <= 5% provenance-on overhead budget and off-mode
     # byte-identity (ISSUE 7) via in-test assertions.
     "bench_provenance.py",
+    # Enforces the executor gates (ISSUE 8): warm-store cold-process
+    # cycle >= 3x a storeless one, process >= 2x thread at 8 workers
+    # (on >= 4 cores), byte-identical reports across backends.
+    "bench_executor.py",
 )
 
 #: Benchmarks faster than this are no-op reporter shims

@@ -62,6 +62,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             telemetry=telemetry, verdict_store=store,
             use_plans=not args.no_plan,
             provenance=args.provenance,
+            **_executor_kwargs_from_args(args),
         )
         if args.targets:
             wanted = set(args.targets.split(","))
@@ -76,6 +77,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             verdict_store=store,
             use_plans=not args.no_plan,
             provenance=args.provenance,
+            **_executor_kwargs_from_args(args),
         )
     timings = _make_timings(args)
     server = _start_metrics_server(args, telemetry)
@@ -87,6 +89,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     _finish_incremental(report, store, state_dir)
     _print_stage_timings(args, timings, validator)
     _print_plan_stats(args, report)
+    _print_exec_stats(args, report)
     if args.json:
         print(render_json(report))
     elif args.junit:
@@ -96,7 +99,10 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     else:
         print(render_text(report, verbose=args.verbose,
                           only_failures=args.only_failures))
+    # Emit telemetry before closing: the artifact-store gauges are
+    # pull-style and scrape the live sqlite connection.
     _emit_telemetry(args, telemetry, server)
+    validator.close()
     if args.fail_on:
         from repro.engine.batch import severity_rank
 
@@ -141,6 +147,32 @@ def _finish_incremental(report, store, state_dir: str) -> None:
     stats = getattr(report, "incremental", None)
     if stats is not None:
         print(stats.render(), file=sys.stderr)
+
+
+def _executor_kwargs_from_args(args: argparse.Namespace) -> dict:
+    """Validator kwargs for the --executor/--shard-size/--artifact-store
+    flags (empty dict when every flag is at its default)."""
+    kwargs: dict = {}
+    executor = getattr(args, "executor", "thread")
+    if executor != "thread":
+        kwargs["executor"] = executor
+    shard_size = getattr(args, "shard_size", None)
+    if shard_size is not None:
+        kwargs["shard_size"] = shard_size
+    raw = getattr(args, "artifact_store", "")
+    if raw == "auto":
+        state_dir = getattr(args, "state_dir", "")
+        if not state_dir:
+            raise SystemExit(
+                "--artifact-store without a path requires --state-dir "
+                "(or pass an explicit sqlite path)"
+            )
+        from repro.engine.artifact_store import store_path_for
+
+        kwargs["artifact_store"] = str(store_path_for(state_dir))
+    elif raw:
+        kwargs["artifact_store"] = raw
+    return kwargs
 
 
 def _make_timings(args: argparse.Namespace):
@@ -238,6 +270,18 @@ def _print_stage_timings(args, timings, validator) -> None:
     print("\nstage timings (aggregate worker-seconds):", file=sys.stderr)
     print(timings.render(), file=sys.stderr)
     print(validator.cache_stats().render(), file=sys.stderr)
+    store = getattr(validator, "artifact_store", None)
+    if store is not None:
+        print(store.stats().render(), file=sys.stderr)
+
+
+def _print_exec_stats(args, report) -> None:
+    """Process-executor shard stats on stderr (with --stage-timings)."""
+    if not getattr(args, "stage_timings", False):
+        return
+    stats = getattr(report, "exec_stats", None)
+    if stats is not None:
+        print(stats.render(), file=sys.stderr)
 
 
 def _print_plan_stats(args, report) -> None:
@@ -297,6 +341,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         cache_size=args.cache_size, workers=args.workers, telemetry=telemetry,
         verdict_store=store, use_plans=not args.no_plan,
         provenance=args.provenance,
+        **_executor_kwargs_from_args(args),
     )
     timings = _make_timings(args)
     server = _start_metrics_server(args, telemetry)
@@ -323,7 +368,9 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     _finish_incremental(report, store, state_dir)
     _print_stage_timings(args, timings, validator)
     _print_plan_stats(args, report)
+    _print_exec_stats(args, report)
     _emit_telemetry(args, telemetry, server)
+    validator.close()
     return 0 if report.compliant else 1
 
 
@@ -338,6 +385,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         workers=args.workers,
         telemetry=telemetry,
         use_plans=not args.no_plan,
+        **_executor_kwargs_from_args(args),
     )
     if args.root:
         entities = [HostEntity(args.name, RealFilesystem(args.root))]
@@ -358,7 +406,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         entities += [DockerImageEntity(i) for i in images]
     server = _start_metrics_server(args, telemetry)
     scanner = BatchScanner(validator, workers=args.workers,
-                           telemetry=telemetry)
+                           cache_size=args.cache_size, telemetry=telemetry)
     summary = scanner.scan_entities(entities, workers=args.workers)
     print(
         f"# profiled {summary.entities_scanned} entities, "
@@ -370,7 +418,12 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     print("stage latency (aggregate worker-seconds):")
     print(summary.stage_timings.render_extended())
     print(validator.cache_stats().render())
+    if summary.exec_stats is not None:
+        print(summary.exec_stats.render())
+    if summary.artifact_stats is not None:
+        print(summary.artifact_stats.render())
     _emit_telemetry(args, telemetry, server)
+    validator.close()
     return 0
 
 
@@ -482,9 +535,10 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         verdict_store=verdict_store,
         use_plans=not args.no_plan,
         provenance=args.provenance,
+        **_executor_kwargs_from_args(args),
     )
     scanner = BatchScanner(validator, workers=args.workers,
-                           telemetry=telemetry)
+                           cache_size=args.cache_size, telemetry=telemetry)
     entities = _monitor_entities(args)
     history = HistoryStore(args.history_db,
                            retain_cycles=args.retain_cycles)
@@ -560,8 +614,13 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         print(f"verdict store saved to {path}", file=sys.stderr)
     print(stats.render())
     print(history.stats().render(), file=sys.stderr)
-    history.close()
+    # Telemetry before close: the history and artifact-store gauges are
+    # pull-style and scrape live sqlite connections.  (On an uncaught
+    # error the executor pool and stores are reclaimed by their
+    # finalizers at interpreter exit.)
     _emit_telemetry(args, telemetry)
+    history.close()
+    validator.close()
     return 1 if stats.scan_errors else 0
 
 
@@ -874,6 +933,23 @@ def _add_scaling_flags(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
         "--stage-timings", action="store_true",
         help="print per-stage wall time and parse-cache stats on stderr",
+    )
+    subparser.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="fan-out backend: 'thread' runs frames on an in-process "
+             "pool; 'process' shards them across worker processes "
+             "(reports are byte-identical either way)",
+    )
+    subparser.add_argument(
+        "--shard-size", type=int, default=None, metavar="N",
+        help="frames per process shard (default: auto-sized per cycle)",
+    )
+    subparser.add_argument(
+        "--artifact-store", nargs="?", const="auto", default="",
+        metavar="PATH",
+        help="persistent content-addressed store for parsed artifacts "
+             "(sqlite; duplicate content parses once per fleet ever); "
+             "bare flag places it under --state-dir",
     )
     _add_plan_flag(subparser)
 

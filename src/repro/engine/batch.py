@@ -103,6 +103,13 @@ class FleetSummary:
     #: (:class:`repro.engine.plan.PlanRunStats`); None when the cycle ran
     #: with ``--no-plan``.
     plan: object | None = None
+    #: Process-executor stats for this cycle
+    #: (:class:`repro.exec.ExecStats`); None on the thread backend.
+    exec_stats: object | None = None
+    #: Parent-side artifact-store counters snapshotted at the end of the
+    #: cycle (:class:`repro.engine.artifact_store.ArtifactStoreStats`);
+    #: None when the validator runs without a persistent store.
+    artifact_stats: object | None = None
 
     @property
     def throughput(self) -> float:
@@ -160,8 +167,15 @@ class BatchScanner:
 
     def __init__(self, validator: ConfigValidator,
                  crawler: Crawler | None = None, *, workers: int = 1,
+                 cache_size: int | None = None,
                  telemetry: Telemetry | None = None):
         self._validator = validator
+        if (cache_size is not None
+                and validator.parse_cache.maxsize != cache_size):
+            # Honor --cache-size exactly like `validate`: one shared
+            # cache per cycle, resized in place so telemetry collectors
+            # and the artifact-store tier keep observing the same cache.
+            validator.parse_cache.resize(cache_size)
         #: Defaults to the validator's bundle so one enabled Telemetry
         #: covers the whole cycle (crawl spans included).
         self.telemetry = telemetry or validator.telemetry
@@ -181,7 +195,11 @@ class BatchScanner:
                                        entities=str(len(entities)),
                                        workers=str(workers)):
             with timings.timer("crawl"):
-                frames = self._crawler.crawl_many(entities, workers=workers)
+                frames = self._crawler.crawl_many(
+                    entities, workers=workers,
+                    executor=self._validator._resolve_backend(None),
+                    init_source=self._validator,
+                )
             report = self._validator.validate_frames(
                 frames, tags=tags, workers=workers, timings=timings
             )
@@ -257,6 +275,11 @@ class BatchScanner:
             profile=telemetry.profiler if telemetry.enabled else None,
             incremental=report.incremental,
             plan=report.plan,
+            exec_stats=report.exec_stats,
+            artifact_stats=(
+                self._validator.artifact_store.stats()
+                if self._validator.artifact_store is not None else None
+            ),
         )
         log.info(
             "scan cycle: %d entities, %d checks in %.2fs",
@@ -361,6 +384,12 @@ def render_fleet_summary(summary: FleetSummary, *, top: int = 10) -> str:
     if summary.plan is not None:
         lines.append("")
         lines.append(summary.plan.render())
+    if summary.exec_stats is not None:
+        lines.append("")
+        lines.append(summary.exec_stats.render())
+    if summary.artifact_stats is not None:
+        lines.append("")
+        lines.append(summary.artifact_stats.render())
     if summary.profile is not None and len(summary.profile):
         lines.append("")
         lines.append("rule/lens profile (process-cumulative):")

@@ -15,6 +15,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 from typing import Callable
 
 from repro.errors import EngineError, EntityNotFound, ReproError
@@ -39,6 +40,7 @@ from repro.cvl.model import (
     ScriptRule,
     TreeRule,
 )
+from repro.engine.artifact_store import ArtifactStore
 from repro.engine.evaluators import (
     evaluate_path,
     evaluate_schema,
@@ -163,6 +165,31 @@ class _RunContext:
         return None
 
 
+#: Default-argument sentinel for :meth:`ConfigValidator._prepare_run`.
+_UNSET = object()
+
+
+class _RunPrep:
+    """Everything one validation run's per-frame evaluation needs.
+
+    Built by :meth:`ConfigValidator._prepare_run` and consumed by
+    :meth:`ConfigValidator._evaluate_frame_rules` -- both the thread
+    path's closures and the process backend's worker entry
+    (:mod:`repro.exec.worker`) go through the same pair, which is what
+    makes cross-backend reports byte-identical by construction.
+    """
+
+    __slots__ = (
+        "tags", "use_plans", "provenance", "excerpts", "store", "recorder",
+        "inc_stats", "fingerprints", "clean_frames", "digests", "plans",
+        "plan_stats", "normalizer", "timings",
+    )
+
+    def __init__(self, **fields):
+        for name in self.__slots__:
+            setattr(self, name, fields[name])
+
+
 class ConfigValidator:
     """Applies CVL rule packs to configuration frames."""
 
@@ -180,6 +207,9 @@ class ConfigValidator:
         verdict_store: VerdictStore | None = None,
         use_plans: bool = True,
         provenance: bool = False,
+        executor: str = "thread",
+        shard_size: int | None = None,
+        artifact_store: ArtifactStore | str | Path | None = None,
     ):
         self._resolver = resolver
         self._lenses = lenses
@@ -191,10 +221,29 @@ class ConfigValidator:
         #: Single-flight guard for lazy ruleset loading (validate_frames
         #: and rule_count may race it from worker threads).
         self._ruleset_lock = threading.Lock()
+        #: Persistent content-addressed artifact tier behind the parse
+        #: cache (``--artifact-store``); accepts a built store or a path.
+        if isinstance(artifact_store, (str, Path)):
+            artifact_store = ArtifactStore(artifact_store)
+        if parse_cache is None:
+            parse_cache = ParseCache(
+                DEFAULT_CACHE_SIZE if cache_size is None else cache_size,
+                store=artifact_store,
+            )
+        elif artifact_store is None:
+            artifact_store = parse_cache.store
+        self.artifact_store = artifact_store
         #: Content-addressed parse cache shared across frames and runs.
-        self.parse_cache = parse_cache or ParseCache(
-            DEFAULT_CACHE_SIZE if cache_size is None else cache_size
-        )
+        self.parse_cache = parse_cache
+        #: Execution backend for frame fan-out: ``"thread"`` (the
+        #: default -- GIL threads, cheap, I/O overlap) or ``"process"``
+        #: (shards frames across worker processes; see
+        #: :mod:`repro.exec`).  An :class:`~repro.exec.ExecutorBackend`
+        #: instance is accepted too.
+        self.executor = executor
+        #: Frames per process shard (None = auto-sized per cycle).
+        self.shard_size = shard_size
+        self._exec_backend = None
         #: Frames' result lists awaiting scrape-time tallying into the
         #: per-rule counter/histogram (see :meth:`_collect_rule_metrics`).
         self._pending_rule_metrics: list[list[RuleResult]] = []
@@ -216,7 +265,35 @@ class ConfigValidator:
             )
             if verdict_store is not None:
                 verdict_store.attach_to(self.telemetry.metrics)
+            if self.artifact_store is not None:
+                self.artifact_store.attach_to(self.telemetry.metrics)
         self.workers = max(1, workers)
+
+    def close(self) -> None:
+        """Release process pools and store connections (idempotent)."""
+        backend, self._exec_backend = self._exec_backend, None
+        if backend is not None:
+            backend.close()
+        if self.artifact_store is not None:
+            self.artifact_store.close()
+
+    def _resolve_backend(self, executor):
+        """Map an ``executor`` setting to a backend instance (or None
+        for the built-in thread path)."""
+        if executor is None:
+            executor = self.executor
+        if executor is None or executor == "thread":
+            return None
+        if executor == "process":
+            if self._exec_backend is None:
+                from repro.exec import ProcessBackend
+
+                self._exec_backend = ProcessBackend(
+                    shard_size=self.shard_size)
+            return self._exec_backend
+        if isinstance(executor, str):
+            raise EngineError(f"unknown executor backend {executor!r}")
+        return executor
 
     def _collect_rule_metrics(self) -> None:
         """Fold pending per-rule results into counters/histograms.
@@ -358,6 +435,7 @@ class ConfigValidator:
         timings: StageTimings | None = None,
         use_plans: bool | None = None,
         provenance: bool | None = None,
+        executor: str | None = None,
     ) -> ValidationReport:
         """Validate a group of frames together.
 
@@ -380,12 +458,18 @@ class ConfigValidator:
         :class:`~repro.engine.provenance.ProvenanceRecord` to every
         result; text/JSON/JUnit output is unchanged unless the renderer
         is asked to embed them.
+
+        ``executor`` (default: the constructor setting) picks the
+        fan-out backend: ``"thread"`` runs frames on a thread pool in
+        this process; ``"process"`` shards them across worker processes
+        (:mod:`repro.exec`) and falls back to the thread path when a
+        payload cannot cross the process boundary.  Reports are
+        byte-identical across backends and worker counts.
         """
         workers = self.workers if workers is None else max(1, workers)
         use_plans = self.use_plans if use_plans is None else bool(use_plans)
         provenance = (self.provenance if provenance is None
                       else bool(provenance))
-        excerpts = ExcerptReader() if provenance else None
         telemetry = self.telemetry
         enabled = telemetry.enabled
         spans = telemetry.spans
@@ -405,69 +489,15 @@ class ConfigValidator:
                 "repro_worker_busy_seconds_total",
                 "Aggregate worker-seconds spent validating frames.",
             )
-        # ---- incremental setup (no-ops without a verdict store) ----------
-        store = self.verdict_store
-        recorder: DependencyRecorder | None = None
-        inc_stats: IncrementalRunStats | None = None
-        fingerprints: dict[str, FrameFingerprint] = {}
-        clean_frames: frozenset[str] = frozenset()
-        if store is not None:
-            inc_stats = IncrementalRunStats()
-            frame_keys = [frame.describe() for frame in frames]
-            if len(set(frame_keys)) != len(frame_keys):
-                # Two frames sharing an identity would alias each other's
-                # stored verdicts; run a plain full validation instead.
-                inc_stats.active = False
-                inc_stats.reason = (
-                    "duplicate frame identities in run; ran full validation"
-                )
-                log.warning(
-                    "incremental disabled for this run: duplicate frame "
-                    "identities"
-                )
-                store = None
-            else:
-                recorder = DependencyRecorder()
-                fingerprints = {
-                    key: frame.fingerprint()
-                    for key, frame in zip(frame_keys, frames)
-                }
-                # One whole-frame digest per frame: frames it proves
-                # unchanged skip all per-dependency verification below.
-                clean_frames = store.begin_cycle({
-                    key: fingerprints[key].frame_digest()
-                    for key in frame_keys
-                })
-
-        # Ruleset digests key both the verdict store's invalidation and
-        # the process-wide plan cache; computed once per run so pack
-        # mutations between runs are always picked up.
-        digests: dict[str, str] = {}
-        if store is not None or use_plans:
-            digests = {
-                manifest.entity: ruleset_digest(
-                    manifest, self.ruleset_for(manifest)
-                )
-                for manifest in self.manifests()
-                if manifest.enabled
-            }
-        if store is not None:
-            store.sync_rulesets(digests)
-        plans: dict[str, RulePlan] = {}
-        plan_stats: PlanRunStats | None = None
-        if use_plans:
-            plan_stats = PlanRunStats()
-            for manifest in self.manifests():
-                if not manifest.enabled:
-                    continue
-                plan = plan_for(manifest, self.ruleset_for(manifest),
-                                digests[manifest.entity])
-                if plan.usable:
-                    plans[manifest.entity] = plan
-
-        normalizer = Normalizer(self._lenses, self._schemas,
-                                cache=self.parse_cache, timings=timings,
-                                telemetry=telemetry, recorder=recorder)
+        prep = self._prepare_run(frames, tags=tags, use_plans=use_plans,
+                                 provenance=provenance, timings=timings)
+        store = prep.store
+        recorder = prep.recorder
+        inc_stats = prep.inc_stats
+        fingerprints = prep.fingerprints
+        clean_frames = prep.clean_frames
+        plan_stats = prep.plan_stats
+        normalizer = prep.normalizer
         context = _RunContext(self, normalizer)
         target = ",".join(frame.describe() for frame in frames)
         report = ValidationReport(target=target)
@@ -489,213 +519,6 @@ class ConfigValidator:
                         if tags and not any(rule.has_tag(tag) for tag in tags):
                             continue
                         composites.append((manifest, rule))
-
-            def evaluate_rules(frame: ConfigFrame) -> tuple[
-                list[tuple[Manifest, list[RuleResult]]],
-                list[RuleResult],
-                int,
-                set[tuple[str, str]],
-                PlanRunStats | None,
-            ]:
-                placements: list[tuple[Manifest, list[RuleResult]]] = []
-                #: Freshly evaluated results only -- replays carry no new
-                #: timing or verdict information for telemetry.
-                fresh: list[RuleResult] = []
-                replayed = 0
-                recomputed: set[tuple[str, str]] = set()
-                frame_key = frame.describe()
-                #: Per-frame planner stats, merged at the barrier (the
-                #: run-wide object must not be mutated from workers).
-                frame_plan = PlanRunStats() if plans else None
-                #: Deferred-provenance markers, one shared tuple per
-                #: route: attaching provenance costs a single attribute
-                #: store per result, and the record itself is built on
-                #: first read (export, store.put, explain).  Attached
-                #: before store.put so replays rehydrate next cycle.
-                direct_ctx = ((ROUTE_DIRECT, excerpts, frame)
-                              if provenance else None)
-                fused_ctx = ((ROUTE_FUSED, excerpts, frame)
-                             if provenance else None)
-
-                def run_rule(manifest: Manifest, rule: Rule) -> RuleResult:
-                    """One fresh per-rule evaluation -- the planned path
-                    routes fallback and non-tree rules through this same
-                    body, so results (tracebacks included) are identical
-                    to the unplanned engine."""
-                    started = time.perf_counter()
-                    if recorder is not None:
-                        tape, previous = recorder.begin()
-                        try:
-                            self._record_intrinsic_deps(
-                                recorder, rule, frame
-                            )
-                            result = self._evaluate(rule, frame,
-                                                    manifest, normalizer)
-                        finally:
-                            recorder.end(previous)
-                    else:
-                        result = self._evaluate(rule, frame, manifest,
-                                                normalizer)
-                    duration = time.perf_counter() - started
-                    result.duration_s = duration
-                    result.started_s = started
-                    if provenance:
-                        result._provenance = direct_ctx
-                    if store is not None:
-                        store.put(frame_key, manifest.entity, rule.name,
-                                  tape, fingerprints, result)
-                        recomputed.add((manifest.entity, rule.name))
-                    if timings is not None:
-                        timings.add("evaluate", duration)
-                    if result.verdict is Verdict.ERROR:
-                        log.warning(
-                            "rule %s/%s errored on %s: %s",
-                            manifest.entity, rule.name,
-                            result.target, result.message,
-                        )
-                    return result
-
-                for manifest in self.manifests():
-                    if not manifest.enabled:
-                        continue
-                    if not manifest.applies_to_kind(frame.entity_kind):
-                        continue
-                    ruleset = self.ruleset_for(manifest)
-                    present = None
-                    if store is not None:
-                        present = store.fresh_presence(
-                            frame_key, manifest.entity, fingerprints,
-                            clean_frames,
-                        )
-                    if present is None:
-                        if store is not None:
-                            # Presence reads the search-path listing (via
-                            # the normalizer hook) and the runtime
-                            # namespace set; record both so the decision
-                            # replays next cycle.
-                            tape, previous = recorder.begin()
-                            try:
-                                recorder.record_runtime_keys(frame)
-                                present = self._component_present(
-                                    frame, manifest, ruleset, normalizer
-                                )
-                            finally:
-                                recorder.end(previous)
-                            store.put_presence(frame_key, manifest.entity,
-                                               tape, fingerprints, present)
-                        else:
-                            present = self._component_present(
-                                frame, manifest, ruleset, normalizer
-                            )
-                    if not present:
-                        continue  # the component is not on this entity
-                    plan = plans.get(manifest.entity)
-                    if plan is None:
-                        # Unplanned reference path (``--no-plan``).
-                        frame_results: list[RuleResult] = []
-                        for rule in ruleset.enabled_rules():
-                            if isinstance(rule, CompositeRule):
-                                continue
-                            if tags and not any(
-                                rule.has_tag(tag) for tag in tags
-                            ):
-                                continue
-                            if store is not None:
-                                cached = store.fresh_result(
-                                    frame_key, manifest.entity, rule,
-                                    fingerprints, clean_frames,
-                                    provenance=provenance,
-                                )
-                                if cached is not None:
-                                    frame_results.append(cached)
-                                    replayed += 1
-                                    continue
-                            result = run_rule(manifest, rule)
-                            frame_results.append(result)
-                            fresh.append(result)
-                        placements.append((manifest, frame_results))
-                        continue
-
-                    # ---- planned path --------------------------------
-                    selected: list[Rule] = []
-                    for rule in plan.rules:
-                        if isinstance(rule, CompositeRule):
-                            continue
-                        if tags and not any(
-                            rule.has_tag(tag) for tag in tags
-                        ):
-                            continue
-                        selected.append(rule)
-                    results_by_name: dict[str, RuleResult] = {}
-                    replayed_names: set[str] = set()
-                    pending: list[Rule] = []
-                    for rule in selected:
-                        if store is not None:
-                            cached = store.fresh_result(
-                                frame_key, manifest.entity, rule,
-                                fingerprints, clean_frames,
-                                provenance=provenance,
-                            )
-                            if cached is not None:
-                                results_by_name[rule.name] = cached
-                                replayed_names.add(rule.name)
-                                replayed += 1
-                                continue
-                        pending.append(rule)
-                    fused_pending = {
-                        rule.name for rule in pending if plan.is_fused(rule)
-                    }
-                    runtime_fallback: frozenset[str] = frozenset()
-                    if fused_pending:
-                        outputs, fell_back = plan.evaluate_fused(
-                            frame, manifest, normalizer, fused_pending,
-                            frame_key=(frame_key if store is not None
-                                       else None),
-                            stats=frame_plan,
-                        )
-                        runtime_fallback = frozenset(fell_back)
-                        for rule, result, tape, duration, begun in outputs:
-                            result.duration_s = duration
-                            result.started_s = begun
-                            if provenance:
-                                result._provenance = fused_ctx
-                            if store is not None:
-                                store.put(frame_key, manifest.entity,
-                                          rule.name, tape, fingerprints,
-                                          result)
-                                recomputed.add(
-                                    (manifest.entity, rule.name)
-                                )
-                            if timings is not None:
-                                timings.add("evaluate", duration)
-                            if result.verdict is Verdict.ERROR:
-                                log.warning(
-                                    "rule %s/%s errored on %s: %s",
-                                    manifest.entity, rule.name,
-                                    result.target, result.message,
-                                )
-                            results_by_name[rule.name] = result
-                    for rule in pending:
-                        if rule.name in results_by_name:
-                            continue  # served by a fused unit
-                        if (rule.name in runtime_fallback
-                                or rule.name in plan.fallback_names):
-                            frame_plan.rules_fallback += 1
-                        else:
-                            frame_plan.rules_direct += 1
-                        results_by_name[rule.name] = run_rule(manifest, rule)
-                    # Assemble in pack order so reports (and the fresh
-                    # list telemetry consumes) match the unplanned path.
-                    frame_results = [
-                        results_by_name[rule.name] for rule in selected
-                    ]
-                    fresh.extend(
-                        results_by_name[rule.name]
-                        for rule in selected
-                        if rule.name not in replayed_names
-                    )
-                    placements.append((manifest, frame_results))
-                return placements, fresh, replayed, recomputed, frame_plan
 
             def flush_rule_telemetry(results: list[RuleResult]) -> None:
                 """Three list appends per frame, nothing per rule.
@@ -727,7 +550,7 @@ class ConfigValidator:
                                 parent=run_span):
                     with spans.span("evaluate", category="stage"):
                         placements, fresh, replayed, recomputed, frame_plan = (
-                            evaluate_rules(frame)
+                            self._evaluate_frame_rules(frame, prep)
                         )
                         if enabled:
                             # Inside the stage span so rule spans parent
@@ -738,14 +561,48 @@ class ConfigValidator:
                     busy_total.inc(time.perf_counter() - frame_started)
                 return placements, replayed, recomputed, frame_plan
 
-            if workers > 1 and len(frames) > 1:
-                with ThreadPoolExecutor(
-                    max_workers=min(workers, len(frames)),
-                    thread_name_prefix="validate",
-                ) as pool:
-                    per_frame = list(pool.map(validate_one, frames))
-            else:
-                per_frame = [validate_one(frame) for frame in frames]
+            def integrate_worker_frame(frame: ConfigFrame, freport) -> tuple[
+                list[tuple[Manifest, list[RuleResult]]],
+                int,
+                set[tuple[str, str]],
+                PlanRunStats | None,
+            ]:
+                """Fold one worker-evaluated frame back into this run:
+                the same telemetry effects as :func:`validate_one`,
+                minus the evaluation itself (that happened in a worker
+                process; ``freport`` is its deserialized FrameReport)."""
+                if enabled:
+                    flush_rule_telemetry(freport.fresh)
+                    frames_total.inc()
+                    busy_total.inc(freport.busy_s)
+                placements = [
+                    (self.manifest(entity), results)
+                    for entity, results in freport.placements
+                ]
+                return (placements, freport.replayed,
+                        set(freport.recomputed), freport.plan)
+
+            per_frame = None
+            exec_stats = None
+            backend = self._resolve_backend(executor)
+            if backend is not None and frames:
+                per_frame, exec_stats = backend.run_cycle(
+                    self, frames, prep,
+                    validate_one=validate_one,
+                    integrate=integrate_worker_frame,
+                    workers=workers,
+                )
+            if per_frame is None:
+                # Thread path: also the process backend's whole-cycle
+                # fallback when a payload cannot cross processes.
+                if workers > 1 and len(frames) > 1:
+                    with ThreadPoolExecutor(
+                        max_workers=min(workers, len(frames)),
+                        thread_name_prefix="validate",
+                    ) as pool:
+                        per_frame = list(pool.map(validate_one, frames))
+                else:
+                    per_frame = [validate_one(frame) for frame in frames]
 
             # Deterministic merge barrier: document order, not completion
             # order.
@@ -889,6 +746,10 @@ class ConfigValidator:
                     units=str(plan_stats.units_evaluated),
                     traversals_saved=str(plan_stats.traversals_saved),
                 )
+        if exec_stats is not None:
+            report.exec_stats = exec_stats
+            if enabled:
+                exec_stats.publish(telemetry)
         return report
 
     def validate_entity(
@@ -910,15 +771,334 @@ class ConfigValidator:
         """Crawl and validate a group of entities together (composites see
         the whole group)."""
         workers = self.workers if workers is None else max(1, workers)
+        backend = self._resolve_backend(None)
         if timings is not None:
             with timings.timer("crawl"):
-                frames = self._crawler.crawl_many(entities, workers=workers)
+                frames = self._crawler.crawl_many(
+                    entities, workers=workers, executor=backend,
+                    init_source=self)
         else:
-            frames = self._crawler.crawl_many(entities, workers=workers)
+            frames = self._crawler.crawl_many(
+                entities, workers=workers, executor=backend,
+                init_source=self)
         return self.validate_frames(frames, tags=tags, workers=workers,
                                     timings=timings)
 
     # ---- internals ---------------------------------------------------------
+
+    def _prepare_run(
+        self,
+        frames: list[ConfigFrame],
+        *,
+        tags: list[str] | None,
+        use_plans: bool,
+        provenance: bool,
+        timings: StageTimings | None,
+        store=_UNSET,
+    ) -> _RunPrep:
+        """Build the shared per-run evaluation state (:class:`_RunPrep`).
+
+        ``store`` overrides the validator's verdict store; the process
+        backend's workers pass the shard-local slice they were shipped
+        (:meth:`~repro.engine.incremental.VerdictStore.import_slice`).
+        """
+        excerpts = ExcerptReader() if provenance else None
+        # ---- incremental setup (no-ops without a verdict store) ----------
+        if store is _UNSET:
+            store = self.verdict_store
+        recorder: DependencyRecorder | None = None
+        inc_stats: IncrementalRunStats | None = None
+        fingerprints: dict[str, FrameFingerprint] = {}
+        clean_frames: frozenset[str] = frozenset()
+        if store is not None:
+            inc_stats = IncrementalRunStats()
+            frame_keys = [frame.describe() for frame in frames]
+            if len(set(frame_keys)) != len(frame_keys):
+                # Two frames sharing an identity would alias each other's
+                # stored verdicts; run a plain full validation instead.
+                inc_stats.active = False
+                inc_stats.reason = (
+                    "duplicate frame identities in run; ran full validation"
+                )
+                log.warning(
+                    "incremental disabled for this run: duplicate frame "
+                    "identities"
+                )
+                store = None
+            else:
+                recorder = DependencyRecorder()
+                fingerprints = {
+                    key: frame.fingerprint()
+                    for key, frame in zip(frame_keys, frames)
+                }
+                # One whole-frame digest per frame: frames it proves
+                # unchanged skip all per-dependency verification below.
+                clean_frames = store.begin_cycle({
+                    key: fingerprints[key].frame_digest()
+                    for key in frame_keys
+                })
+
+        # Ruleset digests key both the verdict store's invalidation and
+        # the process-wide plan cache; computed once per run so pack
+        # mutations between runs are always picked up.
+        digests: dict[str, str] = {}
+        if store is not None or use_plans:
+            digests = {
+                manifest.entity: ruleset_digest(
+                    manifest, self.ruleset_for(manifest)
+                )
+                for manifest in self.manifests()
+                if manifest.enabled
+            }
+        if store is not None:
+            store.sync_rulesets(digests)
+        plans: dict[str, RulePlan] = {}
+        plan_stats: PlanRunStats | None = None
+        if use_plans:
+            plan_stats = PlanRunStats()
+            for manifest in self.manifests():
+                if not manifest.enabled:
+                    continue
+                plan = plan_for(manifest, self.ruleset_for(manifest),
+                                digests[manifest.entity])
+                if plan.usable:
+                    plans[manifest.entity] = plan
+
+        normalizer = Normalizer(self._lenses, self._schemas,
+                                cache=self.parse_cache, timings=timings,
+                                telemetry=self.telemetry, recorder=recorder)
+        return _RunPrep(
+            tags=tags, use_plans=use_plans, provenance=provenance,
+            excerpts=excerpts, store=store, recorder=recorder,
+            inc_stats=inc_stats, fingerprints=fingerprints,
+            clean_frames=clean_frames, digests=digests, plans=plans,
+            plan_stats=plan_stats, normalizer=normalizer, timings=timings,
+        )
+
+    def _evaluate_frame_rules(
+        self, frame: ConfigFrame, prep: _RunPrep
+    ) -> tuple[
+        list[tuple[Manifest, list[RuleResult]]],
+        list[RuleResult],
+        int,
+        set[tuple[str, str]],
+        PlanRunStats | None,
+    ]:
+        """Every per-entity rule of one frame, against shared run state.
+
+        The single evaluation path behind both backends: the thread
+        path's ``validate_one`` closure and the process backend's worker
+        entry (:mod:`repro.exec.worker`) call this same method, so
+        reports agree byte-for-byte across executors by construction.
+        """
+        store = prep.store
+        recorder = prep.recorder
+        fingerprints = prep.fingerprints
+        clean_frames = prep.clean_frames
+        normalizer = prep.normalizer
+        timings = prep.timings
+        tags = prep.tags
+        provenance = prep.provenance
+        plans = prep.plans
+        placements: list[tuple[Manifest, list[RuleResult]]] = []
+        #: Freshly evaluated results only -- replays carry no new
+        #: timing or verdict information for telemetry.
+        fresh: list[RuleResult] = []
+        replayed = 0
+        recomputed: set[tuple[str, str]] = set()
+        frame_key = frame.describe()
+        #: Per-frame planner stats, merged at the barrier (the
+        #: run-wide object must not be mutated from workers).
+        frame_plan = PlanRunStats() if plans else None
+        #: Deferred-provenance markers, one shared tuple per
+        #: route: attaching provenance costs a single attribute
+        #: store per result, and the record itself is built on
+        #: first read (export, store.put, explain).  Attached
+        #: before store.put so replays rehydrate next cycle.
+        direct_ctx = ((ROUTE_DIRECT, prep.excerpts, frame)
+                      if provenance else None)
+        fused_ctx = ((ROUTE_FUSED, prep.excerpts, frame)
+                     if provenance else None)
+
+        def run_rule(manifest: Manifest, rule: Rule) -> RuleResult:
+            """One fresh per-rule evaluation -- the planned path
+            routes fallback and non-tree rules through this same
+            body, so results (tracebacks included) are identical
+            to the unplanned engine."""
+            started = time.perf_counter()
+            if recorder is not None:
+                tape, previous = recorder.begin()
+                try:
+                    self._record_intrinsic_deps(
+                        recorder, rule, frame
+                    )
+                    result = self._evaluate(rule, frame,
+                                            manifest, normalizer)
+                finally:
+                    recorder.end(previous)
+            else:
+                result = self._evaluate(rule, frame, manifest,
+                                        normalizer)
+            duration = time.perf_counter() - started
+            result.duration_s = duration
+            result.started_s = started
+            if provenance:
+                result._provenance = direct_ctx
+            if store is not None:
+                store.put(frame_key, manifest.entity, rule.name,
+                          tape, fingerprints, result)
+                recomputed.add((manifest.entity, rule.name))
+            if timings is not None:
+                timings.add("evaluate", duration)
+            if result.verdict is Verdict.ERROR:
+                log.warning(
+                    "rule %s/%s errored on %s: %s",
+                    manifest.entity, rule.name,
+                    result.target, result.message,
+                )
+            return result
+
+        for manifest in self.manifests():
+            if not manifest.enabled:
+                continue
+            if not manifest.applies_to_kind(frame.entity_kind):
+                continue
+            ruleset = self.ruleset_for(manifest)
+            present = None
+            if store is not None:
+                present = store.fresh_presence(
+                    frame_key, manifest.entity, fingerprints,
+                    clean_frames,
+                )
+            if present is None:
+                if store is not None:
+                    # Presence reads the search-path listing (via
+                    # the normalizer hook) and the runtime
+                    # namespace set; record both so the decision
+                    # replays next cycle.
+                    tape, previous = recorder.begin()
+                    try:
+                        recorder.record_runtime_keys(frame)
+                        present = self._component_present(
+                            frame, manifest, ruleset, normalizer
+                        )
+                    finally:
+                        recorder.end(previous)
+                    store.put_presence(frame_key, manifest.entity,
+                                       tape, fingerprints, present)
+                else:
+                    present = self._component_present(
+                        frame, manifest, ruleset, normalizer
+                    )
+            if not present:
+                continue  # the component is not on this entity
+            plan = plans.get(manifest.entity)
+            if plan is None:
+                # Unplanned reference path (``--no-plan``).
+                frame_results: list[RuleResult] = []
+                for rule in ruleset.enabled_rules():
+                    if isinstance(rule, CompositeRule):
+                        continue
+                    if tags and not any(
+                        rule.has_tag(tag) for tag in tags
+                    ):
+                        continue
+                    if store is not None:
+                        cached = store.fresh_result(
+                            frame_key, manifest.entity, rule,
+                            fingerprints, clean_frames,
+                            provenance=provenance,
+                        )
+                        if cached is not None:
+                            frame_results.append(cached)
+                            replayed += 1
+                            continue
+                    result = run_rule(manifest, rule)
+                    frame_results.append(result)
+                    fresh.append(result)
+                placements.append((manifest, frame_results))
+                continue
+
+            # ---- planned path --------------------------------
+            selected: list[Rule] = []
+            for rule in plan.rules:
+                if isinstance(rule, CompositeRule):
+                    continue
+                if tags and not any(
+                    rule.has_tag(tag) for tag in tags
+                ):
+                    continue
+                selected.append(rule)
+            results_by_name: dict[str, RuleResult] = {}
+            replayed_names: set[str] = set()
+            pending: list[Rule] = []
+            for rule in selected:
+                if store is not None:
+                    cached = store.fresh_result(
+                        frame_key, manifest.entity, rule,
+                        fingerprints, clean_frames,
+                        provenance=provenance,
+                    )
+                    if cached is not None:
+                        results_by_name[rule.name] = cached
+                        replayed_names.add(rule.name)
+                        replayed += 1
+                        continue
+                pending.append(rule)
+            fused_pending = {
+                rule.name for rule in pending if plan.is_fused(rule)
+            }
+            runtime_fallback: frozenset[str] = frozenset()
+            if fused_pending:
+                outputs, fell_back = plan.evaluate_fused(
+                    frame, manifest, normalizer, fused_pending,
+                    frame_key=(frame_key if store is not None
+                               else None),
+                    stats=frame_plan,
+                )
+                runtime_fallback = frozenset(fell_back)
+                for rule, result, tape, duration, begun in outputs:
+                    result.duration_s = duration
+                    result.started_s = begun
+                    if provenance:
+                        result._provenance = fused_ctx
+                    if store is not None:
+                        store.put(frame_key, manifest.entity,
+                                  rule.name, tape, fingerprints,
+                                  result)
+                        recomputed.add(
+                            (manifest.entity, rule.name)
+                        )
+                    if timings is not None:
+                        timings.add("evaluate", duration)
+                    if result.verdict is Verdict.ERROR:
+                        log.warning(
+                            "rule %s/%s errored on %s: %s",
+                            manifest.entity, rule.name,
+                            result.target, result.message,
+                        )
+                    results_by_name[rule.name] = result
+            for rule in pending:
+                if rule.name in results_by_name:
+                    continue  # served by a fused unit
+                if (rule.name in runtime_fallback
+                        or rule.name in plan.fallback_names):
+                    frame_plan.rules_fallback += 1
+                else:
+                    frame_plan.rules_direct += 1
+                results_by_name[rule.name] = run_rule(manifest, rule)
+            # Assemble in pack order so reports (and the fresh
+            # list telemetry consumes) match the unplanned path.
+            frame_results = [
+                results_by_name[rule.name] for rule in selected
+            ]
+            fresh.extend(
+                results_by_name[rule.name]
+                for rule in selected
+                if rule.name not in replayed_names
+            )
+            placements.append((manifest, frame_results))
+        return placements, fresh, replayed, recomputed, frame_plan
 
     @staticmethod
     def _component_present(

@@ -28,7 +28,7 @@ from repro.errors import LensError, SchemaError
 from repro.augtree.lenses import LensRegistry, default_registry
 from repro.augtree.tree import ConfigTree
 from repro.crawler.frame import ConfigFrame
-from repro.engine.parse_cache import ParseCache, content_digest
+from repro.engine.parse_cache import ParseCache, content_digest_and_size
 from repro.engine.stages import StageTimings
 from repro.schema import (
     SchemaParserRegistry,
@@ -117,7 +117,7 @@ class Normalizer:
         self._tree_memo: dict[tuple[int, str, str], ConfigTree] = {}
         self._table_memo: dict[tuple[int, str, str], SchemaTable] = {}
         self._file_index: dict[tuple[int, tuple[str, ...]], FileTargetIndex] = {}
-        self._digests: dict[tuple[int, str], str] = {}
+        self._digests: dict[tuple[int, str], tuple[str, int]] = {}
 
     # ---- discovery --------------------------------------------------------
 
@@ -172,13 +172,21 @@ class Normalizer:
 
     # ---- parsing -----------------------------------------------------------
 
-    def _digest_for(self, frame: ConfigFrame, path: str, content: str) -> str:
+    def _digest_for(
+        self, frame: ConfigFrame, path: str, content: str
+    ) -> tuple[str, int]:
+        """``(content digest, encoded byte length)`` for a frame file.
+
+        The byte count comes from the same UTF-8/surrogateescape encode
+        as the digest, so cache byte accounting counts true bytes (not
+        characters) for non-ASCII configs.
+        """
         key = (frame.cache_token, path)
-        digest = self._digests.get(key)
-        if digest is None:
-            digest = content_digest(content)
-            self._digests[key] = digest
-        return digest
+        entry = self._digests.get(key)
+        if entry is None:
+            entry = content_digest_and_size(content)
+            self._digests[key] = entry
+        return entry
 
     def _timed_parse(self, parse, content: str, path: str, parser_name: str):
         """Run a real parse (cache miss), charging the ``parse`` stage and
@@ -227,10 +235,10 @@ class Normalizer:
         if cached is not None:
             return cached
         content = frame.read_config(path)
-        cache_key = (self._digest_for(frame, path, content), "tree", lens.name)
+        digest, nbytes = self._digest_for(frame, path, content)
         tree = self.cache.get_or_parse(
-            cache_key,
-            len(content),
+            (digest, "tree", lens.name),
+            nbytes,
             lambda: self._timed_parse(lens.parse, content, path, lens.name),
         )
         self._tree_memo[memo_key] = tree
@@ -256,10 +264,10 @@ class Normalizer:
         if cached is not None:
             return cached
         content = frame.read_config(path)
-        cache_key = (self._digest_for(frame, path, content), "table", parser.name)
+        digest, nbytes = self._digest_for(frame, path, content)
         table = self.cache.get_or_parse(
-            cache_key,
-            len(content),
+            (digest, "table", parser.name),
+            nbytes,
             lambda: self._timed_parse(parser.parse, content, path,
                                       parser.name),
         )

@@ -34,6 +34,17 @@ def content_digest(text: str) -> str:
     return hashlib.sha256(text.encode("utf-8", "surrogateescape")).hexdigest()
 
 
+def content_digest_and_size(text: str) -> tuple[str, int]:
+    """``(content_digest(text), encoded byte length)`` in one encode.
+
+    The byte length matches the digested bytes (UTF-8 with
+    surrogateescape), so ``bytes_parsed``/``bytes_deduped`` count true
+    bytes for non-ASCII configs instead of character counts.
+    """
+    data = text.encode("utf-8", "surrogateescape")
+    return hashlib.sha256(data).hexdigest(), len(data)
+
+
 @dataclass(frozen=True)
 class CacheStats:
     """Point-in-time counters of one :class:`ParseCache`."""
@@ -70,10 +81,20 @@ class ParseCache:
     share a name from colliding.  ``maxsize=0`` disables caching entirely
     (every lookup parses), which is how benchmarks reproduce the
     pre-cache sequential baseline.
+
+    ``store`` attaches a persistent second tier (an
+    :class:`~repro.engine.artifact_store.ArtifactStore`): in-memory
+    misses consult it before parsing, and freshly parsed artifacts are
+    written through, so identical content parses once per fleet rather
+    than once per process.  Store-served lookups still count as
+    in-memory misses here, but their bytes are credited to the store's
+    ``bytes_loaded`` instead of ``bytes_parsed`` -- ``bytes_parsed``
+    keeps meaning "bytes that actually went through a parser".
     """
 
-    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE):
+    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE, *, store=None):
         self._maxsize = max(0, maxsize)
+        self._store = store
         self._lock = threading.Lock()
         self._entries: OrderedDict[tuple[str, str, str], Any] = OrderedDict()
         self._hits = 0
@@ -85,6 +106,11 @@ class ParseCache:
     @property
     def maxsize(self) -> int:
         return self._maxsize
+
+    @property
+    def store(self):
+        """The persistent second tier, or None."""
+        return self._store
 
     def get_or_parse(
         self,
@@ -107,10 +133,17 @@ class ParseCache:
                 self._hits += 1
                 self._bytes_deduped += nbytes
                 return cached
-        value = parse()
+        value = None
+        from_store = False
+        if self._store is not None:
+            value = self._store.load(key, nbytes)
+            from_store = value is not None
+        if value is None:
+            value = parse()
         with self._lock:
             self._misses += 1
-            self._bytes_parsed += nbytes
+            if not from_store:
+                self._bytes_parsed += nbytes
             if self._maxsize:
                 if key in self._entries:
                     self._entries.move_to_end(key)
@@ -119,6 +152,8 @@ class ParseCache:
                     while len(self._entries) > self._maxsize:
                         self._entries.popitem(last=False)
                         self._evictions += 1
+        if self._store is not None and not from_store:
+            self._store.save(key, value, nbytes)
         return value
 
     def attach_to(self, registry) -> None:
@@ -158,6 +193,20 @@ class ParseCache:
             entries.set(stats.entries)
 
         registry.register_collector(f"parse_cache:{id(self)}", collect)
+
+    def resize(self, maxsize: int) -> None:
+        """Change the LRU bound in place (evicting oldest entries if the
+        cache shrinks).
+
+        In-place so everything already holding this cache -- normalizers,
+        telemetry collectors, the artifact-store tier -- keeps observing
+        the same object; counters are preserved.  ``0`` disables caching.
+        """
+        with self._lock:
+            self._maxsize = max(0, maxsize)
+            while len(self._entries) > self._maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
 
     def stats(self) -> CacheStats:
         with self._lock:

@@ -155,6 +155,10 @@ class ValidationReport:
     #: None when the run used the unplanned engine (``--no-plan``).
     #: Like ``incremental``, never rendered into reports.
     plan: object = field(default=None, repr=False, compare=False)
+    #: Process-executor statistics (:class:`repro.exec.stats.ExecStats`);
+    #: None on thread-backend runs.  Never rendered into reports, so
+    #: output stays byte-identical across backends.
+    exec_stats: object = field(default=None, repr=False, compare=False)
 
     def add(self, result: RuleResult) -> None:
         self.results.append(result)

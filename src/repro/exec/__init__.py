@@ -1,0 +1,27 @@
+"""Executor backends for scan cycles.
+
+``thread`` (the default) is the engine's classic in-process fan-out;
+``process`` shards frames across a persistent worker-process pool with
+deterministic reassembly, graceful thread fallback, and bounded
+respawn of dead workers.  See :mod:`repro.exec.backend`.
+"""
+
+from repro.exec.backend import (
+    DEFAULT_MAX_RESPAWNS,
+    DEFAULT_SHARD_TIMEOUT_S,
+    ExecutorBackend,
+    ProcessBackend,
+    ThreadBackend,
+    build_init_config,
+)
+from repro.exec.stats import ExecStats
+
+__all__ = [
+    "DEFAULT_MAX_RESPAWNS",
+    "DEFAULT_SHARD_TIMEOUT_S",
+    "ExecutorBackend",
+    "ProcessBackend",
+    "ThreadBackend",
+    "build_init_config",
+    "ExecStats",
+]

@@ -1,0 +1,413 @@
+"""Executor backends: where a scan cycle's frames actually evaluate.
+
+:class:`ThreadBackend` is the classic in-process fan-out (GIL threads:
+cheap, great I/O overlap, no parse/evaluate parallelism).
+:class:`ProcessBackend` shards frames across worker processes so
+CPU-bound stages scale with cores:
+
+- shards are **contiguous slices** of the frame list and results are
+  reassembled by shard index, so reports stay byte-identical to the
+  thread backend at any worker count or shard size;
+- the worker pool persists across cycles (keyed by the init blob), so
+  rule packs ship once per pool spawn, not once per cycle;
+- failures degrade, never hang: an unpicklable payload falls back to
+  threads, a worker exception falls back to in-parent evaluation of
+  that shard, and a dead or hung worker (per-shard timeout) triggers a
+  bounded pool respawn before the shard falls back in-parent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import multiprocessing
+import multiprocessing.pool
+import time
+
+from repro.telemetry import get_logger
+from repro.exec.envelope import InitConfig, ShardEnvelope, encode, decode
+from repro.exec.stats import ExecStats
+
+log = get_logger("exec")
+
+#: Wall-time budget for one shard in a worker before the pool is
+#: declared wedged (dead or hung worker) and respawned.
+DEFAULT_SHARD_TIMEOUT_S = 300.0
+
+#: Pool rebuilds tolerated per shard before it falls back in-parent.
+DEFAULT_MAX_RESPAWNS = 2
+
+#: Auto shard sizing aims for this many shards per worker -- small
+#: enough to balance load, large enough to amortize envelope overhead.
+_SHARDS_PER_WORKER = 2
+
+
+def build_init_config(validator) -> InitConfig:
+    """The per-pool worker initialization for ``validator``.
+
+    Ships *loaded* ``(manifest, ruleset)`` pairs instead of the
+    validator's resolver -- directory resolvers are closures and cannot
+    cross a process boundary, but their output can.
+    """
+    packs = [
+        (manifest, validator.ruleset_for(manifest))
+        for manifest in validator.manifests()
+        if manifest.enabled
+    ]
+    artifact = validator.artifact_store
+    if artifact is not None and artifact.broken:
+        artifact = None
+    return InitConfig(
+        packs=packs,
+        lenses=validator._lenses,
+        schemas=validator._schemas,
+        cache_size=validator.parse_cache.maxsize,
+        artifact_path=artifact.path if artifact is not None else None,
+        artifact_max_bytes=artifact.max_bytes if artifact is not None else None,
+    )
+
+
+class ExecutorBackend:
+    """Where :meth:`ConfigValidator.validate_frames` runs its frames."""
+
+    name = "abstract"
+
+    def run_cycle(self, validator, frames, prep, *, validate_one,
+                  integrate, workers):
+        """Evaluate ``frames``; return ``(per_frame, stats)``.
+
+        ``per_frame`` is a list aligned with ``frames`` of
+        ``validate_one``-shaped tuples, or ``None`` to make the engine
+        run its built-in thread path (whole-cycle fallback).
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pools and other resources (idempotent)."""
+
+
+class ThreadBackend(ExecutorBackend):
+    """The classic thread fan-out as an explicit backend object.
+
+    The engine inlines this path when ``executor="thread"`` (no backend
+    object involved); this class exists so callers can pass backend
+    instances uniformly.
+    """
+
+    name = "thread"
+
+    def run_cycle(self, validator, frames, prep, *, validate_one,
+                  integrate, workers):
+        # Returning None hands the frames to the engine's built-in
+        # thread path -- identical behavior, no duplicated code.
+        return None, None
+
+
+class ProcessBackend(ExecutorBackend):
+    """Shard scan cycles across a persistent worker-process pool."""
+
+    name = "process"
+
+    def __init__(
+        self,
+        *,
+        shard_size: int | None = None,
+        timeout_s: float = DEFAULT_SHARD_TIMEOUT_S,
+        max_respawns: int = DEFAULT_MAX_RESPAWNS,
+    ):
+        self.shard_size = shard_size
+        self.timeout_s = timeout_s
+        self.max_respawns = max_respawns
+        #: Test hook: ``{shard_index: "exit" | "error"}`` fault
+        #: injection for the next cycle (cleared after use).
+        self.fault_shards: dict[int, str] = {}
+        self._pool: multiprocessing.pool.Pool | None = None
+        self._pool_key: tuple[str, int] | None = None
+
+    # ---- pool lifecycle ------------------------------------------------
+
+    def _ensure_pool(self, init_blob: bytes, workers: int):
+        from repro.exec.worker import init_worker
+
+        key = (hashlib.sha256(init_blob).hexdigest(), workers)
+        if self._pool is not None and self._pool_key == key:
+            return self._pool
+        self._shutdown_pool()
+        context = multiprocessing.get_context()
+        self._pool = context.Pool(
+            processes=workers,
+            initializer=init_worker,
+            initargs=(init_blob,),
+        )
+        self._pool_key = key
+        return self._pool
+
+    def _shutdown_pool(self, terminate: bool = False) -> None:
+        pool, self._pool = self._pool, None
+        self._pool_key = None
+        if pool is None:
+            return
+        try:
+            if terminate:
+                pool.terminate()
+            else:
+                pool.close()
+            pool.join()
+        except Exception:
+            pass
+
+    def close(self) -> None:
+        self._shutdown_pool(terminate=True)
+
+    def __del__(self):  # best-effort: tests may drop backends unclosed
+        try:
+            self._shutdown_pool(terminate=True)
+        except Exception:
+            pass
+
+    # ---- validation cycles ---------------------------------------------
+
+    def run_cycle(self, validator, frames, prep, *, validate_one,
+                  integrate, workers):
+        from repro.crawler.serialize import frame_to_dict
+        from repro.exec.worker import evaluate_shard
+
+        stats = ExecStats(backend=self.name, workers=workers)
+        telemetry = validator.telemetry
+
+        indexed = list(enumerate(frames))
+        if prep.store is not None and prep.clean_frames:
+            # Clean frames replay entirely from the parent store -- the
+            # cheap path; shipping them would serialize work the store
+            # already proved unnecessary.
+            ship = [(i, f) for i, f in indexed
+                    if f.describe() not in prep.clean_frames]
+        else:
+            ship = indexed
+        ship_indexes = {i for i, _f in ship}
+        local = [(i, f) for i, f in indexed if i not in ship_indexes]
+
+        per_frame: list = [None] * len(frames)
+        if not ship:
+            for i, frame in local:
+                per_frame[i] = validate_one(frame)
+            stats.frames_local = len(local)
+            return per_frame, stats
+
+        try:
+            init_blob = encode(build_init_config(validator))
+        except Exception as error:
+            stats.pickle_fallbacks += 1
+            log.warning(
+                "process executor: run state not picklable (%s); "
+                "falling back to threads", error,
+            )
+            return None, stats
+
+        # ---- shard the shipped frames (contiguous, ordered) ----------
+        size = self.shard_size or max(
+            1, math.ceil(len(ship) / max(1, workers * _SHARDS_PER_WORKER))
+        )
+        shards = [ship[k:k + size] for k in range(0, len(ship), size)]
+        stats.shard_size = size
+        stats.shards = len(shards)
+
+        faults, self.fault_shards = dict(self.fault_shards), {}
+        payloads: dict[int, bytes | None] = {}
+        for s_idx, shard in enumerate(shards):
+            try:
+                store_doc = None
+                if prep.store is not None:
+                    store_doc = prep.store.export_slice(
+                        [f.describe() for _i, f in shard])
+                envelope = ShardEnvelope(
+                    shard_index=s_idx,
+                    frame_docs=[frame_to_dict(f) for _i, f in shard],
+                    tags=prep.tags,
+                    use_plans=prep.use_plans,
+                    provenance=prep.provenance,
+                    timings=prep.timings is not None,
+                    store_doc=store_doc,
+                    fault=faults.get(s_idx),
+                )
+                payloads[s_idx] = encode(envelope)
+            except Exception as error:
+                stats.pickle_fallbacks += 1
+                log.warning(
+                    "process executor: shard %d not picklable (%s); "
+                    "evaluating in-parent", s_idx, error,
+                )
+                payloads[s_idx] = None
+
+        results: dict[int, object] = {
+            s: None for s, payload in payloads.items() if payload is None
+        }
+        pending = [s for s, payload in payloads.items() if payload is not None]
+        attempts = {s: 0 for s in pending}
+        workers_n = max(1, min(workers, len(shards)))
+
+        # ---- submit / collect with bounded respawn --------------------
+        first_round = True
+        while pending:
+            if not first_round:
+                # A retry round means the previous pool was terminated
+                # after a timeout; _ensure_pool below re-creates it.
+                stats.respawns += 1
+            first_round = False
+            try:
+                pool = self._ensure_pool(init_blob, workers_n)
+            except Exception as error:
+                log.warning(
+                    "process executor: pool spawn failed (%s); "
+                    "evaluating remaining shards in-parent", error,
+                )
+                for s in pending:
+                    results[s] = None
+                break
+            handles = {}
+            for s in pending:
+                handles[s] = pool.apply_async(evaluate_shard, (payloads[s],))
+                stats.bytes_out += len(payloads[s])
+            retry: list[int] = []
+            for position, s in enumerate(pending):
+                try:
+                    blob = handles[s].get(timeout=self.timeout_s)
+                except multiprocessing.TimeoutError:
+                    # Dead or hung worker: the pool is suspect.  Tear it
+                    # down, charge the attempt to this shard, and
+                    # resubmit whatever the round had not yet delivered.
+                    stats.worker_failures += 1
+                    attempts[s] += 1
+                    log.warning(
+                        "process executor: shard %d timed out after %.0fs "
+                        "(attempt %d)", s, self.timeout_s, attempts[s],
+                    )
+                    self._shutdown_pool(terminate=True)
+                    if attempts[s] <= self.max_respawns:
+                        retry.append(s)
+                    else:
+                        results[s] = None
+                    for later in pending[position + 1:]:
+                        handle = handles[later]
+                        if handle.ready():
+                            try:
+                                late = handle.get(timeout=0)
+                                stats.bytes_in += len(late)
+                                results[later] = decode(late)
+                            except Exception:
+                                stats.worker_failures += 1
+                                results[later] = None
+                        else:
+                            retry.append(later)
+                    break
+                except Exception as error:
+                    # The worker raised (including result-encoding
+                    # failures): pool is healthy, shard falls back.
+                    stats.worker_failures += 1
+                    log.warning(
+                        "process executor: shard %d failed in worker "
+                        "(%s); evaluating in-parent", s, error,
+                    )
+                    results[s] = None
+                    continue
+                stats.bytes_in += len(blob)
+                try:
+                    results[s] = decode(blob)
+                except Exception:
+                    stats.worker_failures += 1
+                    results[s] = None
+            pending = retry
+
+        # ---- deterministic reassembly (frame order, not completion) ---
+        for i, frame in local:
+            per_frame[i] = validate_one(frame)
+            stats.frames_local += 1
+        for s_idx, shard in enumerate(shards):
+            shard_result = results.get(s_idx)
+            if (shard_result is None
+                    or len(shard_result.reports) != len(shard)):
+                for i, frame in shard:
+                    per_frame[i] = validate_one(frame)
+                    stats.frames_fallback += 1
+                continue
+            stats.frames_shipped += len(shard)
+            stats.shard_seconds.append(shard_result.duration_s)
+            if prep.store is not None and shard_result.store_doc is not None:
+                prep.store.absorb_slice(shard_result.store_doc)
+            if prep.timings is not None and shard_result.timings:
+                for stage, (seconds, count) in shard_result.timings.items():
+                    prep.timings.add(stage, seconds, count)
+            if shard_result.cache:
+                stats.add_worker_cache(shard_result.cache)
+            if shard_result.artifact is not None:
+                stats.add_artifact(shard_result.artifact)
+                parent_store = getattr(validator, "artifact_store", None)
+                if parent_store is not None:
+                    parent_store.absorb_counters(shard_result.artifact)
+            if telemetry.enabled:
+                telemetry.spans.record(
+                    f"shard-{s_idx}", category="shard",
+                    start_s=time.perf_counter() - shard_result.duration_s,
+                    duration_s=shard_result.duration_s,
+                    frames=str(len(shard)),
+                )
+            for (i, frame), freport in zip(shard, shard_result.reports):
+                per_frame[i] = integrate(frame, freport)
+        return per_frame, stats
+
+    # ---- crawling -------------------------------------------------------
+
+    def run_crawl(self, crawler, entities, features, workers, *,
+                  validator=None, strict_plugins=False):
+        """Crawl ``entities`` in worker processes; None = use threads.
+
+        Reuses the validation pool when one is alive; otherwise spawns
+        one from ``validator`` (crawl shards ignore the validator state,
+        but sharing one pool keeps packs shipped once).  Frames travel
+        back as serialize-module documents, so a process-crawled frame
+        is the same content-addressed snapshot an in-parent crawl
+        produces.
+        """
+        from repro.crawler.serialize import frame_from_dict
+        from repro.exec.worker import crawl_shard
+
+        if not entities:
+            return []
+        try:
+            if self._pool is None:
+                if validator is None:
+                    return None
+                init_blob = encode(build_init_config(validator))
+                self._ensure_pool(
+                    init_blob, max(1, min(workers, len(entities))))
+            pool = self._pool
+            size = self.shard_size or max(
+                1, math.ceil(len(entities)
+                             / max(1, workers * _SHARDS_PER_WORKER))
+            )
+            shards = [entities[k:k + size]
+                      for k in range(0, len(entities), size)]
+            payloads = [
+                encode({
+                    "entities": shard,
+                    "features": tuple(features),
+                    "strict_plugins": strict_plugins,
+                    "plugins": crawler.plugins,
+                })
+                for shard in shards
+            ]
+            handles = [pool.apply_async(crawl_shard, (payload,))
+                       for payload in payloads]
+            frames = []
+            for handle in handles:
+                docs = decode(handle.get(timeout=self.timeout_s))
+                frames.extend(frame_from_dict(doc) for doc in docs)
+            return frames
+        except Exception as error:
+            log.warning(
+                "process executor: crawl fan-out failed (%s); "
+                "falling back to threads", error,
+            )
+            if isinstance(error, multiprocessing.TimeoutError):
+                self._shutdown_pool(terminate=True)
+            return None

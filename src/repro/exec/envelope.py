@@ -1,0 +1,119 @@
+"""Pickle-safe task envelopes for the process executor.
+
+Everything that crosses the process boundary is spelled out here:
+
+- the **init blob** ships once per pool (rule packs, registries, cache
+  and artifact-store configuration) via the pool initializer;
+- a :class:`ShardEnvelope` ships per shard (frames as
+  :func:`~repro.crawler.serialize.frame_to_dict` documents -- the same
+  round-trip the agentless collector uses -- plus run options and the
+  shard's verdict-store slice);
+- a :class:`ShardResult` comes back per shard (one
+  :class:`FrameReport` per frame, plus stats/telemetry deltas).
+
+Envelopes are pre-pickled to ``bytes`` by the sender instead of letting
+the pool plumbing pickle live objects: a payload that cannot cross the
+boundary surfaces as a clean ``PicklingError`` at the call site (which
+the backend turns into a thread fallback), never as a corrupted pool.
+One ``dumps`` per shard also preserves object sharing -- a result
+appearing in both ``placements`` and ``fresh`` crosses once.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any
+
+
+def encode(obj: Any) -> bytes:
+    """Pickle with the highest protocol (raises ``PicklingError`` on
+    payloads that cannot cross a process boundary)."""
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode(blob: bytes) -> Any:
+    return pickle.loads(blob)
+
+
+@dataclass
+class InitConfig:
+    """Per-pool worker initialization (pickled once per pool spawn)."""
+
+    #: ``(manifest, ruleset)`` pairs for every enabled manifest --
+    #: shipping loaded packs sidesteps unpicklable resolver closures.
+    packs: list[tuple[Any, Any]]
+    #: Lens / schema registries (None = worker uses the defaults).
+    lenses: Any = None
+    schemas: Any = None
+    #: Parse-cache size for the worker's in-memory tier.
+    cache_size: int | None = None
+    #: Artifact-store path + budget; each worker opens its own
+    #: connection to the shared sqlite database.
+    artifact_path: str | None = None
+    artifact_max_bytes: int | None = None
+
+
+@dataclass
+class ShardEnvelope:
+    """One shard of frames plus the options its evaluation needs."""
+
+    shard_index: int
+    #: Frames as ``frame_to_dict`` documents (JSON-shaped, rebuilt onto
+    #: a VirtualFilesystem in the worker).
+    frame_docs: list[dict]
+    tags: list[str] | None = None
+    use_plans: bool = True
+    provenance: bool = False
+    #: Whether to measure per-stage timings in the worker.
+    timings: bool = False
+    #: Verdict-store slice for these frames
+    #: (:meth:`~repro.engine.incremental.VerdictStore.export_slice`),
+    #: or None outside incremental runs.
+    store_doc: dict | None = None
+    #: Test hook: ``"exit"`` kills the worker mid-shard, ``"error"``
+    #: raises inside the worker.  Never set outside the fault tests.
+    fault: str | None = None
+
+
+@dataclass
+class FrameReport:
+    """One worker-evaluated frame, ready for the parent's merge barrier.
+
+    Mirrors what the thread path's ``validate_one`` produces, with
+    manifests flattened to entity names (the parent re-binds its own
+    :class:`~repro.cvl.manifest.Manifest` objects).
+    """
+
+    frame_key: str
+    #: ``(entity name, [RuleResult, ...])`` per applicable manifest.
+    placements: list[tuple[str, list]]
+    #: Freshly evaluated results (same objects as in ``placements``;
+    #: sharing survives the single per-shard pickle).
+    fresh: list
+    replayed: int = 0
+    #: Recomputed ``(entity, rule)`` pairs (incremental bookkeeping).
+    recomputed: list[tuple[str, str]] = field(default_factory=list)
+    #: Per-frame :class:`~repro.engine.plan.PlanRunStats` (or None).
+    plan: Any = None
+    #: Worker wall time spent evaluating this frame.
+    busy_s: float = 0.0
+
+
+@dataclass
+class ShardResult:
+    """Everything a worker sends back for one shard."""
+
+    shard_index: int
+    reports: list[FrameReport]
+    #: Worker's verdict-store slice after evaluation (absorbed by the
+    #: parent store), or None outside incremental runs.
+    store_doc: dict | None = None
+    #: ``{stage: (seconds, count)}`` deltas for StageTimings.add.
+    timings: dict[str, tuple[float, int]] | None = None
+    #: Worker parse-cache counter deltas for this shard.
+    cache: dict[str, int] = field(default_factory=dict)
+    #: Worker artifact-store deltas for this shard (None = no store).
+    artifact: Any = None
+    #: Worker wall time for the whole shard.
+    duration_s: float = 0.0

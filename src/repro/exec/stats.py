@@ -1,0 +1,146 @@
+"""Executor statistics: what the process backend did during one cycle."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.artifact_store import ArtifactStoreStats
+
+
+@dataclass
+class ExecStats:
+    """One scan cycle's process-executor activity.
+
+    Attached to :class:`~repro.engine.results.ValidationReport`
+    (``exec_stats``) and surfaced on :class:`~repro.engine.batch.
+    FleetSummary`; never rendered into validation reports, so output
+    stays byte-identical across backends.
+    """
+
+    backend: str = "process"
+    workers: int = 0
+    shards: int = 0
+    shard_size: int = 0
+    #: Frames serialized to worker processes.
+    frames_shipped: int = 0
+    #: Clean frames replayed in the parent (incremental short-circuit).
+    frames_local: int = 0
+    #: Frames evaluated in the parent after their shard failed.
+    frames_fallback: int = 0
+    #: Serialized envelope/result bytes across the process boundary.
+    bytes_out: int = 0
+    bytes_in: int = 0
+    #: Worker exceptions, deaths, and per-shard timeouts.
+    worker_failures: int = 0
+    #: Pool rebuilds after a dead or hung worker.
+    respawns: int = 0
+    #: Payloads that could not be pickled (evaluated in-parent instead).
+    pickle_fallbacks: int = 0
+    #: Per-shard worker wall times (drives the latency histogram).
+    shard_seconds: list[float] = field(default_factory=list)
+    #: Aggregated parse-cache counter deltas reported by the workers.
+    worker_cache: dict[str, int] = field(default_factory=dict)
+    #: Aggregated artifact-store deltas reported by the workers (None
+    #: when the cycle ran without a store).
+    artifact: ArtifactStoreStats | None = None
+
+    def add_worker_cache(self, delta: dict[str, int]) -> None:
+        for key, value in delta.items():
+            self.worker_cache[key] = self.worker_cache.get(key, 0) + value
+
+    def add_artifact(self, delta: ArtifactStoreStats) -> None:
+        if self.artifact is None:
+            self.artifact = ArtifactStoreStats()
+        self.artifact.add(delta)
+
+    @property
+    def total_shard_seconds(self) -> float:
+        return sum(self.shard_seconds)
+
+    @property
+    def max_shard_seconds(self) -> float:
+        return max(self.shard_seconds, default=0.0)
+
+    def to_dict(self) -> dict:
+        return {
+            "backend": self.backend,
+            "workers": self.workers,
+            "shards": self.shards,
+            "shard_size": self.shard_size,
+            "frames_shipped": self.frames_shipped,
+            "frames_local": self.frames_local,
+            "frames_fallback": self.frames_fallback,
+            "bytes_out": self.bytes_out,
+            "bytes_in": self.bytes_in,
+            "worker_failures": self.worker_failures,
+            "respawns": self.respawns,
+            "pickle_fallbacks": self.pickle_fallbacks,
+            "shard_seconds": round(self.total_shard_seconds, 6),
+            "max_shard_seconds": round(self.max_shard_seconds, 6),
+            "worker_cache": dict(self.worker_cache),
+            "artifact": (self.artifact.to_dict()
+                         if self.artifact is not None else None),
+        }
+
+    def render(self) -> str:
+        line = (
+            f"executor: {self.backend}, {self.workers} workers, "
+            f"{self.shards} shards ({self.frames_shipped} frames shipped, "
+            f"{self.frames_local} local, {self.frames_fallback} fallback), "
+            f"{self.bytes_out:,} B out / {self.bytes_in:,} B in"
+        )
+        if self.worker_failures or self.respawns or self.pickle_fallbacks:
+            line += (
+                f"; {self.worker_failures} worker failures, "
+                f"{self.respawns} respawns, "
+                f"{self.pickle_fallbacks} pickle fallbacks"
+            )
+        if self.worker_cache:
+            hits = self.worker_cache.get("hits", 0)
+            misses = self.worker_cache.get("misses", 0)
+            line += f"\nworker parse caches: {hits} hits / {misses} misses"
+        if self.artifact is not None:
+            line += f"\nworker {self.artifact.render()}"
+        return line
+
+    def publish(self, telemetry) -> None:
+        """Emit the ``repro_exec_*`` metric families for this cycle."""
+        metrics = telemetry.metrics
+        metrics.counter(
+            "repro_exec_shards_total",
+            "Frame shards dispatched to worker processes.",
+        ).inc(self.shards)
+        metrics.counter(
+            "repro_exec_frames_shipped_total",
+            "Frames serialized to worker processes.",
+        ).inc(self.frames_shipped)
+        metrics.counter(
+            "repro_exec_frames_fallback_total",
+            "Frames evaluated in the parent after a shard failure.",
+        ).inc(self.frames_fallback)
+        metrics.counter(
+            "repro_exec_bytes_out_total",
+            "Envelope bytes serialized to worker processes.",
+        ).inc(self.bytes_out)
+        metrics.counter(
+            "repro_exec_bytes_in_total",
+            "Result bytes deserialized from worker processes.",
+        ).inc(self.bytes_in)
+        metrics.counter(
+            "repro_exec_worker_failures_total",
+            "Worker exceptions, deaths, and per-shard timeouts.",
+        ).inc(self.worker_failures)
+        metrics.counter(
+            "repro_exec_worker_respawns_total",
+            "Process-pool rebuilds after a dead or hung worker.",
+        ).inc(self.respawns)
+        metrics.counter(
+            "repro_exec_pickle_fallbacks_total",
+            "Shard payloads that could not cross the process boundary.",
+        ).inc(self.pickle_fallbacks)
+        hist = metrics.histogram(
+            "repro_exec_shard_seconds",
+            "Per-shard worker wall time.",
+        )
+        for seconds in self.shard_seconds:
+            hist.observe(seconds)

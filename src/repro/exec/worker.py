@@ -1,0 +1,173 @@
+"""Worker-process entry points for the process executor.
+
+A worker process is initialized once per pool spawn with an
+:class:`~repro.exec.envelope.InitConfig` (rule packs, registries, cache
+and artifact-store configuration) and then evaluates shard envelopes.
+Evaluation reuses the engine's own per-frame path --
+``ConfigValidator._prepare_run`` + ``_evaluate_frame_rules`` -- so a
+worker produces literally the same results the thread backend would.
+
+The module-level validator persists across shards and cycles: its
+in-memory parse cache stays warm for the life of the pool, and its
+artifact-store connection serves every shard.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.crawler.serialize import frame_from_dict
+from repro.engine.artifact_store import ArtifactStore
+from repro.engine.engine import ConfigValidator
+from repro.engine.incremental import VerdictStore
+from repro.engine.parse_cache import DEFAULT_CACHE_SIZE, ParseCache
+from repro.engine.stages import StageTimings
+from repro.exec.envelope import (
+    FrameReport,
+    InitConfig,
+    ShardEnvelope,
+    ShardResult,
+    decode,
+    encode,
+)
+
+#: Per-process state built by :func:`init_worker`.
+_STATE: dict = {}
+
+
+def init_worker(init_blob: bytes) -> None:
+    """Pool initializer: build this process's resident validator."""
+    config: InitConfig = decode(init_blob)
+    store = None
+    if config.artifact_path:
+        kwargs = {}
+        if config.artifact_max_bytes is not None:
+            kwargs["max_bytes"] = config.artifact_max_bytes
+        store = ArtifactStore(config.artifact_path, **kwargs)
+    cache_size = (DEFAULT_CACHE_SIZE if config.cache_size is None
+                  else config.cache_size)
+    validator = ConfigValidator(
+        lenses=config.lenses,
+        schemas=config.schemas,
+        parse_cache=ParseCache(cache_size, store=store),
+    )
+    for manifest, ruleset in config.packs:
+        validator.add_ruleset(manifest, ruleset)
+    _STATE["validator"] = validator
+    _STATE["artifact"] = store
+
+
+def _cache_delta(before, after) -> dict[str, int]:
+    return {
+        "hits": after.hits - before.hits,
+        "misses": after.misses - before.misses,
+        "evictions": after.evictions - before.evictions,
+        "bytes_parsed": after.bytes_parsed - before.bytes_parsed,
+        "bytes_deduped": after.bytes_deduped - before.bytes_deduped,
+    }
+
+
+def evaluate_shard(payload: bytes) -> bytes:
+    """Evaluate one shard envelope; returns a pickled ShardResult."""
+    started = time.perf_counter()
+    envelope: ShardEnvelope = decode(payload)
+    if envelope.fault == "exit":
+        # Fault-injection hook for the graceful-degradation tests: die
+        # the way an OOM-killed worker would, with no Python unwinding.
+        os._exit(17)
+    if envelope.fault == "error":
+        raise RuntimeError("injected worker fault")
+    validator: ConfigValidator = _STATE["validator"]
+    artifact: ArtifactStore | None = _STATE.get("artifact")
+    frames = [frame_from_dict(doc) for doc in envelope.frame_docs]
+    store = (VerdictStore.import_slice(envelope.store_doc)
+             if envelope.store_doc is not None else None)
+    timings = StageTimings() if envelope.timings else None
+    cache_before = validator.parse_cache.stats()
+    artifact_before = artifact.stats() if artifact is not None else None
+
+    prep = validator._prepare_run(
+        frames,
+        tags=envelope.tags,
+        use_plans=envelope.use_plans,
+        provenance=envelope.provenance,
+        timings=timings,
+        store=store,
+    )
+    reports: list[FrameReport] = []
+    for frame in frames:
+        frame_started = time.perf_counter()
+        placements, fresh, replayed, recomputed, frame_plan = (
+            validator._evaluate_frame_rules(frame, prep)
+        )
+        busy = time.perf_counter() - frame_started
+        if envelope.provenance:
+            # Materialize deferred provenance markers before pickling:
+            # the marker tuples hold this process's frame and excerpt
+            # reader, which must not cross back to the parent.
+            for _manifest, results in placements:
+                for result in results:
+                    result.provenance
+        reports.append(FrameReport(
+            frame_key=frame.describe(),
+            placements=[
+                (manifest.entity, results)
+                for manifest, results in placements
+            ],
+            fresh=fresh,
+            replayed=replayed,
+            recomputed=sorted(recomputed),
+            plan=frame_plan,
+            busy_s=busy,
+        ))
+
+    store_doc = None
+    if prep.store is not None:
+        store_doc = prep.store.export_slice(
+            [frame.describe() for frame in frames], include_counters=True,
+        )
+    timings_delta = None
+    if timings is not None:
+        timings_delta = {
+            stage: (values["seconds"], int(values["count"]))
+            for stage, values in timings.as_dict().items()
+            if values["count"]
+        }
+    artifact_delta = None
+    if artifact_before is not None:
+        artifact_delta = artifact.stats().delta_since(artifact_before)
+    result = ShardResult(
+        shard_index=envelope.shard_index,
+        reports=reports,
+        store_doc=store_doc,
+        timings=timings_delta,
+        cache=_cache_delta(cache_before, validator.parse_cache.stats()),
+        artifact=artifact_delta,
+        duration_s=time.perf_counter() - started,
+    )
+    return encode(result)
+
+
+def crawl_shard(payload: bytes) -> bytes:
+    """Crawl a shard of entities; returns pickled frame documents.
+
+    Used by :meth:`Crawler.crawl_many` under ``--executor process``:
+    entities cross as pickled objects, frames come back as
+    ``frame_to_dict`` documents (content-equal to an in-parent crawl --
+    digests and validation results are content-addressed, so a frame
+    rebuilt onto a VirtualFilesystem validates identically).
+    """
+    from repro.crawler.crawler import Crawler
+    from repro.crawler.serialize import frame_to_dict
+
+    job = decode(payload)
+    crawler = Crawler(plugins=job.get("plugins"))
+    docs = []
+    for entity in job["entities"]:
+        docs.append(frame_to_dict(crawler.crawl(
+            entity,
+            features=job.get("features"),
+            strict_plugins=job.get("strict_plugins", False),
+        )))
+    return encode(docs)

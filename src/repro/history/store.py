@@ -744,9 +744,15 @@ class HistoryStore:
                 write_seconds=self._stats.write_seconds,
                 cycles_pruned=self._stats.cycles_pruned,
             )
-            snapshot.db_cycles = int(self._conn.execute(
-                "SELECT COUNT(*) AS n FROM cycles"
-            ).fetchone()["n"])
+            try:
+                snapshot.db_cycles = int(self._conn.execute(
+                    "SELECT COUNT(*) AS n FROM cycles"
+                ).fetchone()["n"])
+            except sqlite3.Error:
+                # A pull-style metrics scrape can outlive the store
+                # (e.g. --metrics-out written at exit); report the
+                # in-memory tallies with a zero gauge instead of dying.
+                snapshot.db_cycles = 0
         if self.path != ":memory:":
             try:
                 snapshot.db_bytes = os.path.getsize(self.path)

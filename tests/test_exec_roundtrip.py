@@ -1,0 +1,191 @@
+"""Serialization round-trips for everything that crosses a process
+boundary under ``--executor process`` (satellite of the exec subsystem).
+
+Every artifact the backend ships -- frames, rule results with source
+spans, provenance records, ERROR results with tracebacks, verdict-store
+slices, stats deltas -- must survive ``encode``/``decode`` with no
+observable difference: rendered output byte-identical, spans and
+provenance structurally equal.
+"""
+
+import traceback
+
+import pytest
+
+from repro.augtree.tree import SourceSpan
+from repro.crawler import Crawler
+from repro.crawler.serialize import frame_from_dict, frame_to_dict
+from repro.engine import render_json, render_text
+from repro.engine.incremental import VerdictStore
+from repro.engine.results import Evidence, Outcome, RuleResult, Verdict
+from repro.exec.envelope import (
+    FrameReport,
+    InitConfig,
+    ShardEnvelope,
+    ShardResult,
+    decode,
+    encode,
+)
+from repro.exec.backend import build_init_config
+from repro.rules import load_builtin_validator
+from repro.workloads import ubuntu_host_entity
+
+
+@pytest.fixture(scope="module")
+def host_frame():
+    return Crawler().crawl(
+        ubuntu_host_entity("rt-host", hardening=0.4, seed=3,
+                           with_nginx=True, with_mysql=True)
+    )
+
+
+@pytest.fixture(scope="module")
+def provenance_report(host_frame):
+    validator = load_builtin_validator(provenance=True)
+    report = validator.validate_frame(host_frame)
+    for result in report:
+        result.provenance  # materialize deferred markers
+    return report
+
+
+class TestFrameRoundTrip:
+    def test_frame_document_pickles(self, host_frame):
+        doc = frame_to_dict(host_frame)
+        rebuilt = frame_from_dict(decode(encode(doc)))
+        assert rebuilt.describe() == host_frame.describe()
+
+    def test_rebuilt_frame_validates_identically(self, host_frame):
+        rebuilt = frame_from_dict(decode(encode(frame_to_dict(host_frame))))
+        original = load_builtin_validator().validate_frame(host_frame)
+        mirrored = load_builtin_validator().validate_frame(rebuilt)
+        assert render_text(original, verbose=True) == render_text(
+            mirrored, verbose=True)
+        assert render_json(original) == render_json(mirrored)
+
+
+class TestResultRoundTrip:
+    def test_spans_survive_pickling(self, host_frame):
+        report = load_builtin_validator().validate_frame(host_frame)
+        spanned = [
+            result for result in report
+            if any(e.span is not None for e in result.evidence)
+        ]
+        assert spanned, "host frame must produce span-bearing evidence"
+        for result in spanned:
+            clone = decode(encode(result))
+            for before, after in zip(result.evidence, clone.evidence):
+                assert after.span == before.span
+                assert isinstance(after.span, SourceSpan) or after.span is None
+
+    def test_provenance_survives_pickling_byte_identically(
+            self, provenance_report):
+        with_provenance = [
+            r for r in provenance_report if r.provenance is not None
+        ]
+        assert with_provenance
+        for result in with_provenance:
+            clone = decode(encode(result))
+            assert clone.provenance is not None
+            assert clone.provenance.to_dict() == result.provenance.to_dict()
+
+    def test_provenance_json_byte_identical(self, provenance_report):
+        cloned = decode(encode(list(provenance_report.results)))
+        before = [r.provenance.to_dict() for r in provenance_report
+                  if r.provenance is not None]
+        after = [r.provenance.to_dict() for r in cloned
+                 if r.provenance is not None]
+        assert before == after
+
+    def test_error_result_with_traceback(self, provenance_report):
+        rule = provenance_report.results[0].rule
+        try:
+            raise ValueError("lens exploded mid-parse")
+        except ValueError as error:
+            detail = traceback.format_exc()
+            evidence = Evidence.from_exception(error)
+        result = RuleResult(
+            rule=rule, entity="sshd", target="host:rt-host",
+            verdict=Verdict.ERROR, outcome=Outcome.EVALUATION_ERROR,
+            message="unexpected error", evidence=[evidence], detail=detail,
+        )
+        clone = decode(encode(result))
+        assert clone.detail == detail
+        assert "ValueError: lens exploded mid-parse" in clone.detail
+        assert clone.evidence[0].location == "exception:ValueError"
+        assert clone.verdict is Verdict.ERROR
+
+
+class TestEnvelopeRoundTrip:
+    def test_init_config_for_builtin_validator_pickles(self):
+        validator = load_builtin_validator()
+        blob = encode(build_init_config(validator))
+        config = decode(blob)
+        assert isinstance(config, InitConfig)
+        assert len(config.packs) == len(
+            [m for m in validator.manifests() if m.enabled])
+
+    def test_shard_envelope_round_trip(self, host_frame):
+        envelope = ShardEnvelope(
+            shard_index=3,
+            frame_docs=[frame_to_dict(host_frame)],
+            tags=["ssh"], use_plans=False, provenance=True, timings=True,
+            store_doc={"format": 1, "entries": []},
+        )
+        clone = decode(encode(envelope))
+        assert clone.shard_index == 3
+        assert clone.tags == ["ssh"]
+        assert clone.provenance and clone.timings and not clone.use_plans
+        assert clone.store_doc == envelope.store_doc
+
+    def test_result_sharing_survives_one_pickle(self, provenance_report):
+        """A result in both placements and fresh must cross as ONE object
+        (the parent's telemetry counts fresh results by identity)."""
+        results = list(provenance_report.results[:4])
+        report = FrameReport(
+            frame_key="host:rt-host",
+            placements=[("sshd", results)],
+            fresh=results,
+        )
+        shard = decode(encode(ShardResult(shard_index=0, reports=[report])))
+        placed = shard.reports[0].placements[0][1]
+        fresh = shard.reports[0].fresh
+        assert all(a is b for a, b in zip(placed, fresh))
+
+    def test_unpicklable_payload_raises_at_encode(self):
+        with pytest.raises(Exception):
+            encode(ShardEnvelope(
+                shard_index=0,
+                frame_docs=[{"bad": lambda: None}],
+            ))
+
+
+class TestVerdictStoreSlices:
+    def test_export_import_absorb_round_trip(self, host_frame):
+        parent = VerdictStore()
+        validator = load_builtin_validator(verdict_store=parent)
+        validator.validate_frame(host_frame)
+        key = host_frame.describe()
+        doc = decode(encode(parent.export_slice([key],
+                                                include_counters=True)))
+        worker = VerdictStore.import_slice(doc)
+        # The worker-side slice replays the frame exactly like the parent.
+        replay = load_builtin_validator(verdict_store=worker)
+        report = replay.validate_frame(host_frame)
+        baseline = load_builtin_validator(
+            verdict_store=parent).validate_frame(host_frame)
+        assert report.incremental.rules_replayed > 0
+        assert render_text(report, verbose=True) == render_text(
+            baseline, verbose=True)
+        # Absorbing the worker slice back is lossless and idempotent.
+        fresh = VerdictStore()
+        fresh.absorb_slice(worker.export_slice([key], include_counters=True))
+        again = load_builtin_validator(verdict_store=fresh).validate_frame(
+            host_frame)
+        assert render_text(again, verbose=True) == render_text(
+            baseline, verbose=True)
+
+    def test_malformed_slice_is_dropped(self):
+        store = VerdictStore()
+        store.absorb_slice({"format": 999, "entries": "nonsense"})
+        store.absorb_slice(None)
+        assert VerdictStore.import_slice({"garbage": True}) is not None

@@ -1,0 +1,321 @@
+"""Byte-identity differential suite for the executor backends.
+
+The process backend is a pure optimization: for any combination of
+worker count, rule plans, incremental mode, and provenance, its reports,
+fleet summaries, and provenance output must be byte-identical to the
+thread backend's.  The graceful-degradation tests then kill and fault
+workers mid-cycle and assert the cycle still completes with identical
+output -- slower, never wrong, never hung.
+"""
+
+import pytest
+
+from repro.crawler import ContainerEntity, Crawler, DockerImageEntity
+from repro.engine import render_json, render_text
+from repro.engine.batch import BatchScanner, render_fleet_summary
+from repro.engine.incremental import VerdictStore
+from repro.exec import ExecStats, ProcessBackend, ThreadBackend
+from repro.rules import load_builtin_validator
+from repro.workloads import FleetSpec, build_fleet, ubuntu_host_entity
+
+#: Small enough for the 1-shard degenerate case, large enough that 8
+#: workers actually produce multiple shards.
+WORKER_COUNTS = (1, 8)
+
+
+def make_frames(seed=11, images=3, containers=2, hosts=2):
+    _daemon, imgs, containers_ = build_fleet(
+        FleetSpec(images=images, containers_per_image=containers,
+                  misconfig_rate=0.4, seed=seed)
+    )
+    entities = [DockerImageEntity(i) for i in imgs]
+    entities += [ContainerEntity(c) for c in containers_]
+    entities += [
+        ubuntu_host_entity(f"diff-host-{i}", hardening=0.5, seed=i,
+                           with_nginx=True, with_mysql=True)
+        for i in range(hosts)
+    ]
+    return Crawler().crawl_many(entities)
+
+
+@pytest.fixture(scope="module")
+def frames():
+    return make_frames()
+
+
+def run(frames, *, executor, workers, use_plans=True, store=None,
+        provenance=False):
+    validator = load_builtin_validator(
+        verdict_store=store, use_plans=use_plans, provenance=provenance,
+    )
+    validator.executor = executor
+    try:
+        report = validator.validate_frames(frames, workers=workers)
+        return report, render_text(report, verbose=True), render_json(report)
+    finally:
+        validator.close()
+
+
+class TestByteIdentityMatrix:
+    @pytest.mark.parametrize("use_plans", (True, False),
+                             ids=("plan", "no-plan"))
+    @pytest.mark.parametrize("incremental", (False, True),
+                             ids=("full", "incremental"))
+    def test_process_matches_thread(self, frames, use_plans, incremental):
+        reference = None
+        for executor in ("thread", "process"):
+            for workers in WORKER_COUNTS:
+                store = VerdictStore() if incremental else None
+                if store is not None:
+                    # Warm cycle first: the comparison cycle replays.
+                    run(frames, executor=executor, workers=workers,
+                        use_plans=use_plans, store=store)
+                _report, text, payload = run(
+                    frames, executor=executor, workers=workers,
+                    use_plans=use_plans, store=store,
+                )
+                if reference is None:
+                    reference = (text, payload)
+                else:
+                    assert (text, payload) == reference, (
+                        f"{executor} x {workers} workers diverged "
+                        f"(plans={use_plans}, incremental={incremental})"
+                    )
+
+    def test_provenance_byte_identical(self, frames):
+        outputs = []
+        for executor in ("thread", "process"):
+            report, _text, _payload = run(
+                frames, executor=executor, workers=4, provenance=True)
+            outputs.append([
+                (r.rule.name, r.target,
+                 r.provenance.to_dict() if r.provenance else None)
+                for r in report
+            ])
+        assert outputs[0] == outputs[1]
+        assert any(p is not None for _n, _t, p in outputs[0])
+
+    def test_shard_size_does_not_change_output(self, frames):
+        texts = []
+        for shard_size in (1, 3, 100):
+            validator = load_builtin_validator()
+            validator.executor = "process"
+            validator.shard_size = shard_size
+            try:
+                report = validator.validate_frames(frames, workers=2)
+                texts.append(render_text(report, verbose=True))
+            finally:
+                validator.close()
+        assert texts[0] == texts[1] == texts[2]
+
+    def test_fleet_summaries_identical(self, frames):
+        summaries = []
+        for executor in ("thread", "process"):
+            validator = load_builtin_validator()
+            validator.executor = executor
+            scanner = BatchScanner(validator, workers=4)
+            try:
+                summaries.append(scanner.scan_frames(frames, workers=4))
+            finally:
+                validator.close()
+        thread_summary, process_summary = summaries
+        assert render_text(process_summary.report) == render_text(
+            thread_summary.report)
+        assert process_summary.tag_failures == thread_summary.tag_failures
+        assert {
+            key: (r.passed, r.failed, r.errors, r.not_applicable)
+            for key, r in process_summary.rules.items()
+        } == {
+            key: (r.passed, r.failed, r.errors, r.not_applicable)
+            for key, r in thread_summary.rules.items()
+        }
+        # The process cycle carries executor stats; thread does not.
+        assert process_summary.exec_stats is not None
+        assert thread_summary.exec_stats is None
+        assert "executor: process" in render_fleet_summary(process_summary)
+
+
+class TestExecStatsAccounting:
+    def test_cycle_stats(self, frames):
+        validator = load_builtin_validator()
+        validator.executor = "process"
+        try:
+            report = validator.validate_frames(frames, workers=2)
+        finally:
+            validator.close()
+        stats = report.exec_stats
+        assert isinstance(stats, ExecStats)
+        assert stats.frames_shipped == len(frames)
+        assert stats.frames_fallback == 0
+        assert stats.shards == len(stats.shard_seconds)
+        assert stats.bytes_out > 0 and stats.bytes_in > 0
+        assert stats.worker_cache.get("misses", 0) > 0
+        payload = stats.to_dict()
+        assert payload["backend"] == "process"
+        assert "frames shipped" in stats.render()
+
+    def test_parent_store_absorbs_worker_counters(self, frames, tmp_path):
+        """Worker-side artifact hits/stores surface in the parent
+        store's stats (and therefore its pull-style metrics)."""
+        path = tmp_path / "artifacts.sqlite"
+        for _cycle in range(2):
+            validator = load_builtin_validator(
+                executor="process", artifact_store=path)
+            try:
+                validator.validate_frames(frames, workers=2)
+                absorbed = validator.artifact_store.stats()
+            finally:
+                validator.close()
+        # Cycle 1 stored artifacts from the workers; cycle 2's workers
+        # hit them.  The parent performed no lookups of its own, so any
+        # nonzero counters must have been absorbed from shard deltas.
+        assert absorbed.hits > 0
+        assert absorbed.entries > 0
+
+    def test_incremental_ships_only_dirty_frames(self, frames):
+        store = VerdictStore()
+        validator = load_builtin_validator(verdict_store=store)
+        validator.executor = "process"
+        try:
+            first = validator.validate_frames(frames, workers=2)
+            second = validator.validate_frames(frames, workers=2)
+        finally:
+            validator.close()
+        assert first.exec_stats.frames_shipped == len(frames)
+        # Unchanged fleet: every frame replays in the parent.
+        assert second.exec_stats.frames_shipped == 0
+        assert second.exec_stats.frames_local == len(frames)
+        assert second.incremental.rules_replayed > 0
+
+
+class TestGracefulDegradation:
+    def test_killed_worker_completes_cycle(self, frames):
+        baseline = render_text(
+            load_builtin_validator().validate_frames(frames), verbose=True)
+        validator = load_builtin_validator()
+        backend = ProcessBackend(timeout_s=20)
+        validator.executor = "process"
+        validator._exec_backend = backend
+        backend.fault_shards = {0: "exit"}  # shard 0's worker dies hard
+        try:
+            report = validator.validate_frames(frames, workers=2)
+        finally:
+            validator.close()
+        assert render_text(report, verbose=True) == baseline
+        stats = report.exec_stats
+        assert stats.worker_failures >= 1
+        assert stats.respawns >= 1
+        assert stats.frames_fallback > 0
+
+    def test_worker_exception_falls_back_without_respawn(self, frames):
+        baseline = render_text(
+            load_builtin_validator().validate_frames(frames), verbose=True)
+        validator = load_builtin_validator()
+        backend = ProcessBackend()
+        validator.executor = "process"
+        validator._exec_backend = backend
+        backend.fault_shards = {0: "error"}
+        try:
+            report = validator.validate_frames(frames, workers=2)
+        finally:
+            validator.close()
+        assert render_text(report, verbose=True) == baseline
+        stats = report.exec_stats
+        assert stats.worker_failures == 1
+        assert stats.respawns == 0
+        assert stats.frames_fallback > 0
+
+    def test_unpicklable_run_state_falls_back_to_threads(self, frames):
+        validator = load_builtin_validator()
+        validator.executor = "process"
+        # A closure resolver-style unpicklable hanging off a manifest
+        # poisons the init blob; the whole cycle must run on threads.
+        validator.manifests()[0].enabled_hook = lambda: True
+        try:
+            report = validator.validate_frames(frames, workers=2)
+        finally:
+            validator.close()
+        baseline = render_text(
+            load_builtin_validator().validate_frames(frames), verbose=True)
+        assert render_text(report, verbose=True) == baseline
+
+
+class TestProcessCrawl:
+    def test_crawl_many_process_matches_thread(self):
+        _daemon, images, containers = build_fleet(
+            FleetSpec(images=3, containers_per_image=2, misconfig_rate=0.3,
+                      seed=5)
+        )
+        entities = [DockerImageEntity(i) for i in images]
+        entities += [ContainerEntity(c) for c in containers]
+        crawler = Crawler()
+        threaded = crawler.crawl_many(entities, workers=4)
+        validator = load_builtin_validator()
+        backend = ProcessBackend()
+        try:
+            processed = crawler.crawl_many(
+                entities, workers=2, executor=backend,
+                init_source=validator)
+            assert [f.describe() for f in processed] == [
+                f.describe() for f in threaded]
+            report_a = load_builtin_validator().validate_frames(threaded)
+            report_b = load_builtin_validator().validate_frames(processed)
+            assert render_text(report_a, verbose=True) == render_text(
+                report_b, verbose=True)
+        finally:
+            backend.close()
+            validator.close()
+
+    def test_validate_entities_process_executor(self):
+        _daemon, images, containers = build_fleet(
+            FleetSpec(images=2, containers_per_image=2, misconfig_rate=0.3,
+                      seed=9)
+        )
+        entities = [DockerImageEntity(i) for i in images]
+        entities += [ContainerEntity(c) for c in containers]
+        thread_validator = load_builtin_validator()
+        process_validator = load_builtin_validator(executor="process")
+        try:
+            thread_report = thread_validator.validate_entities(
+                entities, workers=2)
+            process_report = process_validator.validate_entities(
+                entities, workers=2)
+            assert render_text(process_report, verbose=True) == render_text(
+                thread_report, verbose=True)
+        finally:
+            process_validator.close()
+
+
+class TestBackendObjects:
+    def test_thread_backend_defers_to_engine(self, frames):
+        validator = load_builtin_validator()
+        validator.executor = ThreadBackend()
+        try:
+            report = validator.validate_frames(frames, workers=2)
+        finally:
+            validator.close()
+        assert report.exec_stats is None
+        baseline = render_text(
+            load_builtin_validator().validate_frames(frames), verbose=True)
+        assert render_text(report, verbose=True) == baseline
+
+    def test_unknown_executor_rejected(self, frames):
+        from repro.engine.engine import EngineError
+
+        validator = load_builtin_validator(executor="fork-bomb")
+        with pytest.raises(EngineError):
+            validator.validate_frames(frames[:1])
+
+    def test_pool_persists_across_cycles(self, frames):
+        validator = load_builtin_validator(executor="process")
+        try:
+            validator.validate_frames(frames, workers=2)
+            backend = validator._exec_backend
+            pool_key = backend._pool_key
+            assert pool_key is not None
+            validator.validate_frames(frames, workers=2)
+            assert backend._pool_key == pool_key
+            assert backend._pool is not None
+        finally:
+            validator.close()
+        assert backend._pool is None

@@ -22,6 +22,8 @@ bench:
 # bench_executor.py asserts the executor gates: warm-store cold-process
 # cycle >= 3x a storeless one, process >= 2x thread at 8 workers (only
 # on >= 4 cores), byte-identical reports across backends.
+# bench_trace.py asserts the trace-fabric gate: telemetry-on process
+# cycles <= 5% wall-clock over telemetry-off, byte-identical reports.
 bench-check:
 	python benchmarks/compare_results.py
 

@@ -1,0 +1,194 @@
+"""Experiment E10 -- cost of the cross-process trace fabric.
+
+With ``--executor process``, enabling telemetry buys worker-side span
+capture, metric-delta capture, per-rule profiles, the pickled captures
+riding home on every ShardResult, and the parent-side merge (clock
+re-basing, span re-keying, counter folds).  The fabric's promise is
+that all of that stays within the same <= 5% per-cycle budget the
+in-process telemetry path honors -- ``test_process_telemetry_overhead_gate``
+is the regression gate for it.
+
+Unlike :mod:`bench_telemetry_overhead` (CPU time), this gate measures
+**wall clock**: with a process pool the instrumented work happens in
+worker processes, where the parent's ``process_time`` cannot see it,
+and the operator-visible cost of shipping captures is end-to-end cycle
+latency.  Both validators keep their pools resident across rounds
+(telemetry participates in the pool key, so on/off are two distinct
+persistent pools) -- pool spawn never lands inside a measurement.
+"""
+
+from __future__ import annotations
+
+import gc
+import statistics
+import time
+
+import pytest
+
+from repro.crawler import ContainerEntity, Crawler, DockerImageEntity
+from repro.engine import render_text
+from repro.rules import load_builtin_validator
+from repro.telemetry import Telemetry
+from repro.workloads import FleetSpec, build_fleet
+
+from conftest import emit
+
+#: Interleaved timing rounds per batch.
+ROUNDS = 14
+#: Extra measurement batches granted before an over-budget verdict sticks.
+BATCHES = 3
+#: Enabled-telemetry cost ceiling per process-backend scan cycle.
+BUDGET = 0.05
+WORKERS = 4
+SHARD_SIZE = 2
+
+
+def _frames():
+    _daemon, images, containers = build_fleet(
+        FleetSpec(images=4, containers_per_image=3, misconfig_rate=0.5)
+    )
+    entities = [ContainerEntity(c) for c in containers]
+    entities += [DockerImageEntity(i) for i in images]
+    return Crawler().crawl_many(entities)
+
+
+def _process_validator(telemetry=None):
+    validator = load_builtin_validator(telemetry=telemetry)
+    validator.executor = "process"
+    validator.shard_size = SHARD_SIZE
+    return validator
+
+
+@pytest.mark.benchmark(group="trace-fabric")
+def test_process_cycle_plain(benchmark):
+    frames = _frames()
+    validator = _process_validator()
+    try:
+        validator.validate_frames(frames, workers=WORKERS)  # spawn pool
+        report = benchmark(
+            validator.validate_frames, frames, workers=WORKERS)
+        assert len(report) > 100
+    finally:
+        validator.close()
+
+
+@pytest.mark.benchmark(group="trace-fabric")
+def test_process_cycle_telemetry(benchmark):
+    frames = _frames()
+    telemetry = Telemetry()
+    validator = _process_validator(telemetry)
+    try:
+        validator.validate_frames(frames, workers=WORKERS)  # spawn pool
+
+        def cycle():
+            telemetry.spans.clear()
+            telemetry.metrics.collect()
+            return validator.validate_frames(frames, workers=WORKERS)
+
+        report = benchmark(cycle)
+        assert len(report) > 100
+    finally:
+        validator.close()
+
+
+def _timed_wall(fn):
+    """One settled wall-clock measurement (GC parked outside it)."""
+    gc.collect()
+    gc.disable()
+    try:
+        started = time.perf_counter()
+        result = fn()
+        return time.perf_counter() - started, result
+    finally:
+        gc.enable()
+
+
+def test_process_telemetry_overhead_gate(benchmark):
+    """Fabric on: < 5% slower per process cycle, byte-identical report."""
+    benchmark.pedantic(lambda: None, rounds=1)  # reporter shim
+    frames = _frames()
+    plain = _process_validator()
+    telemetry = Telemetry()
+    instrumented = _process_validator(telemetry)
+    try:
+        # Spawn both pools and warm every worker's parse cache outside
+        # the timed region.
+        for _ in range(2):
+            plain.validate_frames(frames, workers=WORKERS)
+            instrumented.validate_frames(frames, workers=WORKERS)
+
+        def run_off():
+            return plain.validate_frames(frames, workers=WORKERS)
+
+        def run_on():
+            # A steady-state cycle of a resident instrumented scanner:
+            # drop the previous cycle's exported spans, scrape the
+            # metrics (paying the deferred per-rule tally), validate --
+            # which now also covers worker capture, the pickled captures
+            # on each ShardResult, and the parent-side merge.
+            telemetry.spans.clear()
+            telemetry.metrics.collect()
+            return instrumented.validate_frames(frames, workers=WORKERS)
+
+        # Same two-estimator scheme as bench_telemetry_overhead: the
+        # best-of minima survive bursty noise, the median paired ratio
+        # survives sustained uniform load; the gate takes the smaller
+        # (a real regression inflates both), escalating through extra
+        # batches before an over-budget verdict sticks.
+        off_times: list[float] = []
+        on_times: list[float] = []
+        ratios: list[float] = []
+        report_off = report_on = None
+        overhead = float("inf")
+        for batch in range(BATCHES):
+            if batch:
+                time.sleep(2.0)
+            for round_index in range(ROUNDS):
+                pair = [("off", run_off), ("on", run_on)]
+                if round_index % 2:
+                    pair.reverse()
+                elapsed = {}
+                for side, fn in pair:
+                    elapsed[side], report = _timed_wall(fn)
+                    if side == "off":
+                        report_off = report
+                    else:
+                        report_on = report
+                off_times.append(elapsed["off"])
+                on_times.append(elapsed["on"])
+                ratios.append(elapsed["on"] / elapsed["off"])
+                telemetry.profiler.entries()
+            best_of = (min(on_times) - min(off_times)) / min(off_times)
+            paired = statistics.median(ratios) - 1.0
+            overhead = min(best_of, paired)
+            if overhead < BUDGET:
+                break
+        best_off, best_on = min(off_times), min(on_times)
+        worker_spans = sum(
+            1 for span in telemetry.spans.finished()
+            if span.pid is not None
+        )
+        emit(
+            "trace_fabric_overhead",
+            "\n".join([
+                "Trace-fabric overhead (process backend, "
+                f"{WORKERS} workers, {len(off_times)} interleaved rounds)",
+                f"{'telemetry off':<16}{best_off * 1e3:>10.2f} ms"
+                f"  (median {statistics.median(off_times) * 1e3:.2f})",
+                f"{'telemetry on':<16}{best_on * 1e3:>10.2f} ms"
+                f"  (median {statistics.median(on_times) * 1e3:.2f})",
+                f"{'best-of':<16}{best_of:>10.1%}",
+                f"{'median paired':<16}{paired:>10.1%}",
+                f"{'overhead':<16}{overhead:>10.1%}",
+                f"worker spans merged per cycle: {worker_spans}",
+            ]),
+        )
+        assert worker_spans > 0, "no worker spans reached the parent"
+        assert render_text(report_on) == render_text(report_off)
+        assert overhead < BUDGET, (
+            f"trace-fabric overhead {overhead:.1%} exceeds the "
+            f"{BUDGET:.0%} budget"
+        )
+    finally:
+        plain.close()
+        instrumented.close()

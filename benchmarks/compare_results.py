@@ -50,6 +50,9 @@ BENCH_FILES = (
     # cycle >= 3x a storeless one, process >= 2x thread at 8 workers
     # (on >= 4 cores), byte-identical reports across backends.
     "bench_executor.py",
+    # Enforces the <= 5% cross-process trace-fabric overhead budget
+    # (ISSUE 9) and on/off byte-identity via in-test assertions.
+    "bench_trace.py",
 )
 
 #: Benchmarks faster than this are no-op reporter shims

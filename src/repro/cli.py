@@ -410,7 +410,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     summary = scanner.scan_entities(entities, workers=args.workers)
     print(
         f"# profiled {summary.entities_scanned} entities, "
-        f"{len(summary.report)} checks in {summary.elapsed_s:.2f}s"
+        f"{len(summary.report)} checks in {summary.elapsed_s:.2f}s "
+        f"[executor: {getattr(args, 'executor', 'thread')}]"
     )
     print()
     print(telemetry.profiler.render(top=args.top))
@@ -424,6 +425,30 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         print(summary.artifact_stats.render())
     _emit_telemetry(args, telemetry, server)
     validator.close()
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Analyze an exported trace: critical path, lanes, shard breakdown."""
+    import json
+
+    from repro.telemetry.traceview import (
+        TraceError,
+        analyze_trace,
+        load_trace,
+        render_trace_analysis,
+    )
+
+    try:
+        events = load_trace(args.trace)
+        analysis = analyze_trace(events, top=args.top)
+    except TraceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(analysis, indent=2))
+    else:
+        print(render_trace_analysis(analysis, top=args.top))
     return 0
 
 
@@ -1104,6 +1129,18 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scaling_flags(profile)
     _add_telemetry_flags(profile)
     profile.set_defaults(func=_cmd_profile)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="analyze an exported trace: critical path, worker lanes, shards",
+    )
+    trace.add_argument("trace", help="trace file written by --trace-out")
+    trace.add_argument("--top", type=int, default=10,
+                       help="rows per section (critical path, lanes, "
+                            "stragglers)")
+    trace.add_argument("--json", action="store_true",
+                       help="emit the analysis as JSON")
+    trace.set_defaults(func=_cmd_trace)
 
     snapshot = subparsers.add_parser(
         "snapshot", help="capture a directory tree as a portable frame"

@@ -520,7 +520,8 @@ class ConfigValidator:
                             continue
                         composites.append((manifest, rule))
 
-            def flush_rule_telemetry(results: list[RuleResult]) -> None:
+            def flush_rule_telemetry(results: list[RuleResult], *,
+                                     record_spans: bool = True) -> None:
                 """Three list appends per frame, nothing per rule.
 
                 The results the frame just produced already carry
@@ -529,13 +530,18 @@ class ConfigValidator:
                 reference: the counter/histogram tally happens at scrape
                 time (:meth:`_collect_rule_metrics`), span expansion at
                 export time, profile aggregation at read time.
+
+                ``record_spans=False`` skips only the span batch -- used
+                for worker frames whose rule spans arrived inside the
+                shard's telemetry capture (on worker pid lanes).
                 """
                 if not results:
                     return
                 with self._pending_rule_lock:
                     self._pending_rule_metrics.append(results)
                 telemetry.profiler.record_rules(results)
-                spans.record_rules(results)
+                if record_spans:
+                    spans.record_rules(results)
 
             def validate_one(frame: ConfigFrame) -> tuple[
                 list[tuple[Manifest, list[RuleResult]]],
@@ -561,7 +567,8 @@ class ConfigValidator:
                     busy_total.inc(time.perf_counter() - frame_started)
                 return placements, replayed, recomputed, frame_plan
 
-            def integrate_worker_frame(frame: ConfigFrame, freport) -> tuple[
+            def integrate_worker_frame(frame: ConfigFrame, freport,
+                                       counted: bool = False) -> tuple[
                 list[tuple[Manifest, list[RuleResult]]],
                 int,
                 set[tuple[str, str]],
@@ -570,9 +577,19 @@ class ConfigValidator:
                 """Fold one worker-evaluated frame back into this run:
                 the same telemetry effects as :func:`validate_one`,
                 minus the evaluation itself (that happened in a worker
-                process; ``freport`` is its deserialized FrameReport)."""
+                process; ``freport`` is its deserialized FrameReport).
+
+                ``counted=True`` means the shard shipped a telemetry
+                capture whose spans the backend already merged -- the
+                rule spans will expand on the worker's pid lane, so only
+                the span batch is skipped here.  Metric tallies,
+                profiler rows, and the frame/busy counters are
+                position-independent and always fold through this
+                thread-identical path (the capture does not carry
+                them)."""
                 if enabled:
-                    flush_rule_telemetry(freport.fresh)
+                    flush_rule_telemetry(freport.fresh,
+                                         record_spans=not counted)
                     frames_total.inc()
                     busy_total.inc(freport.busy_s)
                 placements = [

@@ -25,6 +25,7 @@ import multiprocessing.pool
 import time
 
 from repro.telemetry import get_logger
+from repro.telemetry.capture import merge_shard_capture
 from repro.exec.envelope import InitConfig, ShardEnvelope, encode, decode
 from repro.exec.stats import ExecStats
 
@@ -64,6 +65,9 @@ def build_init_config(validator) -> InitConfig:
         cache_size=validator.parse_cache.maxsize,
         artifact_path=artifact.path if artifact is not None else None,
         artifact_max_bytes=artifact.max_bytes if artifact is not None else None,
+        # Part of the pool key: a telemetry toggle respawns workers with
+        # (or without) their live capture bundles.
+        telemetry=validator.telemetry.enabled,
     )
 
 
@@ -228,6 +232,7 @@ class ProcessBackend(ExecutorBackend):
                     provenance=prep.provenance,
                     timings=prep.timings is not None,
                     store_doc=store_doc,
+                    capture=telemetry.enabled,
                     fault=faults.get(s_idx),
                 )
                 payloads[s_idx] = encode(envelope)
@@ -245,6 +250,11 @@ class ProcessBackend(ExecutorBackend):
         pending = [s for s, payload in payloads.items() if payload is not None]
         attempts = {s: 0 for s in pending}
         workers_n = max(1, min(workers, len(shards)))
+        #: Parent-clock dispatch / completion stamps per shard (latest
+        #: attempt wins) -- the shard span's true wall position, never
+        #: reconstructed from the worker-reported duration.
+        dispatched: dict[int, float] = {}
+        completed: dict[int, float] = {}
 
         # ---- submit / collect with bounded respawn --------------------
         first_round = True
@@ -266,6 +276,7 @@ class ProcessBackend(ExecutorBackend):
                 break
             handles = {}
             for s in pending:
+                dispatched[s] = time.perf_counter()
                 handles[s] = pool.apply_async(evaluate_shard, (payloads[s],))
                 stats.bytes_out += len(payloads[s])
             retry: list[int] = []
@@ -292,6 +303,7 @@ class ProcessBackend(ExecutorBackend):
                         if handle.ready():
                             try:
                                 late = handle.get(timeout=0)
+                                completed[later] = time.perf_counter()
                                 stats.bytes_in += len(late)
                                 results[later] = decode(late)
                             except Exception:
@@ -310,6 +322,7 @@ class ProcessBackend(ExecutorBackend):
                     )
                     results[s] = None
                     continue
+                completed[s] = time.perf_counter()
                 stats.bytes_in += len(blob)
                 try:
                     results[s] = decode(blob)
@@ -344,15 +357,47 @@ class ProcessBackend(ExecutorBackend):
                 parent_store = getattr(validator, "artifact_store", None)
                 if parent_store is not None:
                     parent_store.absorb_counters(shard_result.artifact)
+            capture = shard_result.telemetry
             if telemetry.enabled:
-                telemetry.spans.record(
-                    f"shard-{s_idx}", category="shard",
-                    start_s=time.perf_counter() - shard_result.duration_s,
-                    duration_s=shard_result.duration_s,
-                    frames=str(len(shard)),
+                spans = telemetry.spans
+                start_raw = dispatched.get(s_idx)
+                end_raw = completed.get(s_idx)
+                if start_raw is None:
+                    # Shard never went through the pool this cycle
+                    # (defensive); fall back to anchoring on now.
+                    start_raw = time.perf_counter() - shard_result.duration_s
+                duration = (end_raw - start_raw if end_raw is not None
+                            else shard_result.duration_s)
+                queue_s = 0.0
+                if shard_result.started_wall:
+                    # Worker start on the parent timeline, via the
+                    # shared wall clock: time between dispatch and the
+                    # worker actually picking the shard up.
+                    queue_s = max(0.0, (
+                        (shard_result.started_wall - spans.origin_wall)
+                        - (start_raw - spans.origin_perf)
+                    ))
+                attrs = {
+                    "frames": str(len(shard)),
+                    "queue_s": f"{queue_s:.6f}",
+                    "exec_s": f"{shard_result.duration_s:.6f}",
+                }
+                if capture is not None:
+                    attrs["worker_pid"] = str(capture.pid)
+                merge_shard_capture(
+                    telemetry, capture,
+                    name=f"shard-{s_idx}",
+                    start_s=start_raw - spans.origin_perf,
+                    duration_s=duration,
+                    attrs=attrs,
                 )
+            # When the shard shipped a capture, its rule spans will
+            # expand on the worker's pid lane -- integrate must not
+            # record them again parent-side.  Metrics/profiler/counters
+            # always fold through integrate (captures don't carry them).
+            counted = telemetry.enabled and capture is not None
             for (i, frame), freport in zip(shard, shard_result.reports):
-                per_frame[i] = integrate(frame, freport)
+                per_frame[i] = integrate(frame, freport, counted=counted)
         return per_frame, stats
 
     # ---- crawling -------------------------------------------------------

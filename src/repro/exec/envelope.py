@@ -52,6 +52,10 @@ class InitConfig:
     #: connection to the shared sqlite database.
     artifact_path: str | None = None
     artifact_max_bytes: int | None = None
+    #: Whether workers build a live telemetry bundle (spans / metrics /
+    #: profiler) so shard evaluations can ship captures back.  Part of
+    #: the pool key: toggling telemetry respawns the pool.
+    telemetry: bool = False
 
 
 @dataclass
@@ -71,6 +75,10 @@ class ShardEnvelope:
     #: (:meth:`~repro.engine.incremental.VerdictStore.export_slice`),
     #: or None outside incremental runs.
     store_doc: dict | None = None
+    #: Whether the worker should capture telemetry (spans, metric
+    #: deltas, profiler rows) for this shard and return it in
+    #: :attr:`ShardResult.telemetry`.
+    capture: bool = False
     #: Test hook: ``"exit"`` kills the worker mid-shard, ``"error"``
     #: raises inside the worker.  Never set outside the fault tests.
     fault: str | None = None
@@ -117,3 +125,13 @@ class ShardResult:
     artifact: Any = None
     #: Worker wall time for the whole shard.
     duration_s: float = 0.0
+    #: Wall-clock time evaluation began in the worker.  With
+    #: ``duration_s`` this anchors the shard's true execution window on
+    #: the parent's timeline (queue wait = execution start minus the
+    #: parent's dispatch stamp) -- shards completing out of order keep
+    #: their real positions.
+    started_wall: float = 0.0
+    #: Worker telemetry capture for this shard
+    #: (:class:`~repro.telemetry.capture.TelemetryCapture`), or None
+    #: when the envelope did not request capture.
+    telemetry: Any = None

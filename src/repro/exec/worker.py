@@ -31,6 +31,8 @@ from repro.exec.envelope import (
     decode,
     encode,
 )
+from repro.telemetry import Telemetry
+from repro.telemetry.capture import capture_telemetry, reset_capture
 
 #: Per-process state built by :func:`init_worker`.
 _STATE: dict = {}
@@ -47,10 +49,16 @@ def init_worker(init_blob: bytes) -> None:
         store = ArtifactStore(config.artifact_path, **kwargs)
     cache_size = (DEFAULT_CACHE_SIZE if config.cache_size is None
                   else config.cache_size)
+    # A live per-process bundle when the parent scans with telemetry:
+    # the resident validator's normalizer and rule instrumentation then
+    # record into it, and each shard drains it into a capture.
+    telemetry = (Telemetry() if getattr(config, "telemetry", False)
+                 else None)
     validator = ConfigValidator(
         lenses=config.lenses,
         schemas=config.schemas,
         parse_cache=ParseCache(cache_size, store=store),
+        telemetry=telemetry,
     )
     for manifest, ruleset in config.packs:
         validator.add_ruleset(manifest, ruleset)
@@ -71,6 +79,7 @@ def _cache_delta(before, after) -> dict[str, int]:
 def evaluate_shard(payload: bytes) -> bytes:
     """Evaluate one shard envelope; returns a pickled ShardResult."""
     started = time.perf_counter()
+    started_wall = time.time()
     envelope: ShardEnvelope = decode(payload)
     if envelope.fault == "exit":
         # Fault-injection hook for the graceful-degradation tests: die
@@ -80,6 +89,13 @@ def evaluate_shard(payload: bytes) -> bytes:
         raise RuntimeError("injected worker fault")
     validator: ConfigValidator = _STATE["validator"]
     artifact: ArtifactStore | None = _STATE.get("artifact")
+    telemetry = validator.telemetry
+    capture_on = bool(envelope.capture) and telemetry.enabled
+    if capture_on:
+        # Drop leftovers from a shard whose result never shipped; every
+        # capture must be an exact per-shard delta.
+        reset_capture(telemetry)
+        spans = telemetry.spans
     frames = [frame_from_dict(doc) for doc in envelope.frame_docs]
     store = (VerdictStore.import_slice(envelope.store_doc)
              if envelope.store_doc is not None else None)
@@ -98,9 +114,27 @@ def evaluate_shard(payload: bytes) -> bytes:
     reports: list[FrameReport] = []
     for frame in frames:
         frame_started = time.perf_counter()
-        placements, fresh, replayed, recomputed, frame_plan = (
-            validator._evaluate_frame_rules(frame, prep)
-        )
+        if capture_on:
+            # Only what is position-dependent records here: the frame /
+            # evaluate spans and the deferred rule-span batch, which land
+            # on this worker's pid lane of the merged trace.  Rule metric
+            # tallies, profiler rows, and the frame/busy counters are
+            # position-independent, so the parent folds them through the
+            # same path the thread backend uses
+            # (``integrate_worker_frame``) -- the capture stays cheap and
+            # the parent-side telemetry stays byte-for-byte the thread
+            # path's.
+            with spans.span(frame.describe(), category="frame"):
+                with spans.span("evaluate", category="stage"):
+                    placements, fresh, replayed, recomputed, frame_plan = (
+                        validator._evaluate_frame_rules(frame, prep)
+                    )
+                    if fresh:
+                        spans.record_rules(fresh)
+        else:
+            placements, fresh, replayed, recomputed, frame_plan = (
+                validator._evaluate_frame_rules(frame, prep)
+            )
         busy = time.perf_counter() - frame_started
         if envelope.provenance:
             # Materialize deferred provenance markers before pickling:
@@ -137,6 +171,7 @@ def evaluate_shard(payload: bytes) -> bytes:
     artifact_delta = None
     if artifact_before is not None:
         artifact_delta = artifact.stats().delta_since(artifact_before)
+    capture = capture_telemetry(telemetry) if capture_on else None
     result = ShardResult(
         shard_index=envelope.shard_index,
         reports=reports,
@@ -145,6 +180,8 @@ def evaluate_shard(payload: bytes) -> bytes:
         cache=_cache_delta(cache_before, validator.parse_cache.stats()),
         artifact=artifact_delta,
         duration_s=time.perf_counter() - started,
+        started_wall=started_wall,
+        telemetry=capture,
     )
     return encode(result)
 

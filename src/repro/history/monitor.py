@@ -345,9 +345,25 @@ class FleetMonitor:
                 time.perf_counter() - self._started_monotonic, 3
             ) if self._started_monotonic else 0.0,
             "last_cycle": last,
+            "executor": self._exec_status(),
             "flapping": self.analyzer.flapping_details(),
             "top_regressing": top,
         })
+
+    def _exec_status(self) -> dict | None:
+        """Executor/artifact-store stats of the most recent cycle (None
+        until a cycle completes under a sharded backend)."""
+        summary = self.last_summary
+        if summary is None:
+            return None
+        out: dict = {}
+        exec_stats = getattr(summary, "exec_stats", None)
+        if exec_stats is not None:
+            out["exec"] = exec_stats.to_dict()
+        artifact_stats = getattr(summary, "artifact_stats", None)
+        if artifact_stats is not None:
+            out["artifact_store"] = artifact_stats.to_dict()
+        return out or None
 
     def _route_history(self) -> tuple[int, str, bytes]:
         rows = self.store.cycles(last=self.config.status_cycles)

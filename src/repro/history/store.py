@@ -103,7 +103,11 @@ CREATE TABLE IF NOT EXISTS cycles (
     rules_evaluated INTEGER NOT NULL DEFAULT 0,
     frames_clean   INTEGER NOT NULL DEFAULT 0,
     frames_dirty   INTEGER NOT NULL DEFAULT 0,
-    scan_error     TEXT    NOT NULL DEFAULT ''
+    scan_error     TEXT    NOT NULL DEFAULT '',
+    -- Executor/artifact-store rollup for the cycle as a JSON document
+    -- ({"exec": ExecStats.to_dict(), "artifact_store": ...}); empty for
+    -- thread-backend cycles and rows written before the column existed.
+    exec_json      TEXT    NOT NULL DEFAULT ''
 );
 
 -- The verdict-key dimension: one row per (target, entity, rule) ever
@@ -155,7 +159,7 @@ _CYCLE_COLUMNS = (
     "crawl_s", "discover_s", "parse_s", "evaluate_s", "composite_s",
     "parse_hits", "parse_misses", "parse_hit_rate",
     "rules_skipped", "rules_evaluated", "frames_clean", "frames_dirty",
-    "scan_error",
+    "scan_error", "exec_json",
 )
 
 _VERDICT_SELECT = (
@@ -192,13 +196,29 @@ class CycleRow:
     frames_clean: int
     frames_dirty: int
     scan_error: str
+    exec_json: str = ""
 
     @property
     def failed_cycle(self) -> bool:
         return bool(self.scan_error)
 
+    @property
+    def exec_summary(self) -> dict | None:
+        """The cycle's executor/artifact-store rollup, decoded (None for
+        thread-backend cycles and pre-column rows)."""
+        if not self.exec_json:
+            return None
+        try:
+            payload = json.loads(self.exec_json)
+        except ValueError:
+            return None
+        return payload if isinstance(payload, dict) else None
+
     def to_dict(self) -> dict:
-        return {name: getattr(self, name) for name in _CYCLE_COLUMNS}
+        out = {name: getattr(self, name) for name in _CYCLE_COLUMNS
+               if name != "exec_json"}
+        out["exec"] = self.exec_summary
+        return out
 
 
 @dataclass
@@ -322,6 +342,18 @@ class HistoryStore:
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute("PRAGMA synchronous=NORMAL")
         self._conn.executescript(_SCHEMA)
+        # Databases created before the executor rollup shipped lack the
+        # column (CREATE IF NOT EXISTS leaves them as-is); widen in
+        # place so old monitor databases keep working.
+        present = {
+            row["name"]
+            for row in self._conn.execute("PRAGMA table_info(cycles)")
+        }
+        if "exec_json" not in present:
+            self._conn.execute(
+                "ALTER TABLE cycles ADD COLUMN exec_json TEXT NOT NULL"
+                " DEFAULT ''"
+            )
         self._conn.commit()
         self._stats = HistoryStoreStats()
         #: In-memory twin of the ``series`` table; in steady state every
@@ -379,6 +411,15 @@ class HistoryStore:
         compliant = tally[VERDICT_CODES[Verdict.COMPLIANT.value]]
         noncompliant = tally[VERDICT_CODES[Verdict.NONCOMPLIANT.value]]
         checked = compliant + noncompliant
+        exec_doc: dict = {}
+        exec_stats = getattr(summary, "exec_stats", None)
+        if exec_stats is not None:
+            exec_doc["exec"] = exec_stats.to_dict()
+        artifact_stats = getattr(summary, "artifact_stats", None)
+        if artifact_stats is not None:
+            exec_doc["artifact_store"] = artifact_stats.to_dict()
+        exec_json = (json.dumps(exec_doc, separators=(",", ":"))
+                     if exec_doc else "")
         started = time.perf_counter()
         with self._lock:
             new_series = 0
@@ -399,8 +440,8 @@ class HistoryStore:
                 " compliance, crawl_s, discover_s, parse_s, evaluate_s,"
                 " composite_s, parse_hits, parse_misses, parse_hit_rate,"
                 " rules_skipped, rules_evaluated, frames_clean,"
-                " frames_dirty, scan_error)"
-                " VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
+                " frames_dirty, scan_error, exec_json)"
+                " VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
                 (
                     summary.started_at or time.time(),
                     summary.elapsed_s,
@@ -418,7 +459,7 @@ class HistoryStore:
                     cache.hit_rate if cache else 0.0,
                     rules_skipped, rules_evaluated,
                     frames_clean, frames_dirty,
-                    "",
+                    "", exec_json,
                 ),
             )
             cycle_id = cursor.lastrowid

@@ -1,0 +1,273 @@
+"""Cross-process telemetry fabric: worker-side capture, parent-side merge.
+
+The process executor evaluates shards in worker processes, which would
+otherwise leave the scan cycle's telemetry blind to everything past the
+process boundary: frame/stage/rule spans, per-rule metric tallies, and
+profiler entries all accumulate in the *worker's* collectors and die
+with the shard.  This module makes that state travel:
+
+- :func:`capture_telemetry` runs in the worker at the end of a shard.
+  It drains the worker's span collector, push-style metric families,
+  and profiler into a pickle-safe :class:`TelemetryCapture` that rides
+  back inside the ``ShardResult`` envelope.  Draining (rather than
+  snapshot-diffing) keeps every capture an exact per-shard delta with
+  no cross-shard double counting.
+
+  Only *position-dependent* telemetry travels this way: the worker's
+  frame/stage spans (raw, unexpanded), its deferred rule-span batches
+  (shipped as back-references to the rule results already crossing in
+  the shard's reports), and whatever the normalizer recorded while
+  parsing (lens profiles, parse metrics).  Rule metric tallies,
+  per-rule profiler rows, and the frame/busy counters are
+  position-independent, so the parent derives them from the
+  deserialized reports through the exact code path the thread backend
+  uses -- the capture stays small and the parent-side registry stays
+  identical across backends by construction.
+
+- :func:`merge_shard_capture` runs in the parent during reassembly.  It
+  records the parent-side ``shard-N`` span at its true dispatch ->
+  completion position and queues the capture's span payload on the
+  parent collector unexpanded
+  (:meth:`~repro.telemetry.spans.SpanCollector.adopt_capture`); clock
+  re-basing, id re-keying, linking worker roots under the shard span,
+  and rule-batch expansion all happen lazily at read time
+  (``finished()``), so a steady-state cycle that clears without
+  exporting a trace pays nothing per worker span.  Metric deltas
+  (counters add, histograms merge buckets) and profiler rows fold into
+  the parent registry/profiler eagerly -- both are scraped between
+  exports.
+
+Clock re-basing: ``perf_counter`` origins are per-process and cannot be
+compared across the boundary, but the wall clock is shared by every
+process on the host.  Each :class:`~repro.telemetry.spans.SpanCollector`
+records the wall time of its perf-counter origin, so a worker span at
+worker-relative offset ``t`` lands at parent-relative offset
+``t + (worker.origin_wall - parent.origin_wall)`` -- exact up to wall
+vs. monotonic drift over one scan cycle (microseconds).
+
+Families the parent refreshes from its own pull-style sources
+(absolute ``set()`` semantics: parse cache, plan cache, artifact store,
+verdict store) are excluded from the capture -- folding worker deltas
+into them would be clobbered at the next scrape, and their worker-side
+deltas already travel explicitly in the ``ShardResult`` stats fields.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+
+from repro.telemetry.metrics import Counter, Gauge, Histogram
+from repro.telemetry.spans import Span
+
+#: Metric families mirrored into the parent registry by pull-style
+#: collectors with absolute ``set()`` semantics; never folded from
+#: worker captures (see module docstring).
+PARENT_MIRRORED_PREFIXES = (
+    "repro_parse_cache_",
+    "repro_plan_",
+    "repro_artifact_",
+    "repro_verdict_store_",
+)
+
+
+@dataclass
+class FamilyDelta:
+    """One metric family's per-shard delta (pickle-safe)."""
+
+    name: str
+    kind: str                      # "counter" | "gauge" | "histogram"
+    help: str
+    label_names: tuple
+    #: counter/gauge: ``[(label_values, value)]``; histogram:
+    #: ``[(label_values, (bucket_counts, sum, count, min, max))]``.
+    samples: list
+    buckets: tuple | None = None
+
+
+@dataclass
+class TelemetryCapture:
+    """One shard's worth of worker-process telemetry (pickle-safe)."""
+
+    #: Worker process id: merged spans keep it so the exporter can lay
+    #: them out on distinct per-process lanes.
+    pid: int
+    #: Wall-clock time of the worker collector's perf-counter origin
+    #: (the cross-process re-basing anchor).
+    origin_wall: float
+    #: The worker collector's perf-counter origin itself: deferred rule
+    #: batches carry raw worker ``perf_counter`` stamps, re-based only
+    #: when the parent expands them.
+    origin_perf: float = 0.0
+    #: Concrete spans as raw tuples ``(name, category, span_id,
+    #: parent_id, thread_id, start_s, duration_s, attrs)`` with
+    #: ``start_s`` relative to the worker collector's origin.
+    spans: list[tuple] = field(default_factory=list)
+    #: Deferred ``record_rules`` batches, shipped unexpanded: the
+    #: rule-result objects already cross in the shard's reports, so the
+    #: single per-shard pickle stores them once and the capture costs
+    #: only back-references.  Expanded into rule spans lazily by the
+    #: parent collector's ``finished()``.
+    rule_batches: list[tuple] = field(default_factory=list)
+    metrics: list[FamilyDelta] = field(default_factory=list)
+    #: ``(kind, key, calls, errors, total_s, max_s)`` profiler rows.
+    profiler: list[tuple] = field(default_factory=list)
+
+
+def reset_capture(telemetry) -> None:
+    """Drop any worker telemetry left over from a shard whose result
+    never shipped (e.g. its encode failed).  Called at shard start so a
+    capture only ever describes its own shard."""
+    telemetry.spans.clear()
+    telemetry.profiler.clear()
+    _drain_metrics(telemetry.metrics, collect=False)
+
+
+def _drain_metrics(registry, *, collect: bool = True) -> list[FamilyDelta]:
+    """Drain push-style families into deltas (and clear them)."""
+    if collect:
+        # Pull collectors first: the deferred per-rule verdict tally
+        # (ConfigValidator._collect_rule_metrics) materializes here.
+        registry.collect()
+    out: list[FamilyDelta] = []
+    for family in registry.families():
+        if family.name.startswith(PARENT_MIRRORED_PREFIXES):
+            continue
+        if isinstance(family, Histogram):
+            samples = [
+                (key, (list(child.bucket_counts), child.total,
+                       child.count, child.min, child.max))
+                for key, child in family.samples()
+                if child.count
+            ]
+            if samples:
+                out.append(FamilyDelta(
+                    family.name, family.kind, family.help,
+                    family.label_names, samples, buckets=family.buckets,
+                ))
+            family.clear()
+        elif isinstance(family, (Counter, Gauge)):
+            samples = [(key, value) for key, value in family.samples()
+                       if value]
+            if samples:
+                out.append(FamilyDelta(
+                    family.name, family.kind, family.help,
+                    family.label_names, samples,
+                ))
+            family.clear()
+    return out
+
+
+def capture_telemetry(telemetry) -> TelemetryCapture:
+    """Drain the worker's telemetry into a pickle-safe capture.
+
+    Worker side of the fabric: called once at the end of a shard.  Span
+    rows and rule batches cross unexpanded; the metric/profiler lists
+    carry only what the worker recorded outside the rule loop (parse
+    instrumentation).  The collectors are left empty for the next
+    shard.
+    """
+    spans = telemetry.spans
+    span_rows, rule_batches = spans.drain_capture()
+    profiler_rows = [
+        (entry.kind, entry.key, entry.calls, entry.errors,
+         entry.total_s, entry.max_s)
+        for entry in telemetry.profiler.entries()
+    ]
+    telemetry.profiler.clear()
+    return TelemetryCapture(
+        pid=os.getpid(),
+        origin_wall=spans.origin_wall,
+        origin_perf=spans.origin_perf,
+        spans=span_rows,
+        rule_batches=rule_batches,
+        # collect=False: every pull collector in a worker is either
+        # parent-mirrored (excluded from captures) or the rule tally,
+        # which no longer materializes worker-side -- running them per
+        # shard would only burn time.  Push-style families (parse
+        # errors) are drained as-is.
+        metrics=_drain_metrics(telemetry.metrics, collect=False),
+        profiler=profiler_rows,
+    )
+
+
+def merge_metrics(registry, families: list[FamilyDelta]) -> None:
+    """Fold worker metric deltas into the parent registry.
+
+    Counters and gauges add; histograms merge per-bucket counts exactly
+    (:meth:`~repro.telemetry.metrics.Histogram.merge_child`).
+    """
+    for fam in families:
+        label_names = tuple(fam.label_names)
+        if fam.kind == "histogram":
+            hist = registry.histogram(
+                fam.name, fam.help, label_names,
+                buckets=tuple(fam.buckets or ()),
+            )
+            for values, (bucket_counts, total, count, low, high) in \
+                    fam.samples:
+                hist.merge_child(values, bucket_counts, total, count,
+                                 low, high)
+        else:
+            builder = (registry.gauge if fam.kind == "gauge"
+                       else registry.counter)
+            family = builder(fam.name, fam.help, label_names)
+            for values, value in fam.samples:
+                family.inc(value, **dict(zip(label_names, values)))
+
+
+def merge_shard_capture(
+    telemetry,
+    capture: TelemetryCapture | None,
+    *,
+    name: str,
+    start_s: float,
+    duration_s: float,
+    attrs: dict[str, str] | None = None,
+) -> None:
+    """Record a shard span and graft a worker capture beneath it.
+
+    Parent side of the fabric.  ``start_s``/``duration_s`` position the
+    shard span on the parent collector's timeline (dispatch ->
+    completion, measured by the parent -- never reconstructed from the
+    worker's duration, so out-of-order completions land where they
+    actually ran).  When ``capture`` is present its spans are re-based,
+    re-keyed, and parented: worker roots hang off the shard span, which
+    itself hangs off the calling thread's innermost open span (the
+    ``validate_frames`` run span during reassembly).  Metric and
+    profiler deltas fold into the parent collectors.
+
+    A shard that died before producing a capture simply records the
+    bare shard span -- partial worker state never reaches the merge.
+    """
+    spans = telemetry.spans
+    if not spans.enabled:
+        return
+    parent = spans.current()
+    shard_span = Span(
+        name=name,
+        category="shard",
+        span_id=spans.new_id(),
+        parent_id=parent.span_id if parent is not None else None,
+        thread_id=threading.get_ident(),
+        start_s=start_s,
+        duration_s=duration_s,
+        attrs=dict(attrs) if attrs else {},
+    )
+    spans.adopt([shard_span])
+    if capture is not None:
+        # Deferred graft: the raw rows and unexpanded rule batches are
+        # queued as-is and only re-keyed/re-based/expanded when the
+        # collector is actually read (``finished()``).  A steady-state
+        # cycle that clears without exporting pays nothing per span.
+        spans.adopt_capture(
+            rows=capture.spans,
+            rule_batches=capture.rule_batches,
+            offset_s=capture.origin_wall - spans.origin_wall,
+            origin_perf=capture.origin_perf,
+            pid=capture.pid,
+            parent_id=shard_span.span_id,
+        )
+        merge_metrics(telemetry.metrics, capture.metrics)
+        telemetry.profiler.merge_entries(capture.profiler)

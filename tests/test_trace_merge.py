@@ -1,0 +1,309 @@
+"""Thread-vs-process telemetry parity for the cross-process trace fabric.
+
+The process backend must be *observationally* equivalent to the thread
+backend, not just result-equivalent: a merged trace carries the same
+frame/stage/rule spans (on worker pid lanes), the per-rule profiler
+reports the same call counts, and the deterministic Prometheus counters
+land on the same values.  Two categories are legitimately
+backend-specific and excluded from the strict comparison:
+
+- ``parse`` spans: every worker process parses into its own cache, so a
+  process run records more parse spans than a thread run (same files,
+  different dedup domain);
+- ``shard`` spans: the dispatch envelope around each worker shard only
+  exists under the process backend.
+
+The fault tests then kill/fault workers mid-cycle and assert a partial
+worker capture never corrupts the merged trace -- the shard falls back
+to the parent, which records the telemetry itself.
+"""
+
+import json
+from collections import Counter as MultiSet
+
+import pytest
+
+from repro.crawler import ContainerEntity, Crawler, DockerImageEntity
+from repro.engine import render_text
+from repro.engine.incremental import VerdictStore
+from repro.exec import ProcessBackend
+from repro.rules import load_builtin_validator
+from repro.telemetry import Telemetry
+from repro.telemetry.export import to_chrome_trace, write_chrome_trace
+from repro.telemetry.traceview import (
+    analyze_trace,
+    load_trace,
+    render_trace_analysis,
+)
+from repro.workloads import FleetSpec, build_fleet, ubuntu_host_entity
+
+WORKER_COUNTS = (1, 8)
+
+#: Categories excluded from the strict multiset comparison (see module
+#: docstring).
+BACKEND_SPECIFIC = frozenset({"parse", "shard"})
+
+
+def make_frames(seed=11, images=3, containers=2, hosts=2):
+    _daemon, imgs, containers_ = build_fleet(
+        FleetSpec(images=images, containers_per_image=containers,
+                  misconfig_rate=0.4, seed=seed)
+    )
+    entities = [DockerImageEntity(i) for i in imgs]
+    entities += [ContainerEntity(c) for c in containers_]
+    entities += [
+        ubuntu_host_entity(f"trace-host-{i}", hardening=0.5, seed=i,
+                           with_nginx=True, with_mysql=True)
+        for i in range(hosts)
+    ]
+    return Crawler().crawl_many(entities)
+
+
+@pytest.fixture(scope="module")
+def frames():
+    return make_frames()
+
+
+def scan(frames, *, executor, workers, use_plans=True, store=None,
+         shard_size=2, fault_shards=None):
+    """One telemetry-on cycle; returns (telemetry, report, spans)."""
+    telemetry = Telemetry()
+    validator = load_builtin_validator(
+        telemetry=telemetry, use_plans=use_plans, verdict_store=store,
+    )
+    validator.executor = executor
+    validator.shard_size = shard_size
+    if fault_shards is not None:
+        backend = ProcessBackend(timeout_s=30)
+        backend.fault_shards = fault_shards
+        validator._exec_backend = backend
+    try:
+        report = validator.validate_frames(frames, workers=workers)
+        spans = telemetry.spans.finished()
+    finally:
+        validator.close()
+    return telemetry, report, spans
+
+
+def family_samples(telemetry, name):
+    telemetry.metrics.collect()
+    for family in telemetry.metrics.families():
+        if family.name == name:
+            return family.samples()
+    return []
+
+
+def observed_state(telemetry, spans):
+    """Everything that must match across backends, as a plain dict."""
+    telemetry.metrics.collect()
+    family_names = {f.name for f in telemetry.metrics.families()}
+    return {
+        "span_multiset": MultiSet(
+            (span.name, span.category) for span in spans
+            if span.category not in BACKEND_SPECIFIC
+        ),
+        "rules_evaluated": family_samples(
+            telemetry, "repro_rules_evaluated_total"),
+        "frames_scanned": family_samples(
+            telemetry, "repro_frames_scanned_total"),
+        "rule_eval_counts": [
+            (key, child.count) for key, child in family_samples(
+                telemetry, "repro_rule_eval_seconds")
+        ],
+        "profiler_rules": sorted(
+            (entry.key, entry.calls, entry.errors)
+            for entry in telemetry.profiler.entries("rule")
+        ),
+        # The dispatch layer's own families only exist under sharded
+        # backends; everything else must agree.
+        "families": {name for name in family_names
+                     if not name.startswith("repro_exec_")},
+    }
+
+
+def assert_trace_well_formed(spans):
+    """Every parent reference resolves; one root is the run span.
+
+    (Plan compilation may record additional parent-side root events
+    outside the run span -- both backends do, so parity still holds.)
+    """
+    ids = {span.span_id for span in spans}
+    roots = [span for span in spans if span.parent_id is None]
+    assert len(ids) == len(spans), "duplicate span ids after merge"
+    assert any(root.name == "validate_frames" for root in roots)
+    for span in spans:
+        if span.parent_id is not None:
+            assert span.parent_id in ids, (
+                f"dangling parent {span.parent_id} on {span.name}"
+            )
+
+
+class TestTelemetryParity:
+    @pytest.mark.parametrize("use_plans", (True, False),
+                             ids=("plan", "no-plan"))
+    @pytest.mark.parametrize("incremental", (False, True),
+                             ids=("full", "incremental"))
+    def test_process_observations_match_thread(self, frames, use_plans,
+                                               incremental):
+        reference = None
+        for executor in ("thread", "process"):
+            for workers in WORKER_COUNTS:
+                store = VerdictStore() if incremental else None
+                if store is not None:
+                    # Warm cycle outside the observed telemetry.
+                    warm = load_builtin_validator(
+                        verdict_store=store, use_plans=use_plans)
+                    warm.validate_frames(frames)
+                    warm.close()
+                telemetry, _report, spans = scan(
+                    frames, executor=executor, workers=workers,
+                    use_plans=use_plans, store=store,
+                )
+                state = observed_state(telemetry, spans)
+                assert_trace_well_formed(spans)
+                if reference is None:
+                    reference = state
+                    continue
+                for key in ("span_multiset", "rules_evaluated",
+                            "frames_scanned", "rule_eval_counts",
+                            "profiler_rules", "families"):
+                    assert state[key] == reference[key], (
+                        f"{key} diverged: {executor} x {workers} workers "
+                        f"(plans={use_plans}, incremental={incremental})"
+                    )
+
+    def test_profiler_reports_worker_rules(self, frames):
+        telemetry, report, _spans = scan(
+            frames, executor="process", workers=4)
+        entries = telemetry.profiler.entries("rule")
+        assert entries, "no worker rule profiles reached the parent"
+        assert sum(e.calls for e in entries) == len(report)
+        rendered = telemetry.profiler.render(top=5)
+        assert "hottest rules" in rendered
+
+
+class TestWorkerLanes:
+    def test_worker_spans_on_distinct_pid_lanes(self, frames):
+        telemetry, _report, spans = scan(
+            frames, executor="process", workers=4)
+        worker_pids = {span.pid for span in spans if span.pid is not None}
+        assert len(worker_pids) >= 2, "expected multiple worker lanes"
+        worker_cats = {span.category for span in spans
+                       if span.pid is not None}
+        assert {"frame", "stage", "rule"} <= worker_cats
+        # Parent-side spans (run span, shard envelopes) carry no pid
+        # override and render on the parent lane.
+        assert all(span.pid is None for span in spans
+                   if span.category == "shard")
+
+    def test_chrome_export_has_per_pid_metadata(self, frames):
+        telemetry, _report, spans = scan(
+            frames, executor="process", workers=4)
+        payload = to_chrome_trace(telemetry.spans)
+        events = payload["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        names = {e["args"]["name"] for e in meta
+                 if e["name"] == "process_name"}
+        assert any(n.startswith("repro worker (pid ") for n in names)
+        assert any(n == "repro (parent)" for n in names)
+        # Every event's pid has a process_name row.
+        named_pids = {e["pid"] for e in meta if e["name"] == "process_name"}
+        assert {e["pid"] for e in complete} <= named_pids
+
+    def test_worker_frames_inside_their_shard_window(self, frames):
+        _telemetry, _report, spans = scan(
+            frames, executor="process", workers=4)
+        by_id = {span.span_id: span for span in spans}
+        shard_frames = 0
+        for span in spans:
+            if span.category != "frame" or span.pid is None:
+                continue
+            node = span
+            while node.parent_id is not None:
+                node = by_id[node.parent_id]
+                if node.category == "shard":
+                    break
+            assert node.category == "shard", (
+                f"worker frame {span.name} not under a shard span"
+            )
+            # Wall-clock re-basing vs the parent's perf-counter shard
+            # window: allow a small skew margin.
+            slack = 0.05
+            assert span.start_s >= node.start_s - slack
+            assert (span.start_s + span.duration_s
+                    <= node.start_s + node.duration_s + slack)
+            shard_frames += 1
+        assert shard_frames == len(frames)
+
+
+class TestFaultDegradation:
+    @pytest.mark.parametrize("fault", ("exit", "error"))
+    def test_partial_capture_never_corrupts_the_trace(self, frames, fault):
+        baseline_telemetry, baseline_report, baseline_spans = scan(
+            frames, executor="thread", workers=4)
+        reference = observed_state(baseline_telemetry, baseline_spans)
+        telemetry, report, spans = scan(
+            frames, executor="process", workers=2,
+            fault_shards={0: fault},
+        )
+        assert (render_text(report, verbose=True)
+                == render_text(baseline_report, verbose=True))
+        assert report.exec_stats.frames_fallback > 0
+        assert_trace_well_formed(spans)
+        state = observed_state(telemetry, spans)
+        # The faulted shard's frames re-validate in the parent, which
+        # records their telemetry itself -- observations still match the
+        # thread backend exactly.
+        for key in ("span_multiset", "rules_evaluated", "frames_scanned",
+                    "profiler_rules"):
+            assert state[key] == reference[key], f"{key} diverged ({fault})"
+
+
+class TestTraceAnalysis:
+    @pytest.fixture(scope="class")
+    def trace_path(self, frames, tmp_path_factory):
+        telemetry, _report, _spans = scan(
+            frames, executor="process", workers=4)
+        path = tmp_path_factory.mktemp("trace") / "merged.json"
+        write_chrome_trace(telemetry.spans, str(path))
+        return str(path)
+
+    def test_analysis_sections(self, trace_path):
+        events = load_trace(trace_path)
+        analysis = analyze_trace(events, top=10)
+        assert analysis["root"]["name"] == "validate_frames"
+        assert analysis["processes"] >= 3
+        path = analysis["critical_path"]
+        assert path and path[0]["name"] == "validate_frames"
+        assert all(hop["duration_ms"] >= 0 for hop in path)
+        shards = analysis["shards"]
+        assert shards is not None
+        assert shards["count"] == sum(
+            1 for e in events if e.cat == "shard")
+        assert shards["queue_wait_ms"] >= 0
+        assert shards["execution_ms"] > 0
+        labels = {lane["label"] for lane in analysis["workers"]}
+        assert "parent" in labels
+        assert any(label.startswith("worker pid") for label in labels)
+        rendered = render_trace_analysis(analysis, top=10)
+        assert "critical path" in rendered
+        assert "worker lanes" in rendered
+        assert "shards (" in rendered
+
+    def test_cli_trace_json(self, trace_path, capsys):
+        from repro.cli import main
+
+        assert main(["trace", trace_path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spans"] > 0
+        assert payload["shards"]["count"] > 0
+
+    def test_cli_trace_text_and_errors(self, trace_path, capsys, tmp_path):
+        from repro.cli import main
+
+        assert main(["trace", trace_path]) == 0
+        assert "critical path" in capsys.readouterr().out
+        bogus = tmp_path / "not-a-trace.json"
+        bogus.write_text("{}")
+        assert main(["trace", str(bogus)]) == 2

@@ -1,0 +1,156 @@
+"""Experiment E10 -- cost of the chaos fabric when nothing is armed.
+
+Every injection site in the hot paths (filesystem reads, lens parses,
+rule evaluation, store operations) is gated on one attribute read
+(``_CHAOS.armed``); with the armed null plan the gate opens but every
+draw declines, pricing the site dispatch itself.  This experiment
+measures both regimes against a fully disarmed run and doubles as the
+regression gate: ``test_chaos_overhead_gate`` fails if the armed null
+plan costs more than 2% per scan cycle, or if it changes a single byte
+of the report.
+"""
+
+from __future__ import annotations
+
+import gc
+import statistics
+import time
+
+import pytest
+
+from repro.chaos.fabric import arm_plan, disarm
+from repro.chaos.plans import resolve_plan
+from repro.crawler import ContainerEntity, Crawler, DockerImageEntity
+from repro.engine import render_text
+from repro.rules import load_builtin_validator
+from repro.workloads import FleetSpec, build_fleet
+
+from conftest import emit
+
+#: Interleaved timing rounds per batch; best-of CPU time filters noise.
+ROUNDS = 30
+#: Extra measurement batches granted before an over-budget verdict sticks.
+BATCHES = 3
+#: Armed-null-plan cost ceiling per scan cycle (the acceptance gate:
+#: disarmed sites must price at noise, armed-but-never-firing at <= 2%).
+BUDGET = 0.02
+
+
+def _frames():
+    _daemon, images, containers = build_fleet(
+        FleetSpec(images=4, containers_per_image=3, misconfig_rate=0.5)
+    )
+    entities = [ContainerEntity(c) for c in containers]
+    entities += [DockerImageEntity(i) for i in images]
+    return Crawler().crawl_many(entities)
+
+
+@pytest.mark.benchmark(group="chaos")
+def test_validate_frames_disarmed(benchmark):
+    disarm()
+    frames = _frames()
+    validator = load_builtin_validator()
+    report = benchmark(validator.validate_frames, frames)
+    assert len(report) > 100
+
+
+@pytest.mark.benchmark(group="chaos")
+def test_validate_frames_null_plan(benchmark):
+    frames = _frames()
+    validator = load_builtin_validator()
+    arm_plan(resolve_plan("null"))
+    try:
+        report = benchmark(validator.validate_frames, frames)
+    finally:
+        disarm()
+    assert len(report) > 100
+
+
+def _timed(fn):
+    """One settled measurement of CPU time (same policy as the
+    telemetry gate: GC between measurements, never inside them)."""
+    gc.collect()
+    gc.disable()
+    try:
+        started = time.process_time()
+        result = fn()
+        return time.process_time() - started, result
+    finally:
+        gc.enable()
+
+
+def test_chaos_overhead_gate(benchmark):
+    """Armed null plan: < 2% slower per cycle, byte-identical report."""
+    benchmark.pedantic(lambda: None, rounds=1)  # reporter shim
+    frames = _frames()
+    validator = load_builtin_validator()
+    null_plan = resolve_plan("null")
+    disarm()
+    # Warm the validator (pack loading, parse cache) outside the timed
+    # region; one armed warm-up charges the plan-compile cost up front.
+    validator.validate_frames(frames)
+    arm_plan(null_plan)
+    validator.validate_frames(frames)
+    disarm()
+
+    def run_off():
+        disarm()
+        return validator.validate_frames(frames)
+
+    def run_on():
+        arm_plan(null_plan)
+        try:
+            return validator.validate_frames(frames)
+        finally:
+            disarm()
+
+    # Interleave with alternating A/B order, gate on the smaller of
+    # best-of and median-paired overhead (see bench_telemetry_overhead
+    # for why each estimator guards against the other's noise regime).
+    off_times: list[float] = []
+    on_times: list[float] = []
+    ratios: list[float] = []
+    report_off = report_on = None
+    overhead = float("inf")
+    for batch in range(BATCHES):
+        if batch:
+            time.sleep(2.0)
+        for round_index in range(ROUNDS):
+            pair = [("off", run_off), ("on", run_on)]
+            if round_index % 2:
+                pair.reverse()
+            elapsed = {}
+            for side, fn in pair:
+                elapsed[side], report = _timed(fn)
+                if side == "off":
+                    report_off = report
+                else:
+                    report_on = report
+            off_times.append(elapsed["off"])
+            on_times.append(elapsed["on"])
+            ratios.append(elapsed["on"] / elapsed["off"])
+        best_of = (min(on_times) - min(off_times)) / min(off_times)
+        paired = statistics.median(ratios) - 1.0
+        overhead = min(best_of, paired)
+        if overhead < BUDGET:
+            break
+    best_off, best_on = min(off_times), min(on_times)
+    emit(
+        "chaos_overhead",
+        "\n".join([
+            "Chaos-fabric overhead (fleet validation, "
+            f"{len(off_times)} interleaved rounds)",
+            f"{'disarmed':<16}{best_off * 1e3:>10.2f} ms"
+            f"  (median {statistics.median(off_times) * 1e3:.2f})",
+            f"{'null plan':<16}{best_on * 1e3:>10.2f} ms"
+            f"  (median {statistics.median(on_times) * 1e3:.2f})",
+            f"{'best-of':<16}{best_of:>10.1%}",
+            f"{'median paired':<16}{paired:>10.1%}",
+            f"{'overhead':<16}{overhead:>10.1%}",
+        ]),
+    )
+    assert render_text(report_on) == render_text(report_off)
+    assert overhead < BUDGET, (
+        f"armed-null-plan overhead {overhead:.1%} exceeds the "
+        f"{BUDGET:.0%} budget"
+    )

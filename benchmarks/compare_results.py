@@ -53,6 +53,9 @@ BENCH_FILES = (
     # Enforces the <= 5% cross-process trace-fabric overhead budget
     # (ISSUE 9) and on/off byte-identity via in-test assertions.
     "bench_trace.py",
+    # Enforces the <= 2% armed-null-plan chaos-fabric overhead budget
+    # (ISSUE 10) and armed/disarmed byte-identity via in-test assertions.
+    "bench_chaos.py",
 )
 
 #: Benchmarks faster than this are no-op reporter shims

@@ -1,0 +1,96 @@
+"""Degradation accounting surfaced on reports and fleet summaries.
+
+A cycle that absorbed faults, cancelled over-deadline frames, or
+quarantined a corrupt store still completes and still emits a report --
+but downstream consumers must never mistake that partial cycle for a
+clean one.  :class:`DegradationStats` is the per-cycle ledger: attached
+to ``ValidationReport.degradation`` / ``FleetSummary.degradation``,
+rendered under ``--stage-timings``, exported as the ``repro_chaos_*`` /
+``repro_degraded_*`` metric families, and the source of the
+``degraded: true`` marker in JSON/JUnit output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DegradationStats:
+    """What one cycle absorbed instead of failing."""
+
+    #: Faults the fabric injected, by site.
+    faults_injected: dict[str, int] = field(default_factory=dict)
+    #: Injected faults the production error paths absorbed, by site.
+    faults_absorbed: dict[str, int] = field(default_factory=dict)
+    #: Frames with at least one deadline-cancelled rule.
+    frames_quarantined: int = 0
+    #: Rule evaluations cancelled at a deadline boundary.
+    deadline_cancellations: int = 0
+    #: Corrupt stores moved aside and reopened cold.
+    stores_quarantined: int = 0
+    #: Name of the armed fault plan (None when only deadlines fired).
+    plan: str | None = None
+    #: (site, key) pairs that fired, for fault attribution.
+    fired: list[tuple[str, str]] = field(default_factory=list, repr=False)
+
+    @classmethod
+    def from_delta(cls, delta: dict, *, plan: str | None = None
+                   ) -> "DegradationStats":
+        return cls(
+            faults_injected=dict(delta.get("injected", {})),
+            faults_absorbed=dict(delta.get("absorbed", {})),
+            frames_quarantined=delta.get("frames_quarantined", 0),
+            deadline_cancellations=delta.get("deadline_cancellations", 0),
+            stores_quarantined=delta.get("stores_quarantined", 0),
+            plan=plan,
+            fired=[tuple(item) for item in delta.get("fired", ())],
+        )
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.faults_injected.values())
+
+    @property
+    def total_absorbed(self) -> int:
+        return sum(self.faults_absorbed.values())
+
+    @property
+    def degraded(self) -> bool:
+        """True when this cycle was anything but clean."""
+        return bool(
+            self.total_injected or self.total_absorbed
+            or self.frames_quarantined or self.deadline_cancellations
+            or self.stores_quarantined
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "plan": self.plan,
+            "faults_injected": dict(sorted(self.faults_injected.items())),
+            "faults_absorbed": dict(sorted(self.faults_absorbed.items())),
+            "frames_quarantined": self.frames_quarantined,
+            "deadline_cancellations": self.deadline_cancellations,
+            "stores_quarantined": self.stores_quarantined,
+        }
+
+    def render(self) -> str:
+        """Human-readable block for ``--stage-timings`` output."""
+        lines = ["degradation:"]
+        if self.plan:
+            lines.append(f"  fault plan        : {self.plan}")
+        lines.append(f"  faults injected   : {self.total_injected}"
+                     + _by_site(self.faults_injected))
+        lines.append(f"  faults absorbed   : {self.total_absorbed}"
+                     + _by_site(self.faults_absorbed))
+        lines.append(f"  frames quarantined: {self.frames_quarantined}")
+        lines.append(f"  deadline cancels  : {self.deadline_cancellations}")
+        lines.append(f"  stores quarantined: {self.stores_quarantined}")
+        return "\n".join(lines)
+
+
+def _by_site(counts: dict[str, int]) -> str:
+    if not counts:
+        return ""
+    parts = ", ".join(f"{site}={n}" for site, n in sorted(counts.items()))
+    return f"  ({parts})"

@@ -90,6 +90,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     _print_stage_timings(args, timings, validator)
     _print_plan_stats(args, report)
     _print_exec_stats(args, report)
+    _print_degradation(args, report)
     if args.json:
         print(render_json(report))
     elif args.junit:
@@ -172,7 +173,32 @@ def _executor_kwargs_from_args(args: argparse.Namespace) -> dict:
         kwargs["artifact_store"] = str(store_path_for(state_dir))
     elif raw:
         kwargs["artifact_store"] = raw
+    deadline = getattr(args, "deadline", None)
+    if deadline is not None:
+        kwargs["deadline_s"] = deadline
+    frame_deadline = getattr(args, "frame_deadline", None)
+    if frame_deadline is not None:
+        kwargs["frame_deadline_s"] = frame_deadline
+    _arm_chaos_from_args(args)
     return kwargs
+
+
+def _arm_chaos_from_args(args: argparse.Namespace) -> None:
+    """Arm the process-wide fault fabric when --chaos-plan was given.
+
+    Arming exports the plan to the environment too, so worker processes
+    spawned later inherit it (:func:`repro.chaos.fabric.arm_from_env`).
+    """
+    plan_ref = getattr(args, "chaos_plan", "")
+    if not plan_ref:
+        return
+    from repro.chaos.fabric import ChaosPlanError, arm_plan
+    from repro.chaos.plans import resolve_plan
+
+    try:
+        arm_plan(resolve_plan(plan_ref))
+    except ChaosPlanError as exc:
+        raise SystemExit(str(exc))
 
 
 def _make_timings(args: argparse.Namespace):
@@ -293,6 +319,15 @@ def _print_plan_stats(args, report) -> None:
         print(stats.render(), file=sys.stderr)
 
 
+def _print_degradation(args, report) -> None:
+    """Degradation accounting on stderr (with --stage-timings)."""
+    if not getattr(args, "stage_timings", False):
+        return
+    stats = getattr(report, "degradation", None)
+    if stats is not None:
+        print(stats.render(), file=sys.stderr)
+
+
 def _cmd_coverage(_args: argparse.Namespace) -> int:
     counts = inventory()
     print(f"{'Category':<16} {'Target':<20} Rules")
@@ -369,6 +404,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     _print_stage_timings(args, timings, validator)
     _print_plan_stats(args, report)
     _print_exec_stats(args, report)
+    _print_degradation(args, report)
     _emit_telemetry(args, telemetry, server)
     validator.close()
     return 0 if report.compliant else 1
@@ -616,6 +652,21 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         if args.port_file:
             with open(args.port_file, "w", encoding="utf-8") as handle:
                 handle.write(f"{server.port}\n")
+    import signal
+
+    def _on_sigterm(_signum, _frame) -> None:
+        # Same graceful path as Ctrl-C: finish (or skip) the interval
+        # wait, flush history, close the event log cleanly.  This is
+        # what a container runtime or init system sends on shutdown.
+        monitor.request_stop()
+        print("SIGTERM received; shutting down after current cycle",
+              file=sys.stderr)
+
+    previous_sigterm = signal.getsignal(signal.SIGTERM)
+    try:
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:
+        previous_sigterm = None  # non-main thread: leave handlers alone
     try:
         stats = monitor.run()
     except KeyboardInterrupt:
@@ -623,6 +674,8 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         stats = monitor.stats
         print("interrupted; shutting down", file=sys.stderr)
     finally:
+        if previous_sigterm is not None:
+            signal.signal(signal.SIGTERM, previous_sigterm)
         if server is not None:
             server.close()
         if event_log is not None:
@@ -647,6 +700,43 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     history.close()
     validator.close()
     return 1 if stats.scan_errors else 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.chaos.fabric import ChaosPlanError
+    from repro.chaos.plans import named_plan, plan_names
+    from repro.chaos.runner import run_chaos
+
+    if args.list:
+        for name in plan_names():
+            plan = named_plan(name)
+            sites = sorted({rule.site for rule in plan.rules})
+            print(f"{name:<18} seed={plan.seed:<6} "
+                  f"sites: {', '.join(sites)}")
+        return 0
+    if not args.plan:
+        print("a plan name/path or --list is required", file=sys.stderr)
+        return 2
+    try:
+        result = run_chaos(
+            args.plan,
+            workers=args.workers,
+            executor=args.executor,
+            deadline_s=args.deadline,
+            frame_deadline_s=args.frame_deadline,
+            size=args.size,
+            use_plans=not args.no_plan,
+        )
+    except ChaosPlanError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result.render())
+    return 0 if result.ok else 1
 
 
 def _format_cycle_time(stamp: float) -> str:
@@ -698,10 +788,14 @@ def _cmd_history(args: argparse.Namespace) -> int:
             )
             for row in rows:
                 if row["scan_error"]:
+                    where = row.get("scan_error_stage", "")
+                    if row.get("scan_error_frame", ""):
+                        where += f"/{row['scan_error_frame']}"
+                    where = f" [{where}]" if where else ""
                     print(
                         f"{row['cycle_id']:>6}  "
                         f"{_format_cycle_time(row['started_at']):<19} "
-                        f"SCAN ERROR: {row['scan_error']}"
+                        f"SCAN ERROR{where}: {row['scan_error']}"
                     )
                     continue
                 print(
@@ -977,6 +1071,28 @@ def _add_scaling_flags(subparser: argparse.ArgumentParser) -> None:
              "bare flag places it under --state-dir",
     )
     _add_plan_flag(subparser)
+    _add_chaos_flags(subparser)
+
+
+def _add_chaos_flags(subparser: argparse.ArgumentParser) -> None:
+    """Fault-injection and deadline knobs shared by scanning commands."""
+    group = subparser.add_argument_group("resilience")
+    group.add_argument(
+        "--chaos-plan", default="", metavar="PLAN",
+        help="arm a deterministic fault plan for this run: a shipped "
+             "plan name (see `repro chaos --list`) or a JSON plan file",
+    )
+    group.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="soft per-cycle deadline: past it, remaining work is "
+             "cancelled at the next stage boundary and the cycle "
+             "completes degraded-but-accounted",
+    )
+    group.add_argument(
+        "--frame-deadline", type=float, default=None, metavar="SECONDS",
+        help="soft per-frame deadline: an over-budget frame's remaining "
+             "rules are quarantined as ERROR verdicts",
+    )
 
 
 def _add_plan_flag(subparser: argparse.ArgumentParser) -> None:
@@ -1275,6 +1391,35 @@ def build_parser() -> argparse.ArgumentParser:
     flaps.add_argument("--json", action="store_true",
                        help="emit machine-readable JSON")
     flaps.set_defaults(func=_cmd_flaps)
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="run a scan cycle under a fault plan and assert the "
+             "degraded-but-accounted resilience invariants",
+    )
+    chaos.add_argument("plan", nargs="?", default="",
+                       help="shipped plan name or JSON plan file")
+    chaos.add_argument("--list", action="store_true",
+                       help="list the shipped fault plans and exit")
+    chaos.add_argument("--workers", type=int, default=2,
+                       help="worker threads/processes for both runs")
+    chaos.add_argument("--executor", choices=("thread", "process"),
+                       default="thread",
+                       help="fan-out backend (plans with exec.worker "
+                            "rules force 'process')")
+    chaos.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="cycle deadline for the armed run")
+    chaos.add_argument("--frame-deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-frame deadline for the armed run")
+    chaos.add_argument("--size", type=int, default=4, metavar="IMAGES",
+                       help="synthetic fleet size (images; 2 containers "
+                            "each)")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the harness verdict as JSON")
+    _add_plan_flag(chaos)
+    chaos.set_defaults(func=_cmd_chaos)
 
     framediff = subparsers.add_parser(
         "framediff", help="diff two captured frames (files/packages/runtime)"

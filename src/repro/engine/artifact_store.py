@@ -38,6 +38,9 @@ from dataclasses import dataclass, fields
 from pathlib import Path
 from typing import Any
 
+from repro.chaos.fabric import _CHAOS, absorbed as _chaos_absorbed
+from repro.chaos.quarantine import is_corruption, quarantine_database
+
 log = logging.getLogger("repro.artifact_store")
 
 #: Versions the *meaning* of stored artifacts.  Part of every key; bump
@@ -159,21 +162,26 @@ class ArtifactStore:
         self._bytes_loaded = 0
         self._bytes_stored = 0
         try:
-            Path(self.path).parent.mkdir(parents=True, exist_ok=True)
-            conn = sqlite3.connect(self.path, timeout=10.0,
-                                   check_same_thread=False)
-            conn.execute("PRAGMA journal_mode=WAL")
-            conn.execute("PRAGMA synchronous=NORMAL")
-            conn.execute("PRAGMA busy_timeout=10000")
-            conn.executescript(_SCHEMA)
-            row = conn.execute(
-                "SELECT COALESCE(MAX(last_used), 0) FROM artifacts"
-            ).fetchone()
-            self._clock = int(row[0])
-            conn.commit()
-            self._conn = conn
+            self._reopen()
         except (sqlite3.Error, OSError) as error:
-            self._mark_broken("open", error)
+            self._handle_error("open", error)
+
+    def _reopen(self) -> None:
+        """(Re)connect to the database file, creating it if missing."""
+        Path(self.path).parent.mkdir(parents=True, exist_ok=True)
+        conn = sqlite3.connect(self.path, timeout=10.0,
+                               check_same_thread=False)
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.execute("PRAGMA busy_timeout=10000")
+        conn.executescript(_SCHEMA)
+        row = conn.execute(
+            "SELECT COALESCE(MAX(last_used), 0) FROM artifacts"
+        ).fetchone()
+        self._clock = int(row[0])
+        conn.commit()
+        self._conn = conn
+        self._broken = False
 
     # ---- store/load ----------------------------------------------------
 
@@ -191,6 +199,10 @@ class ArtifactStore:
         digest, kind, parser = key
         try:
             with self._lock:
+                if _CHAOS.armed:
+                    # Injected corruption surfaces exactly where a real
+                    # "database disk image is malformed" would.
+                    _CHAOS.fire("store.sqlite", self.path)
                 row = conn.execute(
                     "SELECT blob FROM artifacts WHERE digest=? AND kind=?"
                     " AND parser=? AND version=?",
@@ -207,7 +219,7 @@ class ArtifactStore:
                 )
                 conn.commit()
         except sqlite3.Error as error:
-            self._mark_broken("load", error)
+            self._handle_error("load", error)
             return None
         try:
             value = pickle.loads(row[0])
@@ -224,7 +236,7 @@ class ArtifactStore:
                     )
                     conn.commit()
                 except sqlite3.Error as error:
-                    self._mark_broken("load", error)
+                    self._handle_error("load", error)
             return None
         with self._lock:
             self._hits += 1
@@ -248,6 +260,8 @@ class ArtifactStore:
             return  # would evict the whole store to fit one artifact
         try:
             with self._lock:
+                if _CHAOS.armed:
+                    _CHAOS.fire("store.sqlite", self.path)
                 self._clock += 1
                 conn.execute(
                     "INSERT OR REPLACE INTO artifacts (digest, kind, parser,"
@@ -262,7 +276,7 @@ class ArtifactStore:
                     self._evict_locked(conn)
                 conn.commit()
         except sqlite3.Error as error:
-            self._mark_broken("save", error)
+            self._handle_error("save", error)
 
     def _evict_locked(self, conn: sqlite3.Connection) -> None:
         total = conn.execute(
@@ -280,6 +294,33 @@ class ArtifactStore:
             self._evictions += 1
 
     # ---- lifecycle / stats ---------------------------------------------
+
+    def _handle_error(self, op: str, error: Exception) -> None:
+        """Route a database failure: corruption quarantines the file and
+        rebuilds cold; anything else disables the store for the process.
+
+        The store is an accelerator -- a quarantined database just means
+        the fleet re-parses until the new file warms up, while the moved
+        ``*.quarantined.*`` file stays on disk for the postmortem.
+        """
+        if is_corruption(error):
+            _chaos_absorbed(error)   # credit an injected corruption fault
+            conn, self._conn = self._conn, None
+            if conn is not None:
+                try:
+                    conn.close()
+                except Exception:
+                    pass
+            moved = quarantine_database(self.path, reason=f"{op}: {error}")
+            log.warning(
+                "artifact store %s corrupt during %s (%s); quarantined to "
+                "%s, rebuilding cold", self.path, op, error, moved)
+            try:
+                self._reopen()
+                return
+            except (sqlite3.Error, OSError) as reopen_error:
+                error = reopen_error
+        self._mark_broken(op, error)
 
     def _mark_broken(self, op: str, error: Exception) -> None:
         if not self._broken:
@@ -308,7 +349,7 @@ class ArtifactStore:
                         "SELECT COUNT(*), COALESCE(SUM(nbytes), 0)"
                         " FROM artifacts").fetchone()
             except sqlite3.Error as error:
-                self._mark_broken("stats", error)
+                self._handle_error("stats", error)
         with self._lock:
             return ArtifactStoreStats(
                 hits=self._hits,
@@ -395,7 +436,7 @@ class ArtifactStore:
                 conn.execute("DELETE FROM artifacts")
                 conn.commit()
         except sqlite3.Error as error:
-            self._mark_broken("clear", error)
+            self._handle_error("clear", error)
 
     def close(self) -> None:
         conn, self._conn = self._conn, None

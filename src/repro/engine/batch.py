@@ -11,6 +11,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.chaos.fabric import _CHAOS
 from repro.crawler.crawler import Crawler
 from repro.crawler.entities import Entity
 from repro.crawler.frame import ConfigFrame
@@ -23,6 +24,24 @@ from repro.telemetry import RuleProfiler, Telemetry, get_logger
 _SEVERITY_ORDER = ("informational", "low", "medium", "high", "critical")
 
 log = get_logger("batch")
+
+
+class ScanStageError(RuntimeError):
+    """A scan cycle died mid-pipeline; carries *where*.
+
+    ``stage`` names the pipeline stage that failed (``crawl``,
+    ``validate``) and ``frame`` the target being processed when known,
+    so the monitor can persist failure attribution instead of a bare
+    message -- a crawl failure and a store failure need different
+    responses.
+    """
+
+    def __init__(self, stage: str, error: BaseException, frame: str = ""):
+        self.stage = stage
+        self.frame = frame
+        self.error = error
+        where = f" ({frame})" if frame else ""
+        super().__init__(f"{stage}{where}: {error}")
 
 
 def severity_rank(severity: str) -> int:
@@ -110,6 +129,10 @@ class FleetSummary:
     #: cycle (:class:`repro.engine.artifact_store.ArtifactStoreStats`);
     #: None when the validator runs without a persistent store.
     artifact_stats: object | None = None
+    #: Degradation accounting for this cycle
+    #: (:class:`repro.chaos.stats.DegradationStats`); None on clean
+    #: cycles with no chaos plan armed.
+    degradation: object | None = None
 
     @property
     def throughput(self) -> float:
@@ -190,19 +213,34 @@ class BatchScanner:
         timings = StageTimings()
         busy_before = self._busy_seconds()
         started_at = time.time()
+        if _CHAOS.armed:
+            # Injected clock skew on the cycle's wall stamp: history rows
+            # and event timestamps drift like a broken-NTP host's would,
+            # while every duration stays perf_counter-true.
+            started_at += _CHAOS.skew("scan-cycle")
         started = time.perf_counter()
         with self.telemetry.spans.span("scan_cycle", category="cycle",
                                        entities=str(len(entities)),
                                        workers=str(workers)):
             with timings.timer("crawl"):
-                frames = self._crawler.crawl_many(
-                    entities, workers=workers,
-                    executor=self._validator._resolve_backend(None),
-                    init_source=self._validator,
+                try:
+                    frames = self._crawler.crawl_many(
+                        entities, workers=workers,
+                        executor=self._validator._resolve_backend(None),
+                        init_source=self._validator,
+                    )
+                except ScanStageError:
+                    raise
+                except Exception as error:
+                    raise ScanStageError("crawl", error) from error
+            try:
+                report = self._validator.validate_frames(
+                    frames, tags=tags, workers=workers, timings=timings
                 )
-            report = self._validator.validate_frames(
-                frames, tags=tags, workers=workers, timings=timings
-            )
+            except ScanStageError:
+                raise
+            except Exception as error:
+                raise ScanStageError("validate", error) from error
         return self._summarize(
             report, len(entities), time.perf_counter() - started, timings,
             workers=workers, busy_before=busy_before, started_at=started_at,
@@ -216,13 +254,20 @@ class BatchScanner:
         timings = StageTimings()
         busy_before = self._busy_seconds()
         started_at = time.time()
+        if _CHAOS.armed:
+            started_at += _CHAOS.skew("scan-cycle")
         started = time.perf_counter()
         with self.telemetry.spans.span("scan_cycle", category="cycle",
                                        entities=str(len(frames)),
                                        workers=str(workers)):
-            report = self._validator.validate_frames(
-                frames, tags=tags, workers=workers, timings=timings
-            )
+            try:
+                report = self._validator.validate_frames(
+                    frames, tags=tags, workers=workers, timings=timings
+                )
+            except ScanStageError:
+                raise
+            except Exception as error:
+                raise ScanStageError("validate", error) from error
         return self._summarize(
             report, len(frames), time.perf_counter() - started, timings,
             workers=workers, busy_before=busy_before, started_at=started_at,
@@ -280,6 +325,7 @@ class BatchScanner:
                 self._validator.artifact_store.stats()
                 if self._validator.artifact_store is not None else None
             ),
+            degradation=report.degradation,
         )
         log.info(
             "scan cycle: %d entities, %d checks in %.2fs",
@@ -390,6 +436,10 @@ def render_fleet_summary(summary: FleetSummary, *, top: int = 10) -> str:
     if summary.artifact_stats is not None:
         lines.append("")
         lines.append(summary.artifact_stats.render())
+    if summary.degradation is not None:
+        lines.append("")
+        for row in summary.degradation.render().splitlines():
+            lines.append(row)
     if summary.profile is not None and len(summary.profile):
         lines.append("")
         lines.append("rule/lens profile (process-cumulative):")

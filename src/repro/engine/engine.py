@@ -18,6 +18,9 @@ from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Callable
 
+from repro.chaos.deadline import RunDeadline
+from repro.chaos.fabric import _CHAOS, delta_is_empty
+from repro.chaos.stats import DegradationStats
 from repro.errors import EngineError, EntityNotFound, ReproError
 from repro.augtree.lenses import LensRegistry
 from repro.crawler.crawler import Crawler
@@ -42,6 +45,7 @@ from repro.cvl.model import (
 )
 from repro.engine.artifact_store import ArtifactStore
 from repro.engine.evaluators import (
+    _error_result,
     evaluate_path,
     evaluate_schema,
     evaluate_script,
@@ -182,7 +186,7 @@ class _RunPrep:
     __slots__ = (
         "tags", "use_plans", "provenance", "excerpts", "store", "recorder",
         "inc_stats", "fingerprints", "clean_frames", "digests", "plans",
-        "plan_stats", "normalizer", "timings",
+        "plan_stats", "normalizer", "timings", "deadline",
     )
 
     def __init__(self, **fields):
@@ -210,6 +214,8 @@ class ConfigValidator:
         executor: str = "thread",
         shard_size: int | None = None,
         artifact_store: ArtifactStore | str | Path | None = None,
+        deadline_s: float | None = None,
+        frame_deadline_s: float | None = None,
     ):
         self._resolver = resolver
         self._lenses = lenses
@@ -268,6 +274,12 @@ class ConfigValidator:
             if self.artifact_store is not None:
                 self.artifact_store.attach_to(self.telemetry.metrics)
         self.workers = max(1, workers)
+        #: Soft cycle / per-frame deadlines (``--deadline`` /
+        #: ``--frame-deadline``).  None = unbounded.  Over-deadline
+        #: frames are cancelled at the next rule boundary and reported
+        #: as quarantined ERROR verdicts; the cycle always completes.
+        self.deadline_s = deadline_s
+        self.frame_deadline_s = frame_deadline_s
 
     def close(self) -> None:
         """Release process pools and store connections (idempotent)."""
@@ -491,6 +503,17 @@ class ConfigValidator:
             )
         prep = self._prepare_run(frames, tags=tags, use_plans=use_plans,
                                  provenance=provenance, timings=timings)
+        if prep.deadline is not None:
+            # The watchdog thread trips the cycle-expiry event even if a
+            # single evaluation wedges between passive checks.  It is a
+            # daemon bounded by the budget, so the no-stop exception
+            # path cannot leak it past one cycle length.
+            prep.deadline.start()
+        # Degradation accounting: the delta over this run (including
+        # worker-process deltas folded in by the backend) becomes the
+        # report's DegradationStats.  One snapshot per cycle -- nothing
+        # on the per-rule path.
+        chaos_before = _CHAOS.account.snapshot()
         store = prep.store
         recorder = prep.recorder
         inc_stats = prep.inc_stats
@@ -767,6 +790,48 @@ class ConfigValidator:
             report.exec_stats = exec_stats
             if enabled:
                 exec_stats.publish(telemetry)
+        if prep.deadline is not None:
+            prep.deadline.stop()
+        chaos_delta = _CHAOS.account.delta_since(chaos_before)
+        if _CHAOS.armed or not delta_is_empty(chaos_delta):
+            degradation = DegradationStats.from_delta(
+                chaos_delta,
+                plan=_CHAOS.plan.name if _CHAOS.plan is not None else None,
+            )
+            report.degradation = degradation
+            if enabled and degradation.degraded:
+                metrics = telemetry.metrics
+                injected = metrics.counter(
+                    "repro_chaos_faults_injected_total",
+                    "Faults injected by the armed chaos plan, by site.",
+                    labels=("site",),
+                )
+                for site, count in degradation.faults_injected.items():
+                    injected.inc(count, site=site)
+                absorbed_counter = metrics.counter(
+                    "repro_chaos_faults_absorbed_total",
+                    "Injected faults absorbed by production error paths, "
+                    "by site.",
+                    labels=("site",),
+                )
+                for site, count in degradation.faults_absorbed.items():
+                    absorbed_counter.inc(count, site=site)
+                metrics.counter(
+                    "repro_degraded_cycles_total",
+                    "Validation cycles that completed degraded.",
+                ).inc()
+                metrics.counter(
+                    "repro_degraded_frames_total",
+                    "Frames quarantined by a deadline.",
+                ).inc(degradation.frames_quarantined)
+                metrics.counter(
+                    "repro_degraded_deadline_cancellations_total",
+                    "Rule evaluations cancelled at a deadline boundary.",
+                ).inc(degradation.deadline_cancellations)
+                metrics.counter(
+                    "repro_degraded_stores_quarantined_total",
+                    "Corrupt stores quarantined and reopened cold.",
+                ).inc(degradation.stores_quarantined)
         return report
 
     def validate_entity(
@@ -884,12 +949,20 @@ class ConfigValidator:
         normalizer = Normalizer(self._lenses, self._schemas,
                                 cache=self.parse_cache, timings=timings,
                                 telemetry=self.telemetry, recorder=recorder)
+        # Passive deadline checks ride in the prep so both backends see
+        # them (worker processes get frame_deadline_s via InitConfig);
+        # the parent's validate_frames starts the watchdog thread.
+        deadline = None
+        if self.deadline_s is not None or self.frame_deadline_s is not None:
+            deadline = RunDeadline(cycle_s=self.deadline_s,
+                                   frame_s=self.frame_deadline_s)
         return _RunPrep(
             tags=tags, use_plans=use_plans, provenance=provenance,
             excerpts=excerpts, store=store, recorder=recorder,
             inc_stats=inc_stats, fingerprints=fingerprints,
             clean_frames=clean_frames, digests=digests, plans=plans,
             plan_stats=plan_stats, normalizer=normalizer, timings=timings,
+            deadline=deadline,
         )
 
     def _evaluate_frame_rules(
@@ -917,6 +990,11 @@ class ConfigValidator:
         tags = prep.tags
         provenance = prep.provenance
         plans = prep.plans
+        deadline = prep.deadline
+        # Monotonic stamp for the frame's deadline budget (RunDeadline
+        # compares against time.monotonic, not perf_counter).
+        frame_clock = time.monotonic() if deadline is not None else 0.0
+        frame_cancelled = False
         placements: list[tuple[Manifest, list[RuleResult]]] = []
         #: Freshly evaluated results only -- replays carry no new
         #: timing or verdict information for telemetry.
@@ -949,21 +1027,25 @@ class ConfigValidator:
                     self._record_intrinsic_deps(
                         recorder, rule, frame
                     )
-                    result = self._evaluate(rule, frame,
-                                            manifest, normalizer)
+                    result = self._evaluate_protected(
+                        rule, frame, manifest, normalizer, frame_key)
                 finally:
                     recorder.end(previous)
             else:
-                result = self._evaluate(rule, frame, manifest,
-                                        normalizer)
+                result = self._evaluate_protected(
+                    rule, frame, manifest, normalizer, frame_key)
             duration = time.perf_counter() - started
             result.duration_s = duration
             result.started_s = started
             if provenance:
                 result._provenance = direct_ctx
             if store is not None:
-                store.put(frame_key, manifest.entity, rule.name,
-                          tape, fingerprints, result)
+                if not getattr(result, "volatile", False):
+                    # Volatile results (injected faults degraded to
+                    # ERROR verdicts) are never persisted: a chaos
+                    # artifact must not replay into a fault-free cycle.
+                    store.put(frame_key, manifest.entity, rule.name,
+                              tape, fingerprints, result)
                 recomputed.add((manifest.entity, rule.name))
             if timings is not None:
                 timings.add("evaluate", duration)
@@ -1030,7 +1112,13 @@ class ConfigValidator:
                             frame_results.append(cached)
                             replayed += 1
                             continue
-                    result = run_rule(manifest, rule)
+                    if deadline is not None and deadline.should_cancel(
+                            frame_clock):
+                        result = self._cancelled_result(
+                            manifest, rule, frame_key)
+                        frame_cancelled = True
+                    else:
+                        result = run_rule(manifest, rule)
                     frame_results.append(result)
                     fresh.append(result)
                 placements.append((manifest, frame_results))
@@ -1066,6 +1154,12 @@ class ConfigValidator:
                 rule.name for rule in pending if plan.is_fused(rule)
             }
             runtime_fallback: frozenset[str] = frozenset()
+            if fused_pending and deadline is not None and (
+                    deadline.should_cancel(frame_clock)):
+                # Over deadline before the fused pass: cancel the whole
+                # unit cheaply; the per-rule loop below emits a
+                # quarantined ERROR for each pending rule.
+                fused_pending = set()
             if fused_pending:
                 outputs, fell_back = plan.evaluate_fused(
                     frame, manifest, normalizer, fused_pending,
@@ -1080,9 +1174,10 @@ class ConfigValidator:
                     if provenance:
                         result._provenance = fused_ctx
                     if store is not None:
-                        store.put(frame_key, manifest.entity,
-                                  rule.name, tape, fingerprints,
-                                  result)
+                        if not getattr(result, "volatile", False):
+                            store.put(frame_key, manifest.entity,
+                                      rule.name, tape, fingerprints,
+                                      result)
                         recomputed.add(
                             (manifest.entity, rule.name)
                         )
@@ -1098,6 +1193,12 @@ class ConfigValidator:
             for rule in pending:
                 if rule.name in results_by_name:
                     continue  # served by a fused unit
+                if deadline is not None and deadline.should_cancel(
+                        frame_clock):
+                    results_by_name[rule.name] = self._cancelled_result(
+                        manifest, rule, frame_key)
+                    frame_cancelled = True
+                    continue
                 if (rule.name in runtime_fallback
                         or rule.name in plan.fallback_names):
                     frame_plan.rules_fallback += 1
@@ -1115,7 +1216,55 @@ class ConfigValidator:
                 if rule.name not in replayed_names
             )
             placements.append((manifest, frame_results))
+        if frame_cancelled:
+            _CHAOS.account.note_frame_quarantined()
+            log.warning("frame %s quarantined: deadline exceeded, "
+                        "remaining rules cancelled", frame_key)
         return placements, fresh, replayed, recomputed, frame_plan
+
+    def _evaluate_protected(
+        self,
+        rule: Rule,
+        frame: ConfigFrame,
+        manifest: Manifest,
+        normalizer: Normalizer,
+        frame_key: str,
+    ) -> RuleResult:
+        """One rule evaluation that cannot kill the cycle.
+
+        Any exception -- an injected fault from the ``rule.eval`` site,
+        a raw OSError escaping a real filesystem, a bug in one
+        evaluator -- degrades to an ERROR verdict with the traceback in
+        ``detail``.  Partial, accounted results always beat losing the
+        other thousand frames of the cycle.
+        """
+        try:
+            if _CHAOS.armed:
+                _CHAOS.fire(
+                    "rule.eval", f"{frame_key}|{manifest.entity}/{rule.name}")
+            return self._evaluate(rule, frame, manifest, normalizer)
+        except Exception as exc:
+            return _error_result(rule, manifest.entity, frame_key, exc)
+
+    @staticmethod
+    def _cancelled_result(manifest: Manifest, rule: Rule,
+                          target: str) -> RuleResult:
+        """A quarantined ERROR verdict for a deadline-cancelled rule.
+
+        Volatile by construction: never persisted to the verdict store,
+        so the next (on-budget) cycle re-evaluates for real.
+        """
+        _CHAOS.account.note_deadline_cancellation()
+        result = RuleResult(
+            rule=rule,
+            entity=manifest.entity,
+            target=target,
+            verdict=Verdict.ERROR,
+            outcome=Outcome.EVALUATION_ERROR,
+            message=f"{rule.name}: cancelled: deadline exceeded",
+        )
+        result.volatile = True
+        return result
 
     @staticmethod
     def _component_present(
@@ -1201,7 +1350,14 @@ class ConfigValidator:
                     f"{', '.join(missing)}"
                 ),
             )
-        outcome = evaluate_composite(rule.expression, context)
+        try:
+            outcome = evaluate_composite(rule.expression, context)
+        except Exception as exc:
+            # A composite expression reads across many frames; any one
+            # bad lookup (injected fault, torn filesystem, expression
+            # bug) degrades to an ERROR verdict instead of killing the
+            # cycle's other results.
+            return _error_result(rule, manifest.entity, target, exc)
         verdict = Verdict.COMPLIANT if outcome.passed else Verdict.NONCOMPLIANT
         message = (
             rule.matched_description

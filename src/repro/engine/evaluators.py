@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import traceback
 
+from repro.chaos.fabric import absorbed as _chaos_absorbed
 from repro.errors import (
     FileNotFoundInFrame,
     LensError,
@@ -100,7 +101,7 @@ def _error_result(rule: Rule, entity: str, target: str, error: Exception) -> Rul
             traceback.format_exception(type(error), error,
                                        error.__traceback__)
         ).rstrip()
-    return RuleResult(
+    result = RuleResult(
         rule=rule,
         entity=entity,
         target=target,
@@ -110,6 +111,12 @@ def _error_result(rule: Rule, entity: str, target: str, error: Exception) -> Rul
         evidence=[Evidence.from_exception(error)],
         detail=detail,
     )
+    if _chaos_absorbed(error):
+        # An injected fault turned into an ERROR verdict: the cycle
+        # absorbed it.  Mark the result volatile so the verdict store
+        # never replays a chaos artifact into a fault-free cycle.
+        result.volatile = True
+    return result
 
 
 # ---- config tree rules -------------------------------------------------------
@@ -135,10 +142,13 @@ def evaluate_tree(
     evidence: list[Evidence] = []
     dependency_ok = not rule.require_other_configs
     parse_errors: list[str] = []
+    volatile = False
     for path in files:
         try:
             tree = normalizer.tree_for(frame, path, lens_name)
         except (LensError, FileNotFoundInFrame) as exc:
+            if _chaos_absorbed(exc):
+                volatile = True
             parse_errors.append(str(exc))
             continue
         scopes = _scopes(tree, rule.config_path)
@@ -163,11 +173,14 @@ def evaluate_tree(
             if all(req in present for req in rule.require_other_configs):
                 dependency_ok = True
 
-    return finalize_tree_rule(
+    result = finalize_tree_rule(
         rule, entity, target,
         evidence=evidence, parse_errors=parse_errors, files=files,
         dependency_ok=dependency_ok,
     )
+    if volatile:
+        result.volatile = True
+    return result
 
 
 def finalize_tree_rule(

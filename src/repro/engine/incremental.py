@@ -901,7 +901,15 @@ class VerdictStore:
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 doc = json.load(handle)
-        except (OSError, ValueError):
+        except OSError:
+            return store
+        except ValueError as error:
+            # Corrupt JSON: quarantine the file (counted, kept on disk
+            # for the postmortem) exactly like a corrupt sqlite store,
+            # instead of silently overwriting it on the next save.
+            from repro.chaos.quarantine import quarantine_database
+
+            quarantine_database(path, reason=f"verdict store: {error}")
             return store
         if not isinstance(doc, dict) or doc.get("format") != FORMAT_VERSION:
             return store
@@ -939,6 +947,9 @@ class VerdictStore:
                         },
                     )
                 )
-        except (KeyError, TypeError, ValueError):
+        except (KeyError, TypeError, ValueError) as error:
+            from repro.chaos.quarantine import quarantine_database
+
+            quarantine_database(path, reason=f"verdict store: {error}")
             return cls()   # partially-valid state: start clean
         return store

@@ -24,7 +24,8 @@ import fnmatch
 import posixpath
 import time
 
-from repro.errors import LensError, SchemaError
+from repro.chaos.fabric import _CHAOS, ChaosSchemaError, absorbed as _chaos_absorbed
+from repro.errors import FileNotFoundInFrame, LensError, SchemaError
 from repro.augtree.lenses import LensRegistry, default_registry
 from repro.augtree.tree import ConfigTree
 from repro.crawler.frame import ConfigFrame
@@ -230,6 +231,10 @@ class Normalizer:
             lens = self.lenses.get(lens_name)
         else:
             lens = self.lenses.for_file(path) or self.lenses.get("keyvalue")
+        if _CHAOS.armed:
+            # Fire before the memo/cache lookups so the decision depends
+            # only on the plan and the key, never on cache warmth.
+            _CHAOS.fire("lens.parse", path)
         memo_key = (frame.cache_token, path, lens.name)
         cached = self._tree_memo.get(memo_key)
         if cached is not None:
@@ -259,6 +264,8 @@ class Normalizer:
                     f"no schema parser matches {path!r}; set schema_parser "
                     f"in the rule or manifest"
                 )
+        if _CHAOS.armed:
+            _CHAOS.fire("lens.parse", path, error=ChaosSchemaError)
         memo_key = (frame.cache_token, path, parser.name)
         cached = self._table_memo.get(memo_key)
         if cached is not None:
@@ -278,8 +285,12 @@ class Normalizer:
         self, frame: ConfigFrame, path: str, lens_name: str | None = None
     ) -> ConfigTree | None:
         """``tree_for`` that returns None on parse failure (used by
-        composite lookups that probe many files)."""
+        composite lookups that probe many files).
+
+        An unreadable file is treated like an unparseable one: the probe
+        moves on to the next candidate instead of killing the cycle."""
         try:
             return self.tree_for(frame, path, lens_name)
-        except LensError:
+        except (LensError, FileNotFoundInFrame) as error:
+            _chaos_absorbed(error)
             return None

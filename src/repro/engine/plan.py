@@ -38,6 +38,7 @@ import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from repro.chaos.fabric import absorbed as _chaos_absorbed
 from repro.errors import (
     CVLKeywordError,
     FileNotFoundInFrame,
@@ -345,6 +346,7 @@ class RulePlan:
                 for member in active
             }
             parse_errors: list[str] = []
+            volatile = False
             active_set = {member.index for member in active}
             parsed_files = 0
             for path in files:
@@ -353,6 +355,8 @@ class RulePlan:
                 try:
                     tree = normalizer.tree_for(frame, path, unit.lens)
                 except (LensError, FileNotFoundInFrame) as exc:
+                    if _chaos_absorbed(exc):
+                        volatile = True
                     parse_errors.append(str(exc))
                     continue
                 parsed_files += 1
@@ -392,6 +396,8 @@ class RulePlan:
                     files=files,
                     dependency_ok=dependency_ok[member.index],
                 )
+                if volatile:
+                    result.volatile = True
                 outputs.append((member.rule, result, tape, share, started))
             if stats is not None:
                 stats.units_evaluated += 1

@@ -92,15 +92,18 @@ def result_to_dict(result: RuleResult) -> dict:
 
 def render_json(report: ValidationReport, *, indent: int | None = 2) -> str:
     """Machine-readable report (one document per run)."""
-    return json.dumps(
-        {
-            "target": report.target,
-            "summary": report.counts(),
-            "results": [result_to_dict(result) for result in report],
-        },
-        indent=indent,
-        sort_keys=False,
-    )
+    doc = {
+        "target": report.target,
+        "summary": report.counts(),
+        "results": [result_to_dict(result) for result in report],
+    }
+    degradation = getattr(report, "degradation", None)
+    if degradation is not None and degradation.degraded:
+        # Only present on cycles that actually degraded, keeping clean
+        # runs byte-identical to pre-chaos output.
+        doc["degraded"] = True
+        doc["degradation"] = degradation.to_dict()
+    return json.dumps(doc, indent=indent, sort_keys=False)
 
 
 def render_junit(report: ValidationReport, *, suite_name: str = "configvalidator") -> str:
@@ -112,12 +115,23 @@ def render_junit(report: ValidationReport, *, suite_name: str = "configvalidator
     from xml.sax.saxutils import escape, quoteattr
 
     counts = report.counts()
+    degradation = getattr(report, "degradation", None)
+    degraded = degradation is not None and degradation.degraded
     lines = [
         '<?xml version="1.0" encoding="UTF-8"?>',
         f"<testsuite name={quoteattr(suite_name)} "
         f'tests="{counts["total"]}" failures="{counts["noncompliant"]}" '
         f'errors="{counts["error"]}" skipped="{counts["not_applicable"]}">',
     ]
+    if degraded:
+        # Marker for CI consumers: verdicts in this suite were produced
+        # by a degraded cycle (injected faults, quarantined frames, or
+        # deadline cancellations).  Absent on clean runs.
+        lines.append(
+            "  <properties>"
+            '<property name="degraded" value="true"/>'
+            "</properties>"
+        )
     for result in report:
         case_name = quoteattr(result.rule.name)
         class_name = quoteattr(f"{result.target}.{result.entity}")

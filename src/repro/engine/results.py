@@ -159,6 +159,11 @@ class ValidationReport:
     #: None on thread-backend runs.  Never rendered into reports, so
     #: output stays byte-identical across backends.
     exec_stats: object = field(default=None, repr=False, compare=False)
+    #: Degradation accounting (:class:`repro.chaos.stats.DegradationStats`);
+    #: None on clean runs with no chaos plan armed.  Rendered into
+    #: JSON/JUnit output *only* when the cycle actually degraded, so
+    #: clean reports stay byte-identical to pre-chaos output.
+    degradation: object = field(default=None, repr=False, compare=False)
 
     def add(self, result: RuleResult) -> None:
         self.results.append(result)

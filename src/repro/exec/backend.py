@@ -24,6 +24,7 @@ import multiprocessing
 import multiprocessing.pool
 import time
 
+from repro.chaos.fabric import _CHAOS, absorbed as _chaos_absorbed
 from repro.telemetry import get_logger
 from repro.telemetry.capture import merge_shard_capture
 from repro.exec.envelope import InitConfig, ShardEnvelope, encode, decode
@@ -68,6 +69,9 @@ def build_init_config(validator) -> InitConfig:
         # Part of the pool key: a telemetry toggle respawns workers with
         # (or without) their live capture bundles.
         telemetry=validator.telemetry.enabled,
+        # Also part of the pool key: changing the frame deadline must
+        # reach resident worker validators, which a live pool would not.
+        frame_deadline_s=getattr(validator, "frame_deadline_s", None),
     )
 
 
@@ -217,7 +221,21 @@ class ProcessBackend(ExecutorBackend):
         stats.shards = len(shards)
 
         faults, self.fault_shards = dict(self.fault_shards), {}
+        #: Shards faulted by an armed chaos plan (as opposed to the test
+        #: hook): their injection / absorption is accounted parent-side,
+        #: where the fire decision is made -- a killed worker cannot
+        #: report its own death.
+        chaos_faulted: set[int] = set()
+        if _CHAOS.armed:
+            for s_idx in range(len(shards)):
+                if s_idx in faults:
+                    continue
+                rule = _CHAOS.decide("exec.worker", f"shard-{s_idx}")
+                if rule is not None:
+                    faults[s_idx] = rule.mode if rule.mode == "exit" else "error"
+                    chaos_faulted.add(s_idx)
         payloads: dict[int, bytes | None] = {}
+        clean_payloads: dict[int, bytes] = {}
         for s_idx, shard in enumerate(shards):
             try:
                 store_doc = None
@@ -236,7 +254,19 @@ class ProcessBackend(ExecutorBackend):
                     fault=faults.get(s_idx),
                 )
                 payloads[s_idx] = encode(envelope)
+                if s_idx in chaos_faulted:
+                    # An injected fault is one-shot: a respawned retry
+                    # runs the clean envelope (a really-crashed worker
+                    # does not deterministically crash again), so the
+                    # respawn path heals the shard instead of burning
+                    # every attempt on the same scripted death.
+                    envelope.fault = None
+                    clean_payloads[s_idx] = encode(envelope)
             except Exception as error:
+                # Chaos faults can fire while the frames serialize (the
+                # fs.read site under frame_to_dict); falling back to the
+                # in-parent path absorbs them like any encode failure.
+                _chaos_absorbed(error)
                 stats.pickle_fallbacks += 1
                 log.warning(
                     "process executor: shard %d not picklable (%s); "
@@ -247,6 +277,20 @@ class ProcessBackend(ExecutorBackend):
         results: dict[int, object] = {
             s: None for s, payload in payloads.items() if payload is None
         }
+        deadline = getattr(prep, "deadline", None)
+
+        def shard_timeout() -> float:
+            # A cycle deadline caps how long the parent will wait on any
+            # one shard: past the budget, collection degrades to the
+            # timeout path (respawn / in-parent fallback) instead of
+            # blocking the watchdog-reported cycle on a wedged worker.
+            if deadline is None:
+                return self.timeout_s
+            remaining = deadline.remaining_s()
+            if remaining is None:
+                return self.timeout_s
+            return min(self.timeout_s, max(0.1, remaining))
+
         pending = [s for s, payload in payloads.items() if payload is not None]
         attempts = {s: 0 for s in pending}
         workers_n = max(1, min(workers, len(shards)))
@@ -263,6 +307,10 @@ class ProcessBackend(ExecutorBackend):
                 # A retry round means the previous pool was terminated
                 # after a timeout; _ensure_pool below re-creates it.
                 stats.respawns += 1
+                for s in pending:
+                    clean = clean_payloads.pop(s, None)
+                    if clean is not None:
+                        payloads[s] = clean
             first_round = False
             try:
                 pool = self._ensure_pool(init_blob, workers_n)
@@ -281,8 +329,9 @@ class ProcessBackend(ExecutorBackend):
                 stats.bytes_out += len(payloads[s])
             retry: list[int] = []
             for position, s in enumerate(pending):
+                wait_s = shard_timeout()
                 try:
-                    blob = handles[s].get(timeout=self.timeout_s)
+                    blob = handles[s].get(timeout=wait_s)
                 except multiprocessing.TimeoutError:
                     # Dead or hung worker: the pool is suspect.  Tear it
                     # down, charge the attempt to this shard, and
@@ -291,10 +340,12 @@ class ProcessBackend(ExecutorBackend):
                     attempts[s] += 1
                     log.warning(
                         "process executor: shard %d timed out after %.0fs "
-                        "(attempt %d)", s, self.timeout_s, attempts[s],
+                        "(attempt %d)", s, wait_s, attempts[s],
                     )
                     self._shutdown_pool(terminate=True)
-                    if attempts[s] <= self.max_respawns:
+                    if (attempts[s] <= self.max_respawns
+                            and (deadline is None
+                                 or not deadline.cycle_expired)):
                         retry.append(s)
                     else:
                         results[s] = None
@@ -342,8 +393,21 @@ class ProcessBackend(ExecutorBackend):
                 for i, frame in shard:
                     per_frame[i] = validate_one(frame)
                     stats.frames_fallback += 1
+                if s_idx in chaos_faulted:
+                    # The injected worker death / error degraded to an
+                    # in-parent evaluation of the same frames: absorbed.
+                    _CHAOS.account.note_absorbed("exec.worker")
                 continue
             stats.frames_shipped += len(shard)
+            if getattr(shard_result, "chaos", None):
+                # Faults absorbed inside the worker (fs/lens/rule sites,
+                # frame-deadline cancellations) fold into the parent
+                # account so the cycle's DegradationStats covers them.
+                _CHAOS.account.merge_delta(shard_result.chaos)
+            if s_idx in chaos_faulted:
+                # Defensive: a chaos-faulted shard that somehow returned
+                # a full result still absorbed its fault.
+                _CHAOS.account.note_absorbed("exec.worker")
             stats.shard_seconds.append(shard_result.duration_s)
             if prep.store is not None and shard_result.store_doc is not None:
                 prep.store.absorb_slice(shard_result.store_doc)

@@ -56,6 +56,9 @@ class InitConfig:
     #: profiler) so shard evaluations can ship captures back.  Part of
     #: the pool key: toggling telemetry respawns the pool.
     telemetry: bool = False
+    #: Per-frame soft deadline (``--frame-deadline``); workers enforce
+    #: it passively at rule boundaries, exactly like the thread path.
+    frame_deadline_s: float | None = None
 
 
 @dataclass
@@ -135,3 +138,8 @@ class ShardResult:
     #: (:class:`~repro.telemetry.capture.TelemetryCapture`), or None
     #: when the envelope did not request capture.
     telemetry: Any = None
+    #: Worker chaos-account delta for this shard
+    #: (:meth:`~repro.chaos.fabric.ChaosAccount.delta_since`), or None
+    #: when nothing degraded.  The parent folds it into its own account
+    #: so ``DegradationStats`` covers faults absorbed inside workers.
+    chaos: dict | None = None

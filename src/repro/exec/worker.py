@@ -17,6 +17,7 @@ from __future__ import annotations
 import os
 import time
 
+from repro.chaos.fabric import _CHAOS, arm_from_env, delta_is_empty
 from repro.crawler.serialize import frame_from_dict
 from repro.engine.artifact_store import ArtifactStore
 from repro.engine.engine import ConfigValidator
@@ -40,6 +41,9 @@ _STATE: dict = {}
 
 def init_worker(init_blob: bytes) -> None:
     """Pool initializer: build this process's resident validator."""
+    # The parent exports its armed fault plan through REPRO_CHAOS_PLAN,
+    # so chaos reaches forked and spawned workers alike.
+    arm_from_env()
     config: InitConfig = decode(init_blob)
     store = None
     if config.artifact_path:
@@ -59,6 +63,7 @@ def init_worker(init_blob: bytes) -> None:
         schemas=config.schemas,
         parse_cache=ParseCache(cache_size, store=store),
         telemetry=telemetry,
+        frame_deadline_s=getattr(config, "frame_deadline_s", None),
     )
     for manifest, ruleset in config.packs:
         validator.add_ruleset(manifest, ruleset)
@@ -81,6 +86,14 @@ def evaluate_shard(payload: bytes) -> bytes:
     started = time.perf_counter()
     started_wall = time.time()
     envelope: ShardEnvelope = decode(payload)
+    # Snapshot unconditionally: deadline cancellations count into the
+    # account even with no plan armed, and must reach the parent.
+    chaos_before = _CHAOS.account.snapshot()
+    if _CHAOS.armed:
+        # Injected clock skew: the shard's wall stamp drifts the way a
+        # host with a broken NTP daemon would.  Duration math is all
+        # perf_counter-based, so this must be (and is) fully absorbed.
+        started_wall += _CHAOS.skew(f"shard-{envelope.shard_index}")
     if envelope.fault == "exit":
         # Fault-injection hook for the graceful-degradation tests: die
         # the way an OOM-killed worker would, with no Python unwinding.
@@ -172,6 +185,10 @@ def evaluate_shard(payload: bytes) -> bytes:
     if artifact_before is not None:
         artifact_delta = artifact.stats().delta_since(artifact_before)
     capture = capture_telemetry(telemetry) if capture_on else None
+    chaos_delta = None
+    delta = _CHAOS.account.delta_since(chaos_before)
+    if not delta_is_empty(delta):
+        chaos_delta = delta
     result = ShardResult(
         shard_index=envelope.shard_index,
         reports=reports,
@@ -182,6 +199,7 @@ def evaluate_shard(payload: bytes) -> bytes:
         duration_s=time.perf_counter() - started,
         started_wall=started_wall,
         telemetry=capture,
+        chaos=chaos_delta,
     )
     return encode(result)
 

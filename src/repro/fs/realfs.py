@@ -12,6 +12,7 @@ from __future__ import annotations
 import os
 import stat as statmod
 
+from repro.chaos.fabric import _CHAOS
 from repro.errors import FileNotFoundInFrame, IsADirectoryInFrame
 from repro.fs.meta import FileKind, FileStat
 from repro.fs.view import FilesystemView, normalize_path
@@ -40,6 +41,8 @@ class RealFilesystem(FilesystemView):
         return os.path.isdir(self._host_path(path))
 
     def read_text(self, path: str) -> str:
+        if _CHAOS.armed:
+            _CHAOS.fire("fs.read", path)
         host = self._host_path(path)
         if os.path.isdir(host):
             raise IsADirectoryInFrame(path)

@@ -12,6 +12,7 @@ from __future__ import annotations
 import posixpath
 from dataclasses import dataclass, field, replace
 
+from repro.chaos.fabric import _CHAOS
 from repro.errors import (
     FileNotFoundInFrame,
     FilesystemError,
@@ -204,6 +205,8 @@ class VirtualFilesystem(FilesystemView):
         return node.stat.kind is FileKind.DIRECTORY
 
     def read_text(self, path: str) -> str:
+        if _CHAOS.armed:
+            _CHAOS.fire("fs.read", path)
         node = self._nodes[self._resolve(self._norm(path))]
         if node.stat.kind is FileKind.DIRECTORY:
             raise IsADirectoryInFrame(path)

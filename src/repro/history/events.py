@@ -18,7 +18,9 @@ import urllib.error
 import urllib.request
 from dataclasses import dataclass, field
 
+from repro.chaos.fabric import _CHAOS, absorbed as _chaos_absorbed
 from repro.telemetry import get_logger
+from repro.util import RetryError, retry_with_backoff
 
 log = get_logger("history.events")
 
@@ -145,21 +147,34 @@ class WebhookSink:
     The contract (docs/monitoring.md): one POST per cycle with a JSON
     body ``{"events": [...]}``; 2xx acknowledges the batch.  Delivery is
     best-effort -- ``timeout`` per attempt, ``retries`` extra attempts
-    with linear backoff, then the batch is dropped and counted in
-    :attr:`failed_batches`.  Nothing here raises into the scan loop.
+    through the shared :func:`repro.util.retry_with_backoff` loop
+    (exponential backoff with full jitter), then the batch is dropped
+    and counted in :attr:`failed_batches`.  Nothing here raises into
+    the scan loop.
     """
 
     def __init__(self, url: str, *, timeout: float = 3.0, retries: int = 2,
-                 backoff_s: float = 0.2):
+                 backoff_s: float = 0.2, sleep=time.sleep):
         self.url = url
         self.timeout = timeout
         self.retries = max(0, retries)
         self.backoff_s = backoff_s
         self.delivered = 0
         self.failed_batches = 0
+        self._sleep = sleep
 
     def emit(self, event: HealthEvent) -> None:
         self.emit_many([event])
+
+    def _post(self, request) -> None:
+        if _CHAOS.armed:
+            # Injected delivery failure: same exception family a dead
+            # endpoint produces, absorbed by the same retry/drop path.
+            _CHAOS.fire("webhook.send", self.url)
+        with urllib.request.urlopen(
+            request, timeout=self.timeout
+        ) as response:
+            response.read()
 
     def emit_many(self, events: list[HealthEvent]) -> None:
         if not events:
@@ -172,21 +187,26 @@ class WebhookSink:
             self.url, data=body, method="POST",
             headers={"Content-Type": "application/json"},
         )
-        for attempt in range(self.retries + 1):
-            try:
-                with urllib.request.urlopen(
-                    request, timeout=self.timeout
-                ) as response:
-                    response.read()
-                self.delivered += len(events)
-                return
-            except (urllib.error.URLError, OSError) as exc:
-                if attempt < self.retries:
-                    time.sleep(self.backoff_s * (attempt + 1))
-                    continue
-                self.failed_batches += 1
-                log.warning(
-                    "webhook delivery to %s failed after %d attempt(s),"
-                    " dropping %d event(s): %s",
-                    self.url, attempt + 1, len(events), exc,
-                )
+        try:
+            retry_with_backoff(
+                lambda: self._post(request),
+                attempts=self.retries + 1,
+                base_delay_s=self.backoff_s,
+                retry_on=(urllib.error.URLError, OSError),
+                label=f"webhook {self.url}",
+                sleep=self._sleep,
+                # A retried-away chaos fault was absorbed by the loop.
+                on_retry=lambda _n, exc, _delay: _chaos_absorbed(exc),
+            )
+        except RetryError as exc:
+            # Dropping the batch (logged + counted) absorbs the fault
+            # too: the scan loop keeps going either way.
+            _chaos_absorbed(exc.last)
+            self.failed_batches += 1
+            log.warning(
+                "webhook delivery to %s failed after %d attempt(s),"
+                " dropping %d event(s): %s",
+                self.url, exc.attempts, len(events), exc.last,
+            )
+            return
+        self.delivered += len(events)

@@ -189,11 +189,18 @@ class FleetMonitor:
                 )
         except Exception as exc:
             elapsed = time.perf_counter() - started
+            # BatchScanner wraps failures in ScanStageError, which
+            # carries *where* the pipeline died; persist the attribution
+            # so `repro history` can tell a crawl failure from a store
+            # failure without parsing messages.
+            stage = getattr(exc, "stage", "") or ""
+            frame = getattr(exc, "frame", "") or ""
             message = f"{type(exc).__name__}: {exc}"
             log.error("scan cycle %d failed: %s\n%s", cycle_no, message,
                       traceback.format_exc())
             cycle_id = self.store.record_scan_error(
-                message, started_at=started_at, elapsed_s=elapsed
+                message, stage=stage, frame=frame,
+                started_at=started_at, elapsed_s=elapsed,
             )
             events = self.analyzer.observe_error(cycle_id, message)
             self._dispatch(events)
@@ -289,6 +296,15 @@ class FleetMonitor:
                 "repro_fleet_compliance_ratio",
                 "Fleet-wide compliance of the most recent cycle.",
             ).set(summary.compliance_rate())
+            degradation = getattr(summary, "degradation", None)
+            metrics.gauge(
+                "repro_degraded_last_cycle",
+                "1 when the most recent cycle degraded (faults absorbed,"
+                " frames quarantined, or deadline cancellations).",
+            ).set(
+                1.0 if degradation is not None
+                and getattr(degradation, "degraded", False) else 0.0
+            )
 
     # ---- the persistent HTTP endpoint --------------------------------------
 

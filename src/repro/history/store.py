@@ -47,6 +47,8 @@ import threading
 import time
 from dataclasses import dataclass
 
+from repro.chaos.fabric import _CHAOS, absorbed as _chaos_absorbed
+from repro.chaos.quarantine import is_corruption, quarantine_database
 from repro.engine.batch import FleetSummary
 from repro.engine.results import ValidationReport, Verdict
 from repro.engine.stages import STAGES
@@ -107,7 +109,12 @@ CREATE TABLE IF NOT EXISTS cycles (
     -- Executor/artifact-store rollup for the cycle as a JSON document
     -- ({"exec": ExecStats.to_dict(), "artifact_store": ...}); empty for
     -- thread-backend cycles and rows written before the column existed.
-    exec_json      TEXT    NOT NULL DEFAULT ''
+    exec_json      TEXT    NOT NULL DEFAULT '',
+    -- Where a failed cycle died: the pipeline stage ("crawl", "validate",
+    -- "store", ...) and, when known, the frame being processed.  Empty
+    -- for healthy cycles and rows written before the columns existed.
+    scan_error_stage TEXT  NOT NULL DEFAULT '',
+    scan_error_frame TEXT  NOT NULL DEFAULT ''
 );
 
 -- The verdict-key dimension: one row per (target, entity, rule) ever
@@ -159,7 +166,7 @@ _CYCLE_COLUMNS = (
     "crawl_s", "discover_s", "parse_s", "evaluate_s", "composite_s",
     "parse_hits", "parse_misses", "parse_hit_rate",
     "rules_skipped", "rules_evaluated", "frames_clean", "frames_dirty",
-    "scan_error", "exec_json",
+    "scan_error", "exec_json", "scan_error_stage", "scan_error_frame",
 )
 
 _VERDICT_SELECT = (
@@ -197,6 +204,11 @@ class CycleRow:
     frames_dirty: int
     scan_error: str
     exec_json: str = ""
+    #: Stage / frame attribution of a failed cycle (empty otherwise):
+    #: lets ``repro history`` distinguish a crawl failure from a store
+    #: failure without parsing the error message.
+    scan_error_stage: str = ""
+    scan_error_frame: str = ""
 
     @property
     def failed_cycle(self) -> bool:
@@ -332,29 +344,21 @@ class HistoryStore:
         if path != ":memory:":
             parent = os.path.dirname(os.path.abspath(path))
             os.makedirs(parent, exist_ok=True)
-        self._conn = sqlite3.connect(
-            path, check_same_thread=False, timeout=30.0
-        )
-        self._conn.row_factory = sqlite3.Row
-        # auto_vacuum must be configured before the first table exists
-        # for incremental_vacuum to reclaim pruned pages.
-        self._conn.execute("PRAGMA auto_vacuum=INCREMENTAL")
-        self._conn.execute("PRAGMA journal_mode=WAL")
-        self._conn.execute("PRAGMA synchronous=NORMAL")
-        self._conn.executescript(_SCHEMA)
-        # Databases created before the executor rollup shipped lack the
-        # column (CREATE IF NOT EXISTS leaves them as-is); widen in
-        # place so old monitor databases keep working.
-        present = {
-            row["name"]
-            for row in self._conn.execute("PRAGMA table_info(cycles)")
-        }
-        if "exec_json" not in present:
-            self._conn.execute(
-                "ALTER TABLE cycles ADD COLUMN exec_json TEXT NOT NULL"
-                " DEFAULT ''"
-            )
-        self._conn.commit()
+        try:
+            if _CHAOS.armed:
+                _CHAOS.fire("store.sqlite", self.path)
+            self._conn = self._open()
+        except sqlite3.Error as error:
+            if not is_corruption(error) or path == ":memory:":
+                raise
+            # A corrupt history file must not kill the monitor: move it
+            # aside (kept for the postmortem) and start a fresh window.
+            _chaos_absorbed(error)
+            moved = quarantine_database(self.path, reason=f"open: {error}")
+            log.warning(
+                "history store %s corrupt at open (%s); quarantined to "
+                "%s, starting a fresh database", self.path, error, moved)
+            self._conn = self._open()
         self._stats = HistoryStoreStats()
         #: In-memory twin of the ``series`` table; in steady state every
         #: verdict key hits this cache and the dimension is never read.
@@ -364,6 +368,34 @@ class HistoryStore:
                 "SELECT series_id, target, entity, rule FROM series"
             )
         }
+
+    def _open(self) -> sqlite3.Connection:
+        """Connect, apply pragmas, and bring the schema up to date."""
+        conn = sqlite3.connect(
+            self.path, check_same_thread=False, timeout=30.0
+        )
+        conn.row_factory = sqlite3.Row
+        # auto_vacuum must be configured before the first table exists
+        # for incremental_vacuum to reclaim pruned pages.
+        conn.execute("PRAGMA auto_vacuum=INCREMENTAL")
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.executescript(_SCHEMA)
+        # Databases created before newer columns shipped lack them
+        # (CREATE IF NOT EXISTS leaves them as-is); widen in place so
+        # old monitor databases keep working.
+        present = {
+            row["name"]
+            for row in conn.execute("PRAGMA table_info(cycles)")
+        }
+        for column in ("exec_json", "scan_error_stage", "scan_error_frame"):
+            if column not in present:
+                conn.execute(
+                    f"ALTER TABLE cycles ADD COLUMN {column} TEXT NOT NULL"
+                    " DEFAULT ''"
+                )
+        conn.commit()
+        return conn
 
     # ---- write path --------------------------------------------------------
 
@@ -528,16 +560,25 @@ class HistoryStore:
             )
 
     def record_scan_error(self, message: str, *,
+                          stage: str = "", frame: str = "",
                           started_at: float | None = None,
                           elapsed_s: float = 0.0) -> int:
-        """Persist a cycle that died before producing a report."""
+        """Persist a cycle that died before producing a report.
+
+        ``stage`` names where the pipeline failed (``crawl``,
+        ``validate``, ``store``...) and ``frame`` the target being
+        processed when known, so operators can tell a crawl failure
+        from a store failure straight from ``repro history``.
+        """
         started = time.perf_counter()
         with self._lock:
             cursor = self._conn.execute(
-                "INSERT INTO cycles (started_at, elapsed_s, scan_error)"
-                " VALUES (?,?,?)",
+                "INSERT INTO cycles (started_at, elapsed_s, scan_error,"
+                " scan_error_stage, scan_error_frame)"
+                " VALUES (?,?,?,?,?)",
                 (started_at if started_at is not None else time.time(),
-                 elapsed_s, message or "scan failed"),
+                 elapsed_s, message or "scan failed", stage or "",
+                 frame or ""),
             )
             self._conn.commit()
             cycle_id = cursor.lastrowid

@@ -1,0 +1,88 @@
+"""Small shared utilities.
+
+Currently home to :func:`retry_with_backoff`, the one retry loop every
+subsystem should share instead of hand-rolling its own (the webhook
+sink's linear backoff was the first port).  Keeping it here rather
+than in a subsystem package avoids import cycles: everything may
+depend on ``repro.util``, and it depends only on the standard library
+plus the chaos fabric's marker check.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+
+class RetryError(Exception):
+    """All attempts failed; ``__cause__`` is the last underlying error."""
+
+    def __init__(self, label: str, attempts: int, last: BaseException):
+        self.label = label
+        self.attempts = attempts
+        self.last = last
+        super().__init__(
+            f"{label}: failed after {attempts} attempt(s): {last}"
+        )
+
+
+def retry_with_backoff(
+    fn: Callable[[], T],
+    *,
+    attempts: int = 3,
+    base_delay_s: float = 0.2,
+    max_delay_s: float = 30.0,
+    deadline_s: float | None = None,
+    retry_on: tuple[type[BaseException], ...] = (Exception,),
+    label: str = "operation",
+    sleep: Callable[[float], None] = time.sleep,
+    rng: random.Random | None = None,
+    on_retry: Callable[[int, BaseException, float], None] | None = None,
+) -> T:
+    """Call ``fn`` until it succeeds, with exponential backoff + full jitter.
+
+    - ``attempts`` bounds total calls (not retries): ``attempts=3`` means
+      at most three invocations of ``fn``.
+    - Backoff before attempt ``n`` (1-based retries) is drawn uniformly
+      from ``[0, min(max_delay_s, base_delay_s * 2**(n-1))]`` -- the
+      "full jitter" scheme, which decorrelates clients hammering a
+      shared dependency.
+    - ``deadline_s`` is an optional wall-clock budget: no retry is
+      attempted once it is exhausted (the in-flight attempt is never
+      interrupted), and the sleep before a retry is clipped to the
+      budget's remainder.
+    - Only exceptions in ``retry_on`` are retried; anything else
+      propagates immediately.
+    - ``on_retry(attempt_number, error, delay_s)`` fires before each
+      backoff sleep, for logging/metrics.
+
+    Raises :class:`RetryError` (with the last error as ``__cause__``)
+    when every attempt fails.  ``sleep`` and ``rng`` exist so tests and
+    the chaos fabric can make timing deterministic.
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    draw = rng.uniform if rng is not None else random.uniform
+    started = time.monotonic()
+    last: BaseException | None = None
+    for attempt in range(1, attempts + 1):
+        try:
+            return fn()
+        except retry_on as exc:
+            last = exc
+            out_of_time = deadline_s is not None and (
+                time.monotonic() - started >= deadline_s)
+            if attempt >= attempts or out_of_time:
+                raise RetryError(label, attempt, exc) from exc
+            delay = draw(0.0, min(max_delay_s, base_delay_s * 2 ** (attempt - 1)))
+            if deadline_s is not None:
+                delay = min(delay, max(
+                    0.0, deadline_s - (time.monotonic() - started)))
+            if on_retry is not None:
+                on_retry(attempt, exc, delay)
+            if delay > 0.0:
+                sleep(delay)
+    raise RetryError(label, attempts, last)  # pragma: no cover - unreachable
